@@ -1,0 +1,44 @@
+# thermosc — common development targets. Everything is stdlib-only Go;
+# no tools beyond the Go toolchain are required.
+
+GO ?= go
+
+.PHONY: all build vet test test-race bench experiments figures fuzz cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure (text) and the SVG figures.
+experiments:
+	$(GO) run ./cmd/thermosc-experiments | tee docs/experiments_full_output.txt
+
+figures:
+	$(GO) run ./cmd/thermosc-figures -dir docs/figures
+
+# Short fuzzing passes over the parsers and transforms.
+fuzz:
+	$(GO) test ./internal/schedule -fuzz FuzzShiftRotate -fuzztime 30s
+	$(GO) test ./internal/schedule -fuzz FuzzMOscillateInvariants -fuzztime 30s
+	$(GO) test ./internal/floorplan -fuzz FuzzParseFLP -fuzztime 30s
+	$(GO) test . -fuzz FuzzPlanUnmarshal -fuzztime 30s
+
+cover:
+	$(GO) test ./... -coverprofile=cover.out
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,291 @@
+package thermosc_test
+
+// One benchmark per paper artifact (Tables II/III & V, Figs. 2-7) plus
+// micro-benchmarks for the kernels the schedulers lean on. Regenerate the
+// full evaluation with:
+//
+//	go test -bench=. -benchmem
+//
+// The Benchmark<Artifact> functions execute the same code paths as
+// `thermosc-experiments -run <artifact>` (in quick mode, writing to
+// io.Discard), so their wall-clock times are directly comparable across
+// machines and revisions.
+
+import (
+	"io"
+	"testing"
+
+	"thermosc"
+
+	"thermosc/internal/expr"
+	"thermosc/internal/governor"
+	"thermosc/internal/power"
+	"thermosc/internal/rt"
+	"thermosc/internal/schedule"
+	"thermosc/internal/sim"
+	"thermosc/internal/solver"
+	"thermosc/internal/thermal"
+)
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	cfg := expr.Config{Quick: true, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := expr.Run(name, io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableII_III regenerates the §III motivation tables.
+func BenchmarkTableII_III(b *testing.B) { benchExperiment(b, "motivation") }
+
+// BenchmarkFig2 regenerates the single-core vs all-core oscillation study.
+func BenchmarkFig2(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkFig3 regenerates the phase-sweep step-up bound study.
+func BenchmarkFig3(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig4 regenerates the 6-core step-up trace study.
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5 regenerates the 9-core peak-vs-m study.
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6 regenerates the cores × levels throughput comparison.
+func BenchmarkFig6(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7 regenerates the cores × Tmax throughput comparison.
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkTableV regenerates the computation-time comparison.
+func BenchmarkTableV(b *testing.B) { benchExperiment(b, "tablev") }
+
+// BenchmarkAblation regenerates the repository's ablation studies.
+func BenchmarkAblation(b *testing.B) { benchExperiment(b, "ablation") }
+
+// --- solver micro-benchmarks -------------------------------------------
+
+func benchProblem(b *testing.B, rows, cols, levels int, tmax float64) solver.Problem {
+	b.Helper()
+	md, err := thermal.Default(rows, cols)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ls, err := power.PaperLevels(levels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return solver.Problem{Model: md, Levels: ls, TmaxC: tmax, Overhead: power.DefaultOverhead()}
+}
+
+func BenchmarkAO3x1(b *testing.B) {
+	p := benchProblem(b, 3, 1, 2, 65)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.AO(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAO3x3(b *testing.B) {
+	p := benchProblem(b, 3, 3, 2, 55)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.AO(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPCO3x1(b *testing.B) {
+	p := benchProblem(b, 3, 1, 2, 65)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.PCO(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEXSPruned9x5(b *testing.B) {
+	p := benchProblem(b, 3, 3, 5, 65)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.EXS(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEXSNaive9x5(b *testing.B) {
+	// The paper's Algorithm 1 at its largest evaluated size: 5^9 ≈ 1.95M
+	// steady-state evaluations per run (their MATLAB exceeded 2 hours).
+	p := benchProblem(b, 3, 3, 5, 65)
+	p.DisallowOff = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.EXSNaive(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEXSParallel9x5(b *testing.B) {
+	p := benchProblem(b, 3, 3, 5, 65)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.EXSParallel(p, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIdealVoltages9(b *testing.B) {
+	md, err := thermal.Default(3, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.IdealVoltages(md, 20, 1.3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- simulator micro-benchmarks ----------------------------------------
+
+func benchSchedule(b *testing.B, n int) (*thermal.Model, *schedule.Schedule) {
+	b.Helper()
+	rows, cols := 3, n/3
+	if n == 2 || n == 3 {
+		rows, cols = n, 1
+	}
+	md, err := thermal.Default(rows, cols)
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := make([]schedule.TwoModeSpec, n)
+	for i := range specs {
+		specs[i] = schedule.TwoModeSpec{
+			Low:       power.NewMode(0.6),
+			High:      power.NewMode(1.3),
+			HighRatio: 0.3 + 0.05*float64(i%8),
+		}
+	}
+	s, err := schedule.TwoMode(20e-3, specs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return md, s
+}
+
+func BenchmarkStableSolve9(b *testing.B) {
+	md, s := benchSchedule(b, 9)
+	cache, err := sim.NewPeriodCache(md, s.Period())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.NewStableCached(md, s, cache); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPeakDense9(b *testing.B) {
+	md, s := benchSchedule(b, 9)
+	st, err := sim.NewStable(md, s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.PeakDense(24)
+	}
+}
+
+func BenchmarkPeriodCache9(b *testing.B) {
+	md, s := benchSchedule(b, 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.NewPeriodCache(md, s.Period()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransientPeriod9(b *testing.B) {
+	md, s := benchSchedule(b, 9)
+	t0 := md.ZeroState()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.PeriodEnd(md, s, t0)
+	}
+}
+
+func BenchmarkRK4Period3(b *testing.B) {
+	md, s := benchSchedule(b, 3)
+	t0 := md.ZeroState()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.RK4(md, s, t0, 1, 1e-4)
+	}
+}
+
+// --- closed-loop component benchmarks -----------------------------------
+
+func BenchmarkGovernorClosedLoop(b *testing.B) {
+	md, err := thermal.Default(3, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ls, err := power.PaperLevels(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pol := &governor.StepWise{TripC: 62, HystK: 2, Levels: ls.Len()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := governor.Simulate(md, ls, pol, governor.Sensor{PeriodS: 10e-3}, 65, 10, 2, 2, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEDFSimulation(b *testing.B) {
+	tasks := []rt.Task{
+		{Name: "a", WCET: 30e-3, Period: 100e-3},
+		{Name: "b", WCET: 20e-3, Period: 40e-3},
+		{Name: "c", WCET: 5e-3, Period: 25e-3},
+	}
+	profile := []rt.SpeedSeg{
+		{Length: 1e-3, Speed: 0.6},
+		{Length: 1e-3, Speed: 1.3},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.SimulateEDF(tasks, profile, 2.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- public API benchmark ----------------------------------------------
+
+func BenchmarkPublicCompare3x1(b *testing.B) {
+	plat, err := thermosc.New(3, 1, thermosc.WithPaperLevels(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plat.Compare(65); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

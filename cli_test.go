@@ -1,0 +1,190 @@
+package thermosc_test
+
+// End-to-end smoke tests for the command-line tools: each binary is built
+// once into a temp dir and exercised against its primary flag surface.
+// These tests run the real executables, so regressions in flag parsing,
+// output formatting, or exit codes fail here even when the libraries
+// underneath stay green.
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmd compiles ./cmd/<name> once per test run.
+func buildCmd(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wd
+}
+
+func run(t *testing.T, bin string, args ...string) (string, string, error) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	return stdout.String(), stderr.String(), err
+}
+
+func TestCLIOpt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI builds in -short mode")
+	}
+	bin := buildCmd(t, "thermosc-opt")
+
+	out, _, err := run(t, bin, "-rows", "2", "-cols", "1", "-tmax", "60", "-levels", "2", "-method", "all", "-v")
+	if err != nil {
+		t.Fatalf("thermosc-opt: %v\n%s", err, out)
+	}
+	for _, want := range []string{"LNS", "EXS", "AO", "PCO", "core 0:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// JSON mode must emit one valid plan object per line.
+	out, _, err = run(t, bin, "-rows", "2", "-cols", "1", "-tmax", "60", "-method", "AO", "-json")
+	if err != nil {
+		t.Fatalf("json mode: %v", err)
+	}
+	var plan map[string]interface{}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(out)), &plan); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if plan["method"] != "AO" || plan["version"] != float64(1) {
+		t.Fatalf("plan JSON malformed: %v", plan)
+	}
+
+	// Governor-table mode emits a validated JSON ladder.
+	out, _, err = run(t, bin, "-rows", "2", "-cols", "1", "-levels", "2", "-table", "55,60,65")
+	if err != nil {
+		t.Fatalf("table mode: %v", err)
+	}
+	var tbl struct {
+		Entries []struct {
+			TmaxC float64 `json:"tmax_c"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(out)), &tbl); err != nil {
+		t.Fatalf("table JSON invalid: %v", err)
+	}
+	if len(tbl.Entries) != 3 || tbl.Entries[0].TmaxC != 55 {
+		t.Fatalf("table = %+v", tbl)
+	}
+	if _, _, err := run(t, bin, "-table", "55,sixty"); err == nil {
+		t.Fatal("bad table ladder should fail")
+	}
+
+	// Bad flags exit nonzero.
+	if _, _, err := run(t, bin, "-levels", "nine"); err == nil {
+		t.Fatal("bad -levels should fail")
+	}
+	if _, _, err := run(t, bin, "-method", "bogus"); err == nil {
+		t.Fatal("unknown method should fail")
+	}
+}
+
+func TestCLIExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI builds in -short mode")
+	}
+	bin := buildCmd(t, "thermosc-experiments")
+
+	out, _, err := run(t, bin, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"motivation", "fig6", "tablev", "reliability", "scaling"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-list missing %q:\n%s", want, out)
+		}
+	}
+
+	out, _, err = run(t, bin, "-run", "fig2", "-quick")
+	if err != nil {
+		t.Fatalf("fig2: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "Fig. 2") {
+		t.Fatalf("fig2 output:\n%s", out)
+	}
+
+	if _, stderr, err := run(t, bin, "-run", "nope"); err == nil || !strings.Contains(stderr, "unknown experiment") {
+		t.Fatalf("unknown experiment should fail with a message, got %q", stderr)
+	}
+}
+
+func TestCLISim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI builds in -short mode")
+	}
+	bin := buildCmd(t, "thermosc-sim")
+
+	// ASCII mode with a policy.
+	out, stderr, err := run(t, bin, "-rows", "2", "-cols", "1", "-tmax", "60", "-method", "AO", "-periods", "4", "-samples", "4")
+	if err != nil {
+		t.Fatalf("sim: %v\n%s%s", err, out, stderr)
+	}
+	if !strings.Contains(out, "core temperatures") || !strings.Contains(stderr, "AO:") {
+		t.Fatalf("sim output unexpected:\nstdout=%s\nstderr=%s", out, stderr)
+	}
+
+	// CSV mode with fixed voltages.
+	out, _, err = run(t, bin, "-rows", "2", "-cols", "1", "-volts", "1.3,0.6", "-periods", "2", "-samples", "2", "-csv")
+	if err != nil {
+		t.Fatalf("csv: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "time_s,core0_C,core1_C" {
+		t.Fatalf("csv header %q", lines[0])
+	}
+	if len(lines) != 1+1+2*2 { // header + t0 + samples
+		t.Fatalf("csv has %d lines", len(lines))
+	}
+
+	// Mismatched voltage count fails.
+	if _, _, err := run(t, bin, "-rows", "2", "-cols", "1", "-volts", "1.3"); err == nil {
+		t.Fatal("voltage count mismatch should fail")
+	}
+}
+
+func TestCLIFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI builds in -short mode")
+	}
+	bin := buildCmd(t, "thermosc-figures")
+	dir := t.TempDir()
+	out, stderr, err := run(t, bin, "-dir", dir, "-quick")
+	if err != nil {
+		t.Fatalf("figures: %v\n%s%s", err, out, stderr)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 6 {
+		t.Fatalf("wrote %d figures", len(entries))
+	}
+	if !strings.Contains(out, "wrote") {
+		t.Fatalf("missing progress output:\n%s", out)
+	}
+}

@@ -1,0 +1,33 @@
+// Command thermosc-figures renders the headline evaluation figures as
+// standalone SVG files.
+//
+// Usage:
+//
+//	thermosc-figures [-dir figures] [-quick] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"thermosc/internal/figures"
+)
+
+func main() {
+	var (
+		dir   = flag.String("dir", "figures", "output directory for the SVG files")
+		quick = flag.Bool("quick", false, "reduced sweep sizes")
+		seed  = flag.Int64("seed", 1, "seed for the random schedule generators")
+	)
+	flag.Parse()
+
+	cfg := figures.Config{Quick: *quick, Seed: *seed}
+	if err := figures.WriteAll(*dir, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "thermosc-figures:", err)
+		os.Exit(1)
+	}
+	for _, f := range figures.Files() {
+		fmt.Printf("wrote %s/%s\n", *dir, f)
+	}
+}

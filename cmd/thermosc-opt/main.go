@@ -1,0 +1,120 @@
+// Command thermosc-opt maximizes throughput for one platform under a peak
+// temperature constraint and prints the resulting schedule.
+//
+// Usage:
+//
+//	thermosc-opt [-rows R] [-cols C] [-tmax T] [-levels N|full]
+//	             [-method LNS|EXS|AO|PCO|Ideal|all] [-period S] [-tau S]
+//
+// Example:
+//
+//	thermosc-opt -rows 3 -cols 2 -tmax 55 -levels 2 -method all
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"thermosc"
+)
+
+func main() {
+	var (
+		rows    = flag.Int("rows", 3, "floorplan rows")
+		cols    = flag.Int("cols", 1, "floorplan columns")
+		tmax    = flag.Float64("tmax", 65, "peak temperature threshold [°C]")
+		levels  = flag.String("levels", "2", "voltage levels: 2..5 (paper Table IV) or 'full' (15 levels)")
+		method  = flag.String("method", "all", "LNS, EXS, AO, PCO, Ideal, or 'all'")
+		period  = flag.Float64("period", 20e-3, "base schedule period [s]")
+		tau     = flag.Float64("tau", 5e-6, "DVFS transition stall [s]")
+		verbose = flag.Bool("v", false, "print the per-core schedule slices")
+		asJSON  = flag.Bool("json", false, "emit the plan(s) as JSON (one object per line)")
+		table   = flag.String("table", "", "comma-separated Tmax ladder: emit a governor table as JSON instead of single plans")
+	)
+	flag.Parse()
+
+	opts := []thermosc.Option{
+		thermosc.WithBasePeriod(*period),
+		thermosc.WithTransitionOverhead(*tau),
+	}
+	if *levels != "full" {
+		n, err := strconv.Atoi(*levels)
+		if err != nil {
+			fatal(fmt.Errorf("bad -levels %q: %w", *levels, err))
+		}
+		opts = append(opts, thermosc.WithPaperLevels(n))
+	}
+	plat, err := thermosc.New(*rows, *cols, opts...)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *table != "" {
+		var ladder []float64
+		for _, part := range strings.Split(*table, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad -table entry %q: %w", part, err))
+			}
+			ladder = append(ladder, v)
+		}
+		m := thermosc.Method(*method)
+		if *method == "all" {
+			m = thermosc.MethodAO
+		}
+		tbl, err := plat.BuildGovernorTable(m, ladder)
+		if err != nil {
+			fatal(err)
+		}
+		data, err := json.Marshal(tbl)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+		return
+	}
+
+	methods := []thermosc.Method{thermosc.Method(*method)}
+	if *method == "all" {
+		methods = thermosc.Methods()
+	}
+	if !*asJSON {
+		fmt.Printf("platform %dx%d (%d cores), Tmax %.1f °C, levels %s, t_p %.3gs, tau %.3gs\n\n",
+			*rows, *cols, plat.NumCores(), *tmax, *levels, *period, *tau)
+		fmt.Printf("%-6s  %-10s  %-9s  %-8s  %-3s  %s\n", "method", "throughput", "peak [°C]", "feasible", "m", "elapsed")
+	}
+	for _, m := range methods {
+		plan, err := plat.Maximize(m, *tmax)
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			data, err := json.Marshal(plan)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(data))
+			continue
+		}
+		fmt.Printf("%-6s  %-10.4f  %-9.3f  %-8v  %-3d  %v\n",
+			plan.Method, plan.Throughput, plan.PeakC, plan.Feasible, plan.M, plan.Elapsed.Round(100_000))
+		if *verbose && len(plan.Cores) > 0 {
+			for i, slices := range plan.Cores {
+				fmt.Printf("        core %d:", i)
+				for _, sl := range slices {
+					fmt.Printf(" %.2fV×%.4gms", sl.Voltage, sl.Seconds*1e3)
+				}
+				fmt.Println()
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "thermosc-opt:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,137 @@
+// Command thermosc-sim simulates the transient temperatures of a
+// multi-core platform under a policy's schedule (or a fixed constant
+// voltage assignment) and prints a CSV trace plus an ASCII plot.
+//
+// Usage:
+//
+//	thermosc-sim [-rows R] [-cols C] [-tmax T] [-method AO|...]
+//	             [-volts v1,v2,...] [-periods N] [-samples K] [-csv]
+//
+// Examples:
+//
+//	thermosc-sim -rows 3 -cols 1 -tmax 65 -method AO -periods 50
+//	thermosc-sim -rows 2 -cols 1 -volts 1.3,0.6 -periods 10 -csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"thermosc"
+	"thermosc/internal/report"
+)
+
+func main() {
+	var (
+		rows    = flag.Int("rows", 3, "floorplan rows")
+		cols    = flag.Int("cols", 1, "floorplan columns")
+		tmax    = flag.Float64("tmax", 65, "peak temperature threshold [°C] (for -method runs)")
+		method  = flag.String("method", "AO", "scheduling policy for the simulated plan")
+		volts   = flag.String("volts", "", "comma-separated constant voltages (overrides -method)")
+		levels  = flag.Int("levels", 2, "paper voltage level count for -method runs")
+		periods = flag.Int("periods", 20, "number of schedule periods to simulate")
+		samples = flag.Int("samples", 16, "samples per period")
+		csv     = flag.Bool("csv", false, "emit the full CSV trace instead of the ASCII plot")
+	)
+	flag.Parse()
+
+	plat, err := thermosc.New(*rows, *cols, thermosc.WithPaperLevels(*levels))
+	if err != nil {
+		fatal(err)
+	}
+
+	var plan *thermosc.Plan
+	if *volts != "" {
+		vs, err := parseVolts(*volts)
+		if err != nil {
+			fatal(err)
+		}
+		if len(vs) != plat.NumCores() {
+			fatal(fmt.Errorf("%d voltages for %d cores", len(vs), plat.NumCores()))
+		}
+		plan = constantPlan(vs)
+		steady, err := plat.SteadyTempC(vs)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "steady-state temps: %s\n", fmtTemps(steady))
+	} else {
+		plan, err = plat.Maximize(thermosc.Method(*method), *tmax)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: throughput %.4f, peak %.3f °C, feasible %v, m=%d\n",
+			plan.Method, plan.Throughput, plan.PeakC, plan.Feasible, plan.M)
+	}
+
+	tr, err := plat.Trace(plan, *periods, *samples)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	if *csv {
+		t := report.NewTable("", traceHeader(plat.NumCores())...)
+		for k := range tr.TimeS {
+			row := []string{fmt.Sprintf("%.6f", tr.TimeS[k])}
+			for i := 0; i < plat.NumCores(); i++ {
+				row = append(row, fmt.Sprintf("%.4f", tr.CoreTempC[i][k]))
+			}
+			t.AddRow(row...)
+		}
+		fmt.Fprint(w, t.CSV())
+		return
+	}
+	fmt.Fprint(w, report.ASCIIPlot(
+		fmt.Sprintf("core temperatures [°C], %d periods (max %.2f °C)", *periods, tr.MaxC()),
+		tr.TimeS, tr.CoreTempC, 96, 16))
+}
+
+func traceHeader(n int) []string {
+	h := []string{"time_s"}
+	for i := 0; i < n; i++ {
+		h = append(h, fmt.Sprintf("core%d_C", i))
+	}
+	return h
+}
+
+func parseVolts(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad voltage %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// constantPlan wraps fixed voltages in a Plan so Trace can run it.
+func constantPlan(vs []float64) *thermosc.Plan {
+	const period = 20e-3
+	plan := &thermosc.Plan{Method: "const", PeriodS: period, Feasible: true, M: 1}
+	for _, v := range vs {
+		plan.Cores = append(plan.Cores, []thermosc.Slice{{Seconds: period, Voltage: v}})
+	}
+	return plan
+}
+
+func fmtTemps(ts []float64) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = fmt.Sprintf("%.2f", t)
+	}
+	return "[" + strings.Join(parts, " ") + "] °C"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "thermosc-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+package thermosc_test
+
+import (
+	"fmt"
+	"log"
+
+	"thermosc"
+)
+
+// The basic workflow: build a platform, maximize throughput under a peak
+// temperature cap, inspect the plan.
+func Example() {
+	plat, err := thermosc.New(3, 1, thermosc.WithPaperLevels(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := plat.Maximize(thermosc.MethodAO, 65)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("feasible=%v throughput=%.4f peak=%.1f°C\n",
+		plan.Feasible, plan.Throughput, plan.PeakC)
+	// Output:
+	// feasible=true throughput=1.0632 peak=64.9°C
+}
+
+// Steady-state temperature queries answer "how hot would this assignment
+// run forever?" — the T∞ = −A⁻¹B evaluation behind the paper's EXS.
+func ExamplePlatform_SteadyTempC() {
+	plat, err := thermosc.New(3, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	temps, err := plat.SteadyTempC([]float64{1.3, 0, 1.3}) // middle core off
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.1f %.1f %.1f\n", temps[0], temps[1], temps[2])
+	// Output:
+	// 64.6 55.4 64.6
+}
+
+// Comparing all policies on one platform.
+func ExamplePlatform_Compare() {
+	plat, err := thermosc.New(2, 1, thermosc.WithPaperLevels(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	plans, err := plat.Compare(60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range thermosc.Methods() {
+		fmt.Printf("%s %.4f\n", m, plans[m].Throughput)
+	}
+	// Output:
+	// LNS 0.6000
+	// EXS 0.9500
+	// AO 1.1321
+	// PCO 1.1321
+}
+
+// Real-time admission: can this task set be guaranteed under the cap?
+func ExamplePlatform_AdmitTasks() {
+	plat, err := thermosc.New(2, 1, thermosc.WithPaperLevels(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tasks := []thermosc.Task{
+		{Name: "ctl", WCET: 40e-3, Period: 50e-3}, // u = 0.8
+		{Name: "log", WCET: 30e-3, Period: 60e-3}, // u = 0.5
+	}
+	rep, err := plat.AdmitTasks(tasks, thermosc.MethodAO, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("admissible=%v\n", rep.Admissible)
+	// Output:
+	// admissible=true
+}

@@ -1,0 +1,73 @@
+// Design-space exploration: how many DVFS levels does the hardware team
+// actually need to ship? Each extra level costs regulator complexity and
+// validation time. This example sweeps the paper's level sets (2..5
+// levels, Table IV) on a 3×2 part and compares how much throughput each
+// policy recovers — reproducing the paper's core finding that frequency
+// oscillation makes sparse level sets nearly as good as rich ones, so a
+// cheaper regulator suffices.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"thermosc"
+)
+
+func main() {
+	const tmax = 55.0
+	fmt.Printf("3×2 part, Tmax %.0f °C — throughput by DVFS level count\n\n", tmax)
+	fmt.Printf("%-7s  %-22s  %-8s  %-8s  %-10s\n", "levels", "voltages [V]", "EXS", "AO", "AO recovers")
+
+	// The continuous-hardware upper bound for reference.
+	ref, err := thermosc.New(3, 2) // full 15-level range
+	if err != nil {
+		log.Fatal(err)
+	}
+	idealPlan, err := ref.Maximize(thermosc.MethodIdeal, tmax)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type row struct {
+		levels  int
+		exs, ao float64
+	}
+	var rows []row
+	for n := 2; n <= 5; n++ {
+		plat, err := thermosc.New(3, 2, thermosc.WithPaperLevels(n))
+		if err != nil {
+			log.Fatal(err)
+		}
+		exs, err := plat.Maximize(thermosc.MethodEXS, tmax)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ao, err := plat.Maximize(thermosc.MethodAO, tmax)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recovered := 100 * ao.Throughput / idealPlan.Throughput
+		fmt.Printf("%-7d  %-22s  %-8.4f  %-8.4f  %6.1f%% of ideal\n",
+			n, fmtVolts(plat.VoltageLevels()), exs.Throughput, ao.Throughput, recovered)
+		rows = append(rows, row{n, exs.Throughput, ao.Throughput})
+	}
+
+	fmt.Printf("\ncontinuous-voltage ideal: %.4f\n\n", idealPlan.Throughput)
+
+	// The design takeaway: the EXS (constant-mode) gap between 2 and 5
+	// levels is large; the AO gap is small. Quantify both.
+	exsGap := 100 * (rows[3].exs/rows[0].exs - 1)
+	aoGap := 100 * (rows[3].ao/rows[0].ao - 1)
+	fmt.Printf("going from 2 → 5 levels buys EXS %+.1f%% but AO only %+.1f%% —\n", exsGap, aoGap)
+	fmt.Println("with oscillating schedules, a 2-level regulator is nearly as good as a 5-level one.")
+}
+
+func fmtVolts(vs []float64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = fmt.Sprintf("%.2g", v)
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,61 @@
+// Quickstart: build a 3×1 multi-core platform, maximize its throughput
+// under a 65 °C peak temperature constraint with the paper's AO policy,
+// and print the resulting oscillating schedule.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"thermosc"
+)
+
+func main() {
+	// A 3-core strip with only two DVFS modes (0.6 V and 1.3 V) — the
+	// paper's motivation example. 5 µs transition stalls and a 20 ms base
+	// period are the defaults.
+	plat, err := thermosc.New(3, 1, thermosc.WithPaperLevels(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// How hot does full throttle run? (Steady state, all cores at 1.3 V.)
+	steady, err := plat.SteadyTempC([]float64{1.3, 1.3, 1.3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full throttle steady state: %.1f / %.1f / %.1f °C — too hot for a 65 °C cap\n\n",
+		steady[0], steady[1], steady[2])
+
+	// Maximize throughput under the cap with aligned oscillation.
+	plan, err := plat.Maximize(thermosc.MethodAO, 65)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("AO plan: throughput %.4f, peak %.2f °C, feasible=%v, m=%d oscillations\n",
+		plan.Throughput, plan.PeakC, plan.Feasible, plan.M)
+	for i, slices := range plan.Cores {
+		fmt.Printf("  core %d:", i)
+		for _, sl := range slices {
+			fmt.Printf("  %.2f V for %.3f ms", sl.Voltage, sl.Seconds*1e3)
+		}
+		fmt.Println()
+	}
+
+	// Independently verify the peak with a dense stable-status search.
+	peak, err := plat.VerifyPeakC(plan, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndense verification: peak %.3f °C (cap 65 °C)\n", peak)
+
+	// Compare against the constant-speed baselines.
+	for _, m := range []thermosc.Method{thermosc.MethodLNS, thermosc.MethodEXS} {
+		base, err := plat.Maximize(m, 65)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s baseline: throughput %.4f (AO gains %.1f%%)\n",
+			m, base.Throughput, 100*(plan.Throughput/base.Throughput-1))
+	}
+}

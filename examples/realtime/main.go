@@ -1,0 +1,67 @@
+// Real-time admission control: an avionics-style mixed task set must be
+// guaranteed schedulable on a 3-core flight computer whose junction
+// temperature may never exceed 65 °C. The example partitions the tasks,
+// derives the sustained speeds each scheduling policy can guarantee under
+// the cap, and shows a load that constant-speed policies must reject but
+// the paper's oscillating schedule admits.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"thermosc"
+)
+
+func main() {
+	plat, err := thermosc.New(3, 1, thermosc.WithPaperLevels(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	const tmax = 65.0
+
+	tasks := []thermosc.Task{
+		{Name: "attitude-ctl", WCET: 18e-3, Period: 25e-3}, // u = 0.72
+		{Name: "nav-fusion", WCET: 28e-3, Period: 40e-3},   // u = 0.70
+		{Name: "telemetry", WCET: 24e-3, Period: 60e-3},    // u = 0.40
+		{Name: "health-mon", WCET: 15e-3, Period: 50e-3},   // u = 0.30
+	}
+	var total float64
+	fmt.Printf("task set (total utilization ")
+	for _, t := range tasks {
+		total += t.Utilization()
+	}
+	fmt.Printf("%.2f on 3 cores):\n", total)
+	for _, t := range tasks {
+		fmt.Printf("  %-13s WCET %5.1f ms  period %5.1f ms  u=%.2f\n",
+			t.Name, t.WCET*1e3, t.Period*1e3, t.Utilization())
+	}
+	fmt.Println()
+
+	for _, m := range []thermosc.Method{thermosc.MethodLNS, thermosc.MethodEXS, thermosc.MethodAO} {
+		rep, err := plat.AdmitTasks(tasks, m, tmax)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "REJECT"
+		if rep.Admissible {
+			verdict = "ADMIT"
+		}
+		fmt.Printf("%-4s → %-6s  core speeds %s  margins %s  (plan peak %.2f °C)\n",
+			m, verdict, fmtVec(rep.CoreSpeed), fmtVec(rep.Margins), rep.Plan.PeakC)
+	}
+
+	fmt.Println("\nThe oscillating schedule admits the load that every constant-speed policy")
+	fmt.Println("must reject — the real-time payoff of the paper's throughput gain.")
+}
+
+func fmtVec(v []float64) string {
+	s := "["
+	for i, x := range v {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%+.2f", x)
+	}
+	return s + "]"
+}

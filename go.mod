@@ -1,0 +1,3 @@
+module thermosc
+
+go 1.22

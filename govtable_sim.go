@@ -1,0 +1,131 @@
+package thermosc
+
+import (
+	"fmt"
+	"math"
+
+	"thermosc/internal/mat"
+	"thermosc/internal/power"
+	"thermosc/internal/schedule"
+)
+
+// AmbientSimResult summarizes a table-driven run under drifting ambient.
+type AmbientSimResult struct {
+	// MeanThroughput is the time-averaged chip throughput actually
+	// scheduled over the horizon.
+	MeanThroughput float64
+	// PeakAbsC is the hottest absolute temperature reached (rise plus the
+	// instantaneous ambient).
+	PeakAbsC float64
+	// ViolationFrac is the fraction of time the absolute limit was
+	// exceeded.
+	ViolationFrac float64
+	// Switches counts plan changes.
+	Switches int
+	// OffTime is the time spent with no certified entry (all cores off).
+	OffTime float64
+}
+
+// SimulateUnderAmbient drives the platform with the governor table while
+// the ambient temperature drifts: every decision seconds the governor
+// reads ambient(t), computes the rise allowance capC − ambient(t) +
+// designAmbient, and programs the hottest table entry certified for it
+// (or powers the chip down when even the coolest entry does not fit).
+// The thermal state carries across switches exactly — the model is
+// linear, so a changing ambient only shifts the absolute reference while
+// rises evolve unchanged.
+//
+// This is the end-to-end story the ladder exists for: a proactive
+// governor with per-entry offline guarantees, adapting at runtime without
+// ever running an uncertified schedule. Phase is reset at each switch
+// (the driver reprograms the command stream from its start); period-scale
+// phase effects are negligible against the decision interval.
+func (t *GovernorTable) SimulateUnderAmbient(p *Platform, capC float64,
+	ambient func(sec float64) float64, horizon, decision float64) (*AmbientSimResult, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if horizon <= 0 || decision <= 0 || decision > horizon {
+		return nil, fmt.Errorf("thermosc: invalid horizon %v / decision %v", horizon, decision)
+	}
+	md := p.model
+	design := p.AmbientC()
+
+	// Pre-convert entries to internal schedules.
+	scheds := make([]*schedule.Schedule, len(t.Entries))
+	for i, e := range t.Entries {
+		s, err := e.Plan.internalSchedule(p)
+		if err != nil {
+			return nil, fmt.Errorf("thermosc: entry %.1f °C: %w", e.TmaxC, err)
+		}
+		scheds[i] = s
+	}
+	offModes := make([]power.Mode, p.NumCores())
+	res := &AmbientSimResult{}
+	state := md.ZeroState()
+	current := -2 // force a "switch" on the first decision
+
+	steps := int(math.Ceil(horizon / decision))
+	for k := 0; k < steps; k++ {
+		now := float64(k) * decision
+		amb := ambient(now)
+		allowance := capC - amb + design
+		idx := -1
+		for i, e := range t.Entries {
+			if e.TmaxC <= allowance+1e-9 {
+				idx = i
+			} else {
+				break
+			}
+		}
+		if idx != current {
+			res.Switches++
+			current = idx
+		}
+
+		// Advance the state through this decision window; every advance of
+		// dt seconds contributes dt of (possibly violating) time.
+		winEnd := math.Min(horizon, now+decision)
+		remaining := winEnd - now
+		var violatedTime float64
+		sampleAbs := func(st []float64, tAbsAt, dt float64) {
+			hot, _ := mat.VecMax(md.CoreTemps(st))
+			abs := hot + ambient(tAbsAt)
+			if abs > res.PeakAbsC {
+				res.PeakAbsC = abs
+			}
+			if abs > capC+1e-9 {
+				violatedTime += dt
+			}
+		}
+		if idx < 0 {
+			// No certified entry: all off.
+			sub := remaining / 8
+			for s := 0; s < 8; s++ {
+				state = md.Step(sub, state, offModes)
+				sampleAbs(state, now+float64(s+1)*sub, sub)
+			}
+			res.OffTime += remaining
+		} else {
+			sch := scheds[idx]
+			ivs := sch.Intervals()
+			consumed := 0.0
+			for consumed < remaining-1e-12 {
+				for _, iv := range ivs {
+					dt := math.Min(iv.Length, remaining-consumed)
+					if dt <= 0 {
+						break
+					}
+					state = md.StepToward(dt, state, md.SteadyState(iv.Modes))
+					consumed += dt
+					sampleAbs(state, now+consumed, dt)
+				}
+			}
+			res.MeanThroughput += t.Entries[idx].Plan.Throughput * remaining
+		}
+		res.ViolationFrac += violatedTime
+	}
+	res.MeanThroughput /= horizon
+	res.ViolationFrac /= horizon
+	return res, nil
+}

@@ -1,0 +1,156 @@
+package expr
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"thermosc/internal/power"
+	"thermosc/internal/report"
+	"thermosc/internal/rt"
+	"thermosc/internal/solver"
+)
+
+// Admission runs the classic schedulability-style study over random
+// periodic task sets (UUniFast utilizations, log-uniform periods): for
+// each total-utilization level, what fraction of task sets can each
+// thermally-constrained policy guarantee on the 3×1 platform at 65 °C?
+// The thermal throughput gap between the policies translates directly
+// into admission capacity — the real-time payoff of the paper's method.
+func Admission(w io.Writer, cfg Config) error {
+	md, err := platform(3, 1)
+	if err != nil {
+		return err
+	}
+	levels, err := power.PaperLevels(2)
+	if err != nil {
+		return err
+	}
+	const tmaxC = 65.0
+	p := problem(md, levels, tmaxC)
+
+	// Sustained per-core speeds for each policy (task-set independent).
+	type policy struct {
+		name   string
+		speeds []float64
+		cycle  float64
+	}
+	var policies []policy
+	for _, run := range []struct {
+		name string
+		f    func(solver.Problem) (*solver.Result, error)
+	}{
+		{"LNS", solver.LNS},
+		{"EXS", solver.EXS},
+		{"AO", solver.AO},
+	} {
+		res, err := run.f(p)
+		if err != nil {
+			return err
+		}
+		if !res.Feasible || res.Schedule == nil {
+			return fmt.Errorf("expr: admission: %s infeasible", run.name)
+		}
+		speeds := make([]float64, md.NumCores())
+		var mean float64
+		oscillates := false
+		for c := range speeds {
+			speeds[c] = res.Schedule.CoreWork(c) / res.Schedule.Period()
+			mean += speeds[c]
+			if len(res.Schedule.CoreSegments(c)) > 1 {
+				oscillates = true
+			}
+		}
+		mean /= float64(len(speeds))
+		if mean > 0 && res.Throughput < mean {
+			// Strip the overhead padding: scale to useful throughput.
+			f := res.Throughput / mean
+			for c := range speeds {
+				speeds[c] *= f
+			}
+		}
+		cycle := 0.0 // constant schedules pose no fluid-approximation issue
+		if oscillates {
+			cycle = res.Schedule.Period()
+		}
+		policies = append(policies, policy{run.name, speeds, cycle})
+	}
+
+	sets := 200
+	utils := []float64{1.2, 1.5, 1.8, 2.1, 2.4, 2.7, 3.0, 3.3}
+	if cfg.Quick {
+		sets = 60
+		utils = []float64{1.5, 2.1, 2.7, 3.3}
+	}
+
+	t := report.NewTable(fmt.Sprintf("Admission ratio over %d random task sets per point (3×1, 2 levels, Tmax = 65 °C)", sets),
+		"total util", "LNS", "EXS", "AO")
+	r := rand.New(rand.NewSource(cfg.Seed + 99))
+	// Track dominance for the shape check.
+	var aoWins, exsWins int
+	prevAO := 1.0
+	for _, u := range utils {
+		spec := rt.DefaultGenSpec(6, u)
+		// Keep every task period an order of magnitude above AO's ~2 ms
+		// oscillation cycle so the fluid approximation applies, and cap
+		// individual utilizations below any single core's sustained speed
+		// (a task heavier than one AO core but lighter than one EXS
+		// 1.3 V core would reward CONCENTRATED capacity — a bin-packing
+		// fragmentation effect orthogonal to the thermal comparison; see
+		// the prose note below).
+		spec.PeriodMin, spec.PeriodMax = 30e-3, 300e-3
+		spec.UtilCap = 0.8
+		admitted := make([]int, len(policies))
+		for s := 0; s < sets; s++ {
+			tasks, err := rt.Generate(r, spec)
+			if err != nil {
+				return err
+			}
+			minP := rt.MinPeriod(tasks)
+			for k, pol := range policies {
+				// Partition against each policy's own speed vector (an
+				// EXS assignment may shut cores down entirely).
+				part, err := rt.PartitionBySpeeds(tasks, pol.speeds)
+				if err != nil {
+					return err
+				}
+				adm, err := rt.Admissible(part, pol.speeds, pol.cycle, minP)
+				if err != nil {
+					return err
+				}
+				if adm.Admissible {
+					admitted[k]++
+				}
+			}
+		}
+		ratio := func(k int) float64 { return float64(admitted[k]) / float64(sets) }
+		t.AddRowf(u, ratio(0), ratio(1), ratio(2))
+		if admitted[2] > admitted[1] {
+			aoWins++
+		}
+		if admitted[1] > admitted[0] {
+			exsWins++
+		}
+		if admitted[2] < admitted[1] || admitted[1] < admitted[0] {
+			return fmt.Errorf("expr: admission dominance violated at U=%v: %v", u, admitted)
+		}
+		// Monotone within sampling noise (task sets are independent draws
+		// per load level, so allow a few percentage points of slack).
+		aoRatio := ratio(2)
+		if aoRatio > prevAO+0.06 {
+			return fmt.Errorf("expr: admission ratio rose with load at U=%v beyond noise", u)
+		}
+		if aoRatio < prevAO {
+			prevAO = aoRatio
+		}
+	}
+	if _, err := t.WriteTo(w); err != nil {
+		return err
+	}
+	if aoWins == 0 {
+		return fmt.Errorf("expr: admission: AO never admitted more than EXS — sweep misconfigured")
+	}
+	fmt.Fprintf(w, "AO strictly beats EXS at %d of %d load levels (and never loses): the thermal throughput gain is admission capacity.\n", aoWins, len(utils))
+	fmt.Fprintf(w, "Caveat observed during calibration: with individual tasks heavier than one AO core (u > ~1.05) but lighter than a 1.3 V core, EXS's CONCENTRATED two-fast-cores assignment can win on bin packing — fragmentation, not thermals.\n\n")
+	return nil
+}

@@ -1,0 +1,98 @@
+package expr
+
+import (
+	"fmt"
+	"io"
+
+	"thermosc/internal/power"
+	"thermosc/internal/report"
+	"thermosc/internal/schedule"
+	"thermosc/internal/sim"
+)
+
+// Fig3 reproduces §VI-A: on the 3×1 platform with a 6 s period, every core
+// runs 3 s at 0.6 V and 3 s at 1.3 V. Core 1's high interval starts at
+// x1 = 3 s; the high-interval start times x2 and x3 of cores 2 and 3 sweep
+// over [0, 6) s. The peak temperature varies widely with the phases, and
+// the step-up alignment (x2 = x3 = 3 s) attains the maximum — the bound of
+// Theorem 2. (Paper: max 84.13 °C at x2 = x3 = 3 s; min 71.22 °C at
+// x2 = 0.6 s, x3 = 4.2 s.)
+func Fig3(w io.Writer, cfg Config) error {
+	md, err := platform(3, 1)
+	if err != nil {
+		return err
+	}
+	const period = 6.0
+	step := 0.1
+	samples := 24
+	if cfg.Quick {
+		step = 0.5
+		samples = 12
+	}
+
+	hi, lo := power.NewMode(1.3), power.NewMode(0.6)
+	// Base step-up timeline: low 3 s then high 3 s (high starts at 3 s).
+	baseCore := []schedule.Segment{
+		{Length: 3, Mode: lo},
+		{Length: 3, Mode: hi},
+	}
+	makeSched := func(x2, x3 float64) *schedule.Schedule {
+		s := schedule.Must([][]schedule.Segment{baseCore, baseCore, baseCore})
+		// Shifting by (x − 3) moves the high-interval start from 3 to x.
+		s = s.Shift(1, x2-3)
+		s = s.Shift(2, x3-3)
+		return s
+	}
+
+	var (
+		maxPeak, minPeak           = -1.0, 1e18
+		maxX2, maxX3, minX2, minX3 float64
+		evals                      int
+	)
+	for x2 := 0.0; x2 < period-1e-9; x2 += step {
+		for x3 := 0.0; x3 < period-1e-9; x3 += step {
+			s := makeSched(x2, x3)
+			st, err := sim.NewStable(md, s)
+			if err != nil {
+				return err
+			}
+			p, _, _ := st.PeakDense(samples)
+			evals++
+			if p > maxPeak {
+				maxPeak, maxX2, maxX3 = p, x2, x3
+			}
+			if p < minPeak {
+				minPeak, minX2, minX3 = p, x2, x3
+			}
+		}
+	}
+
+	// The step-up bound: all cores aligned low-then-high (x = 3 s).
+	stepUp := makeSched(3, 3)
+	stU, err := sim.NewStable(md, stepUp)
+	if err != nil {
+		return err
+	}
+	boundPeak, _ := stU.PeakEndOfPeriod()
+
+	t := report.NewTable(fmt.Sprintf("Fig. 3: peak temperature over %d phase combinations (paper: max 84.13 °C at x2=x3=3, min 71.22 °C)", evals),
+		"quantity", "peak [°C]", "x2 [s]", "x3 [s]")
+	t.AddRowf("maximum over sweep", md.Absolute(maxPeak), maxX2, maxX3)
+	t.AddRowf("minimum over sweep", md.Absolute(minPeak), minX2, minX3)
+	t.AddRowf("step-up bound (Theorem 2)", md.Absolute(boundPeak), 3.0, 3.0)
+	if _, err := t.WriteTo(w); err != nil {
+		return err
+	}
+
+	// Theorem 2's bound holds to within the small cross-coupling margin
+	// documented in EXPERIMENTS.md (the omitted proof does not cover
+	// non-monotone cross-core heat kernels).
+	if maxPeak > boundPeak+0.1 {
+		return fmt.Errorf("expr: fig3 bound violated beyond the documented margin: sweep max %.4f vs step-up bound %.4f", maxPeak, boundPeak)
+	}
+	if maxX2 != 3 || maxX3 != 3 {
+		fmt.Fprintf(w, "note: sweep maximum found at (%.1f, %.1f), paper reports the aligned point (3, 3); values within %.3f K of the bound.\n\n",
+			maxX2, maxX3, boundPeak-maxPeak)
+	}
+	return nil
+}

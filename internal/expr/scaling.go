@@ -1,0 +1,64 @@
+package expr
+
+import (
+	"fmt"
+	"io"
+
+	"thermosc/internal/power"
+	"thermosc/internal/report"
+	"thermosc/internal/solver"
+)
+
+// Scaling extends Table V past the paper's 9 cores: AO's cost on square
+// grids up to 6×6 (73 thermal nodes). Exhaustive search is hopeless out
+// here (2^36 states at 2 levels), while AO's per-platform cost stays
+// dominated by one O(n³) eigendecomposition per candidate m plus
+// O(cores · n²) stable solves — comfortably interactive. The table
+// reports wall time, evaluation counts, and the achieved throughput,
+// verifying feasibility at every size.
+func Scaling(w io.Writer, cfg Config) error {
+	grids := [][2]int{{2, 2}, {3, 3}, {4, 4}, {5, 5}, {6, 6}}
+	if cfg.Quick {
+		grids = [][2]int{{2, 2}, {3, 3}, {4, 4}}
+	}
+	levels, err := power.PaperLevels(2)
+	if err != nil {
+		return err
+	}
+	const tmaxC = 65.0
+
+	t := report.NewTable("AO scaling beyond the paper (2 levels, Tmax = 65 °C)",
+		"grid", "cores", "thermal nodes", "AO time [ms]", "evals", "throughput", "m", "feasible")
+	for _, gcfg := range grids {
+		md, err := platform(gcfg[0], gcfg[1])
+		if err != nil {
+			return err
+		}
+		p := problem(md, levels, tmaxC)
+		res, err := solver.AO(p)
+		if err != nil {
+			return err
+		}
+		if !res.Feasible {
+			return fmt.Errorf("expr: scaling %dx%d infeasible", gcfg[0], gcfg[1])
+		}
+		ms := float64(res.Elapsed.Microseconds()) / 1e3
+		t.AddRowf(fmt.Sprintf("%dx%d", gcfg[0], gcfg[1]), md.NumCores(), md.NumNodes(),
+			ms, res.Evals, res.Throughput, res.M, res.Feasible)
+
+		// Sanity shape: interactive at every size under a budget generous
+		// enough to survive shared-machine noise and parallel experiment
+		// runs (wall-clock ratios are too fragile to assert on). The real
+		// exponential-vs-polynomial evidence is the eval column against
+		// Algorithm 1's 2^cores.
+		if res.Elapsed.Seconds() > 30 {
+			return fmt.Errorf("expr: scaling %dx%d took %v — no longer interactive", gcfg[0], gcfg[1], res.Elapsed)
+		}
+	}
+	if _, err := t.WriteTo(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "At 36 cores Algorithm 1 would enumerate 2^36 ≈ 7·10^10 states; AO stays interactive.\n")
+	fmt.Fprintf(w, "The collapsing throughput is the dark-silicon squeeze: the package (fixed sink) cannot cool ever more cores, so the sustainable per-core speed falls toward shutdown — the phenomenon the paper's ref. [7] names.\n\n")
+	return nil
+}

@@ -1,0 +1,109 @@
+package expr
+
+import (
+	"fmt"
+	"io"
+
+	"thermosc/internal/floorplan"
+	"thermosc/internal/power"
+	"thermosc/internal/report"
+	"thermosc/internal/schedule"
+	"thermosc/internal/sim"
+	"thermosc/internal/solver"
+	"thermosc/internal/thermal"
+)
+
+// Stacked exercises the paper's §I motivation — 3D integration makes the
+// thermal problem harder — by running the full AO/EXS/LNS pipeline on a
+// two-layer 3×1 stack (6 cores) against the planar 3×2 chip with the same
+// core count, and by checking that Theorem 5's monotone peak decrease
+// carries over to the stacked LTI model unchanged.
+func Stacked(w io.Writer, cfg Config) error {
+	pm := power.DefaultModel()
+	planar, err := platform(3, 2)
+	if err != nil {
+		return err
+	}
+	stack, err := thermal.NewStackedModel(floorplan.MustGrid(3, 1, 4e-3), thermal.DefaultStack(2), pm)
+	if err != nil {
+		return err
+	}
+	levels, err := power.PaperLevels(2)
+	if err != nil {
+		return err
+	}
+	const tmaxC = 65.0
+
+	t := report.NewTable("AO on planar 3×2 vs stacked 3×1×2 (6 cores each, Tmax = 65 °C, 2 levels)",
+		"platform", "LNS", "EXS", "AO", "AO peak [°C]", "AO m")
+	type row struct{ lns, exs, ao float64 }
+	var rows []row
+	for _, entry := range []struct {
+		name string
+		md   *thermal.Model
+	}{
+		{"planar 3×2", planar},
+		{"stacked 3×1×2", stack},
+	} {
+		p := problem(entry.md, levels, tmaxC)
+		lns, err := solver.LNS(p)
+		if err != nil {
+			return err
+		}
+		exs, err := solver.EXS(p)
+		if err != nil {
+			return err
+		}
+		ao, err := solver.AO(p)
+		if err != nil {
+			return err
+		}
+		if !ao.Feasible {
+			return fmt.Errorf("expr: stacked: AO infeasible on %s", entry.name)
+		}
+		t.AddRowf(entry.name, lns.Throughput, exs.Throughput, ao.Throughput, ao.PeakC(entry.md), ao.M)
+		rows = append(rows, row{lns.Throughput, exs.Throughput, ao.Throughput})
+	}
+	if _, err := t.WriteTo(w); err != nil {
+		return err
+	}
+	if rows[1].ao >= rows[0].ao {
+		return fmt.Errorf("expr: stacked shape violated: stack (%.4f) should be thermally tighter than planar (%.4f)",
+			rows[1].ao, rows[0].ao)
+	}
+
+	// Theorem 5 on the stack: the peak of an m-oscillating step-up
+	// schedule still decreases monotonically in m.
+	specs := make([]schedule.TwoModeSpec, 6)
+	for i := range specs {
+		specs[i] = schedule.TwoModeSpec{
+			Low:       power.NewMode(0.6),
+			High:      power.NewMode(1.3),
+			HighRatio: 0.5,
+		}
+	}
+	base, err := schedule.TwoMode(1.0, specs)
+	if err != nil {
+		return err
+	}
+	prev := 1e18
+	msList := []int{1, 2, 4, 8, 16}
+	if cfg.Quick {
+		msList = []int{1, 4, 16}
+	}
+	for _, m := range msList {
+		st, err := sim.NewStable(stack, base.Cycle(m))
+		if err != nil {
+			return err
+		}
+		peak, _ := st.PeakEndOfPeriod()
+		if peak > prev+1e-9 {
+			return fmt.Errorf("expr: stacked Theorem 5 violated at m=%d", m)
+		}
+		prev = peak
+	}
+	fmt.Fprintf(w, "Theorem 5 holds unchanged on the stacked model (structure-only proof): peak monotone in m over %v.\n", msList)
+	fmt.Fprintf(w, "The stack pays for its shorter wires with a thermal throughput tax of %.1f%% under AO.\n\n",
+		100*(1-rows[1].ao/rows[0].ao))
+	return nil
+}

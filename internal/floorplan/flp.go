@@ -1,0 +1,136 @@
+package floorplan
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// HotSpot floorplan (.flp) interop. The format is line-oriented:
+//
+//	<unit-name> <width> <height> <left-x> <bottom-y>
+//
+// in meters, with '#' comments and blank lines ignored — the files
+// HotSpot-5.02 consumes. WriteFLP emits this repository's grid floorplans
+// in that format; ParseFLP accepts any .flp whose units form a regular
+// grid of identical squares (the model class this package supports) and
+// reports a descriptive error otherwise.
+
+// WriteFLP serializes the floorplan as a HotSpot .flp document. Cores are
+// named core_<index> in this package's row-major order; the y axis grows
+// upward as in HotSpot, so grid row 0 is the TOP row of the die.
+func (f *Floorplan) WriteFLP(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# thermosc grid floorplan: %s\n", f)
+	fmt.Fprintf(bw, "# <unit-name> <width> <height> <left-x> <bottom-y>\n")
+	for i := 0; i < f.NumCores(); i++ {
+		r, c := f.Position(i)
+		x := float64(c) * f.CoreEdge
+		y := float64(f.RowsN-1-r) * f.CoreEdge
+		fmt.Fprintf(bw, "core_%d\t%.6e\t%.6e\t%.6e\t%.6e\n", i, f.CoreEdge, f.CoreEdge, x, y)
+	}
+	return bw.Flush()
+}
+
+// flpUnit is one parsed .flp line.
+type flpUnit struct {
+	name       string
+	w, h, x, y float64
+}
+
+// ParseFLP reads a HotSpot floorplan and reconstructs the grid it
+// describes. Requirements (with specific errors when violated): every
+// unit square and of identical size, positions on an exact grid with no
+// gaps or overlaps.
+func ParseFLP(r io.Reader) (*Floorplan, error) {
+	var units []flpUnit
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 5 {
+			return nil, fmt.Errorf("floorplan: line %d: want 5 fields, have %d", line, len(fields))
+		}
+		vals := make([]float64, 4)
+		for k := 0; k < 4; k++ {
+			v, err := strconv.ParseFloat(fields[k+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("floorplan: line %d: bad number %q: %w", line, fields[k+1], err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("floorplan: line %d: non-finite value %v", line, v)
+			}
+			if k < 2 && v <= 0 {
+				return nil, fmt.Errorf("floorplan: line %d: non-positive dimension %v", line, v)
+			}
+			vals[k] = v
+		}
+		units = append(units, flpUnit{fields[0], vals[0], vals[1], vals[2], vals[3]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(units) == 0 {
+		return nil, fmt.Errorf("floorplan: empty .flp")
+	}
+
+	edge := units[0].w
+	tol := 1e-9 * math.Max(1, edge)
+	for _, u := range units {
+		if math.Abs(u.w-edge) > tol || math.Abs(u.h-edge) > tol {
+			return nil, fmt.Errorf("floorplan: unit %q is %gx%g, not a %g square (only uniform square grids are supported)",
+				u.name, u.w, u.h, edge)
+		}
+	}
+
+	// Snap positions to grid indices.
+	cols := map[int]bool{}
+	rows := map[int]bool{}
+	occupied := map[[2]int]string{}
+	for _, u := range units {
+		cf, rf := u.x/edge, u.y/edge
+		c, r := int(math.Round(cf)), int(math.Round(rf))
+		if math.Abs(cf-float64(c)) > 1e-6 || math.Abs(rf-float64(r)) > 1e-6 {
+			return nil, fmt.Errorf("floorplan: unit %q at (%g, %g) is off the %g grid", u.name, u.x, u.y, edge)
+		}
+		key := [2]int{r, c}
+		if prev, dup := occupied[key]; dup {
+			return nil, fmt.Errorf("floorplan: units %q and %q overlap at grid (%d,%d)", prev, u.name, r, c)
+		}
+		occupied[key] = u.name
+		cols[c] = true
+		rows[r] = true
+	}
+	minR, maxR := extent(rows)
+	minC, maxC := extent(cols)
+	nR, nC := maxR-minR+1, maxC-minC+1
+	if nR*nC != len(units) {
+		return nil, fmt.Errorf("floorplan: %d units do not tile the %dx%d bounding grid (gaps)", len(units), nR, nC)
+	}
+	for r := minR; r <= maxR; r++ {
+		for c := minC; c <= maxC; c++ {
+			if _, ok := occupied[[2]int{r, c}]; !ok {
+				return nil, fmt.Errorf("floorplan: grid position (%d,%d) is empty", r, c)
+			}
+		}
+	}
+	return Grid(nR, nC, edge)
+}
+
+func extent(set map[int]bool) (lo, hi int) {
+	keys := make([]int, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys[0], keys[len(keys)-1]
+}

@@ -1,0 +1,40 @@
+package floorplan
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseFLP drives the .flp parser with arbitrary text: it must never
+// panic, and whenever it accepts an input, writing the result back and
+// re-parsing must reproduce the same grid (idempotence).
+func FuzzParseFLP(f *testing.F) {
+	f.Add("core_0 4e-3 4e-3 0 0\n")
+	f.Add("# comment\na 1e-3 1e-3 0 0\nb 1e-3 1e-3 1e-3 0\n")
+	f.Add("a 1 1 0 0\nb 1 1 0 1\nc 1 1 1 0\nd 1 1 1 1\n")
+	f.Add("x -1 2 0 0\n")
+	f.Add("junk\n")
+	f.Add("a NaN 1 0 0\n")
+	f.Add("a 1e308 1e308 1e308 1e308\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		fp, err := ParseFLP(strings.NewReader(in))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if fp.NumCores() <= 0 || fp.CoreEdge <= 0 {
+			t.Fatalf("accepted a degenerate floorplan: %s", fp)
+		}
+		var buf bytes.Buffer
+		if err := fp.WriteFLP(&buf); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ParseFLP(&buf)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.RowsN != fp.RowsN || back.ColsN != fp.ColsN {
+			t.Fatalf("round trip changed shape: %s vs %s", back, fp)
+		}
+	})
+}

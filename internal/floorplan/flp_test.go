@@ -1,0 +1,87 @@
+package floorplan
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFLPRoundTrip(t *testing.T) {
+	for _, cfg := range [][2]int{{1, 1}, {2, 1}, {3, 2}, {3, 3}} {
+		f := MustGrid(cfg[0], cfg[1], 4e-3)
+		var buf bytes.Buffer
+		if err := f.WriteFLP(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseFLP(&buf)
+		if err != nil {
+			t.Fatalf("%v: %v", cfg, err)
+		}
+		if back.RowsN != f.RowsN || back.ColsN != f.ColsN || back.CoreEdge != f.CoreEdge {
+			t.Fatalf("%v: round trip gave %s", cfg, back)
+		}
+	}
+}
+
+func TestFLPOutputFormat(t *testing.T) {
+	f := MustGrid(2, 1, 4e-3)
+	var buf bytes.Buffer
+	if err := f.WriteFLP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "core_0") || !strings.Contains(out, "core_1") {
+		t.Fatalf("missing unit names:\n%s", out)
+	}
+	// HotSpot y grows upward: row 0 (top) has the larger bottom-y.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var c0, c1 string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "core_0") {
+			c0 = l
+		}
+		if strings.HasPrefix(l, "core_1") {
+			c1 = l
+		}
+	}
+	if !strings.Contains(c0, "4.000000e-03") || !strings.HasSuffix(strings.TrimSpace(c1), "0.000000e+00") {
+		t.Fatalf("y coordinates wrong:\n%s\n%s", c0, c1)
+	}
+}
+
+func TestParseFLPAcceptsCommentsAndOffsets(t *testing.T) {
+	// A 2×2 grid offset from the origin, with comments and blank lines.
+	in := `
+# a hotspot floorplan
+a 1e-3 1e-3 5e-3 5e-3
+b 1e-3 1e-3 6e-3 5e-3
+
+c 1e-3 1e-3 5e-3 6e-3
+d 1e-3 1e-3 6e-3 6e-3
+`
+	f, err := ParseFLP(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.RowsN != 2 || f.ColsN != 2 || f.CoreEdge != 1e-3 {
+		t.Fatalf("parsed %s", f)
+	}
+}
+
+func TestParseFLPRejections(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"short line":    "a 1e-3 1e-3 0\n",
+		"bad number":    "a x 1e-3 0 0\n",
+		"non-square":    "a 1e-3 2e-3 0 0\n",
+		"mixed sizes":   "a 1e-3 1e-3 0 0\nb 2e-3 2e-3 1e-3 0\n",
+		"off grid":      "a 1e-3 1e-3 0 0\nb 1e-3 1e-3 1.5e-3 0\n",
+		"overlap":       "a 1e-3 1e-3 0 0\nb 1e-3 1e-3 0 0\n",
+		"gap (L-shape)": "a 1e-3 1e-3 0 0\nb 1e-3 1e-3 1e-3 0\nc 1e-3 1e-3 0 1e-3\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseFLP(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: expected rejection", name)
+		}
+	}
+}

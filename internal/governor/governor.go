@@ -1,0 +1,278 @@
+// Package governor implements reactive (online) dynamic thermal
+// management baselines — the class of techniques the paper's introduction
+// contrasts against its proactive approach: policies that observe
+// temperature sensors at run time and throttle after the fact. They are
+// flexible but, as the paper notes, "there is no guarantee of avoiding
+// peak temperature violations or maximizing throughputs" because they
+// depend on sensor accuracy and sampling latency.
+//
+// The closed-loop simulator advances the exact LTI thermal model between
+// sensor samples, injects configurable sensor noise and quantization, and
+// records the true (not sensed) temperature trajectory, so violation
+// statistics are honest.
+package governor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"thermosc/internal/mat"
+	"thermosc/internal/power"
+	"thermosc/internal/thermal"
+)
+
+// Sensor models the run-time temperature telemetry a reactive policy acts
+// on: sampled every PeriodS seconds, with zero-mean Gaussian noise of
+// NoiseStdK kelvins and optional quantization to StepK increments.
+type Sensor struct {
+	PeriodS   float64
+	NoiseStdK float64
+	StepK     float64 // 0 disables quantization
+}
+
+// DefaultSensor reflects commodity on-die thermal diodes: 10 ms polling,
+// ±1 K (1σ) error, 1 K readout quantization.
+func DefaultSensor() Sensor {
+	return Sensor{PeriodS: 10e-3, NoiseStdK: 1.0, StepK: 1.0}
+}
+
+// read produces the sensed absolute temperatures for the true core
+// temperatures (absolute °C).
+func (s Sensor) read(trueC []float64, rng *rand.Rand) []float64 {
+	out := make([]float64, len(trueC))
+	for i, t := range trueC {
+		v := t
+		if s.NoiseStdK > 0 {
+			v += rng.NormFloat64() * s.NoiseStdK
+		}
+		if s.StepK > 0 {
+			v = math.Round(v/s.StepK) * s.StepK
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Policy decides, from the sensed absolute core temperatures and the
+// current per-core level indices, the level indices for the next control
+// interval. Implementations must not retain the slices they are given.
+type Policy interface {
+	Name() string
+	// Next returns the new per-core level indices (into the LevelSet,
+	// ascending). Indices of -1 mean the core is powered off.
+	Next(sensedC []float64, current []int) []int
+}
+
+// StepWise mimics the Linux "step_wise" thermal governor: a core above
+// TripC steps one level down each control period; a core below
+// TripC − HystK steps one level up.
+type StepWise struct {
+	TripC  float64
+	HystK  float64
+	Levels int // number of available levels
+}
+
+// Name implements Policy.
+func (g *StepWise) Name() string { return "step-wise" }
+
+// Next implements Policy.
+func (g *StepWise) Next(sensedC []float64, current []int) []int {
+	next := make([]int, len(current))
+	for i, cur := range current {
+		switch {
+		case sensedC[i] > g.TripC && cur > -1:
+			next[i] = cur - 1
+		case sensedC[i] < g.TripC-g.HystK && cur < g.Levels-1:
+			next[i] = cur + 1
+		default:
+			next[i] = cur
+		}
+	}
+	return next
+}
+
+// OnOff is the crude clamp governor: a core above TripC drops to the
+// lowest level; once it cools below ResumeC it jumps back to the highest.
+type OnOff struct {
+	TripC   float64
+	ResumeC float64
+	Levels  int
+}
+
+// Name implements Policy.
+func (g *OnOff) Name() string { return "on-off" }
+
+// Next implements Policy.
+func (g *OnOff) Next(sensedC []float64, current []int) []int {
+	next := make([]int, len(current))
+	for i, cur := range current {
+		switch {
+		case sensedC[i] > g.TripC:
+			next[i] = 0
+		case sensedC[i] < g.ResumeC:
+			next[i] = g.Levels - 1
+		default:
+			next[i] = cur
+		}
+	}
+	return next
+}
+
+// PI is a chip-level proportional-integral feedback governor (the
+// control-theoretic family of Ebi et al. [15]): the hottest sensed
+// temperature is regulated toward SetC by moving a continuous chip-wide
+// speed command, which is then quantized per core to the nearest level.
+type PI struct {
+	SetC   float64
+	Kp, Ki float64
+	Min    float64 // lowest commandable speed (volts)
+	Max    float64 // highest commandable speed (volts)
+	levels *power.LevelSet
+
+	integ float64
+	cmd   float64
+}
+
+// NewPI builds a PI governor over the given level set.
+func NewPI(setC, kp, ki float64, levels *power.LevelSet) *PI {
+	return &PI{
+		SetC: setC, Kp: kp, Ki: ki,
+		Min: levels.Min(), Max: levels.Max(),
+		levels: levels,
+		cmd:    levels.Max(),
+	}
+}
+
+// Name implements Policy.
+func (g *PI) Name() string { return "PI" }
+
+// Next implements Policy.
+func (g *PI) Next(sensedC []float64, current []int) []int {
+	hottest, _ := mat.VecMax(sensedC)
+	err := g.SetC - hottest // positive = headroom
+	g.integ += err
+	// Anti-windup clamp on the integrator.
+	if lim := (g.Max - g.Min) / math.Max(g.Ki, 1e-12); g.integ > lim {
+		g.integ = lim
+	} else if g.integ < -lim {
+		g.integ = -lim
+	}
+	g.cmd = g.Min + g.Kp*err + g.Ki*g.integ
+	if g.cmd > g.Max {
+		g.cmd = g.Max
+	}
+	if g.cmd < g.Min {
+		g.cmd = g.Min
+	}
+	// Quantize down (conservative) to an available level.
+	lvl := 0
+	for k := 0; k < g.levels.Len(); k++ {
+		if g.levels.Mode(k).Voltage <= g.cmd+1e-12 {
+			lvl = k
+		}
+	}
+	next := make([]int, len(current))
+	for i := range next {
+		next[i] = lvl
+	}
+	return next
+}
+
+// Result summarizes one closed-loop run.
+type Result struct {
+	Policy string
+	// Throughput is the time-averaged chip-wide speed (eq. (5) over the
+	// simulated horizon, excluding the warm-up window).
+	Throughput float64
+	// TruePeakC is the hottest TRUE core temperature observed (absolute
+	// °C), sampled at sub-interval resolution.
+	TruePeakC float64
+	// ViolationFrac is the fraction of (post-warm-up) time the true
+	// hottest temperature exceeded the threshold.
+	ViolationFrac float64
+	// Switches counts total per-core level changes (DVFS transitions).
+	Switches int
+}
+
+// Simulate runs the policy in closed loop for horizon seconds on the
+// model, starting from ambient at the highest level. warmup seconds are
+// excluded from the throughput/violation statistics (but not from the
+// true peak). subSamples ≥ 1 true-temperature samples are taken inside
+// every control interval to catch intra-interval peaks.
+func Simulate(md *thermal.Model, levels *power.LevelSet, pol Policy, sensor Sensor,
+	tmaxC, horizon, warmup float64, subSamples int, seed int64) (*Result, error) {
+	if sensor.PeriodS <= 0 {
+		return nil, fmt.Errorf("governor: non-positive sensor period %v", sensor.PeriodS)
+	}
+	if horizon <= warmup {
+		return nil, fmt.Errorf("governor: horizon %v must exceed warmup %v", horizon, warmup)
+	}
+	if subSamples < 1 {
+		subSamples = 1
+	}
+	n := md.NumCores()
+	rng := rand.New(rand.NewSource(seed))
+
+	lvl := make([]int, n)
+	for i := range lvl {
+		lvl[i] = levels.Len() - 1 // start flat out, like a naive OS
+	}
+	modes := make([]power.Mode, n)
+	state := md.ZeroState()
+
+	res := &Result{Policy: pol.Name()}
+	var work, active, violation float64
+	truePeak := math.Inf(-1)
+
+	steps := int(math.Ceil(horizon / sensor.PeriodS))
+	for k := 0; k < steps; k++ {
+		now := float64(k) * sensor.PeriodS
+		for i, l := range lvl {
+			if l < 0 {
+				modes[i] = power.ModeOff
+			} else {
+				modes[i] = levels.Mode(l)
+			}
+		}
+		tinf := md.SteadyState(modes)
+		// Advance through the control interval, sampling true temps.
+		sub := sensor.PeriodS / float64(subSamples)
+		for s := 0; s < subSamples; s++ {
+			state = md.StepToward(sub, state, tinf)
+			hot, _ := mat.VecMax(md.CoreTemps(state))
+			hotC := md.Absolute(hot)
+			if hotC > truePeak {
+				truePeak = hotC
+			}
+			if now+float64(s+1)*sub > warmup && hotC > tmaxC {
+				violation += sub
+			}
+		}
+		if now >= warmup {
+			var speed float64
+			for _, m := range modes {
+				speed += m.Speed()
+			}
+			work += speed * sensor.PeriodS
+			active += sensor.PeriodS
+		}
+		// Sense and decide the next interval's levels.
+		trueC := make([]float64, n)
+		for i, rise := range md.CoreTemps(state) {
+			trueC[i] = md.Absolute(rise)
+		}
+		next := pol.Next(sensor.read(trueC, rng), lvl)
+		for i := range next {
+			if next[i] != lvl[i] {
+				res.Switches++
+			}
+		}
+		lvl = next
+	}
+
+	res.Throughput = work / (active * float64(n))
+	res.TruePeakC = truePeak
+	res.ViolationFrac = violation / (horizon - warmup)
+	return res, nil
+}

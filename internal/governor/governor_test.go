@@ -1,0 +1,171 @@
+package governor
+
+import (
+	"testing"
+
+	"thermosc/internal/power"
+	"thermosc/internal/thermal"
+)
+
+func testSetup(t testing.TB) (*thermal.Model, *power.LevelSet) {
+	t.Helper()
+	md, err := thermal.Default(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := power.PaperLevels(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return md, ls
+}
+
+func TestSimulateValidation(t *testing.T) {
+	md, ls := testSetup(t)
+	pol := &StepWise{TripC: 65, HystK: 3, Levels: ls.Len()}
+	if _, err := Simulate(md, ls, pol, Sensor{}, 65, 10, 1, 4, 1); err == nil {
+		t.Fatal("zero sensor period must error")
+	}
+	if _, err := Simulate(md, ls, pol, DefaultSensor(), 65, 1, 2, 4, 1); err == nil {
+		t.Fatal("horizon below warmup must error")
+	}
+}
+
+func TestStepWiseRegulatesNearTrip(t *testing.T) {
+	md, ls := testSetup(t)
+	pol := &StepWise{TripC: 65, HystK: 3, Levels: ls.Len()}
+	res, err := Simulate(md, ls, pol, Sensor{PeriodS: 10e-3}, 65, 60, 20, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a noiseless sensor the governor should hold temperatures in a
+	// band around the trip point and achieve intermediate throughput.
+	if res.TruePeakC < 60 || res.TruePeakC > 72 {
+		t.Fatalf("true peak %.2f outside the regulation band", res.TruePeakC)
+	}
+	if res.Throughput <= 0.6 || res.Throughput >= 1.3 {
+		t.Fatalf("throughput %.4f not intermediate", res.Throughput)
+	}
+	if res.Switches == 0 {
+		t.Fatal("step-wise governor should switch levels")
+	}
+	if res.Policy != "step-wise" {
+		t.Fatalf("policy name %q", res.Policy)
+	}
+}
+
+func TestStepWiseReactsAfterTheFact(t *testing.T) {
+	md, ls := testSetup(t)
+	// Trip AT the threshold: a reactive governor only throttles after
+	// crossing, so true violations are structural, not sensor artifacts.
+	pol := &StepWise{TripC: 65, HystK: 2, Levels: ls.Len()}
+	res, err := Simulate(md, ls, pol, Sensor{PeriodS: 50e-3}, 65, 60, 20, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TruePeakC <= 65 {
+		t.Fatalf("expected the reactive governor to overshoot the cap, peak %.3f", res.TruePeakC)
+	}
+	if res.ViolationFrac <= 0 {
+		t.Fatal("expected nonzero violation time")
+	}
+}
+
+func TestGuardBandTradesThroughput(t *testing.T) {
+	md, ls := testSetup(t)
+	tight, err := Simulate(md, ls, &StepWise{TripC: 65, HystK: 2, Levels: ls.Len()},
+		Sensor{PeriodS: 10e-3}, 65, 60, 20, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarded, err := Simulate(md, ls, &StepWise{TripC: 60, HystK: 2, Levels: ls.Len()},
+		Sensor{PeriodS: 10e-3}, 65, 60, 20, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if guarded.ViolationFrac > tight.ViolationFrac {
+		t.Fatalf("guard band should reduce violations: %v vs %v",
+			guarded.ViolationFrac, tight.ViolationFrac)
+	}
+	if guarded.Throughput >= tight.Throughput {
+		t.Fatalf("guard band should cost throughput: %v vs %v",
+			guarded.Throughput, tight.Throughput)
+	}
+}
+
+func TestOnOffOscillatesCrudely(t *testing.T) {
+	md, ls := testSetup(t)
+	pol := &OnOff{TripC: 64, ResumeC: 65 - 8, Levels: ls.Len()}
+	res, err := Simulate(md, ls, pol, Sensor{PeriodS: 10e-3}, 65, 60, 20, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Switches == 0 {
+		t.Fatal("on-off governor should bang between levels")
+	}
+	if res.Throughput <= 0.6 {
+		t.Fatalf("on-off throughput %.4f should beat the floor", res.Throughput)
+	}
+}
+
+func TestPIHoldsSetpoint(t *testing.T) {
+	md, ls := testSetup(t)
+	pol := NewPI(62, 0.05, 0.002, ls)
+	res, err := Simulate(md, ls, pol, Sensor{PeriodS: 10e-3}, 65, 120, 40, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TruePeakC > 68 {
+		t.Fatalf("PI lost control: peak %.2f", res.TruePeakC)
+	}
+	if res.Throughput <= 0.6 {
+		t.Fatalf("PI throughput %.4f too low", res.Throughput)
+	}
+	if res.Policy != "PI" {
+		t.Fatalf("policy name %q", res.Policy)
+	}
+}
+
+func TestSensorNoiseCausesViolationsAtTightTrips(t *testing.T) {
+	md, ls := testSetup(t)
+	noisy := DefaultSensor() // ±1 K noise, 1 K quantization
+	pol := &StepWise{TripC: 65, HystK: 1, Levels: ls.Len()}
+	res, err := Simulate(md, ls, pol, noisy, 65, 60, 20, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TruePeakC <= 65 {
+		t.Fatalf("noisy reactive control at a tight trip should overshoot; peak %.3f", res.TruePeakC)
+	}
+}
+
+func TestSensorQuantizationAndNoise(t *testing.T) {
+	s := Sensor{NoiseStdK: 0, StepK: 2}
+	got := s.read([]float64{64.9, 66.1}, nil)
+	if got[0] != 64 || got[1] != 66 {
+		t.Fatalf("quantization wrong: %v", got)
+	}
+}
+
+func TestPIAntiWindup(t *testing.T) {
+	ls := power.MustLevelSet(0.6, 1.3)
+	pol := NewPI(60, 0.05, 0.01, ls)
+	// Feed a long stretch of cold readings; the integrator must clamp so
+	// a subsequent hot reading still drops the command promptly.
+	cur := []int{1, 1}
+	for k := 0; k < 10000; k++ {
+		pol.Next([]float64{35, 35}, cur)
+	}
+	// Now a severe overshoot: command must fall to the bottom level in a
+	// bounded number of steps.
+	steps := 0
+	for ; steps < 200; steps++ {
+		next := pol.Next([]float64{95, 95}, cur)
+		if next[0] == 0 {
+			break
+		}
+	}
+	if steps >= 200 {
+		t.Fatal("integrator wind-up: PI failed to throttle after saturation")
+	}
+}

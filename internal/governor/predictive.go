@@ -1,0 +1,82 @@
+package governor
+
+import (
+	"math"
+
+	"thermosc/internal/mat"
+	"thermosc/internal/power"
+	"thermosc/internal/thermal"
+)
+
+// Predictive is a one-step model-predictive governor: it maintains a
+// full-state observer of the thermal network (core entries corrected from
+// the sensors each period, package nodes propagated open-loop) and picks
+// the highest uniform level whose PREDICTED peak over the next control
+// interval stays below Tmax − Guard. It is the strongest online baseline
+// here — it uses the same exact model as the offline schedulers — yet it
+// still trails AO: deciding one uniform level per sensor period cannot
+// shape the sub-interval high/low oscillation the offline schedule uses
+// to ride the constraint.
+type Predictive struct {
+	md     *thermal.Model
+	levels *power.LevelSet
+	// TmaxC is the absolute threshold; GuardK the safety margin the
+	// prediction must respect (absorbs sensor noise re-injected through
+	// the observer correction).
+	TmaxC  float64
+	GuardK float64
+	// HorizonS is the prediction horizon; set it to the sensor period.
+	HorizonS float64
+
+	state []float64 // full-node temperature-rise estimate
+}
+
+// NewPredictive builds the governor for the given model and level set.
+func NewPredictive(md *thermal.Model, levels *power.LevelSet, tmaxC, guardK, horizonS float64) *Predictive {
+	return &Predictive{
+		md:     md,
+		levels: levels,
+		TmaxC:  tmaxC, GuardK: guardK, HorizonS: horizonS,
+		state: md.ZeroState(),
+	}
+}
+
+// Name implements Policy.
+func (g *Predictive) Name() string { return "predictive" }
+
+// Next implements Policy.
+func (g *Predictive) Next(sensedC []float64, current []int) []int {
+	// Observer correction: trust the sensors at the core nodes.
+	for i := range sensedC {
+		g.state[i] = math.Max(0, g.md.Rise(sensedC[i]))
+	}
+	budget := g.md.Rise(g.TmaxC) - g.GuardK
+
+	modes := make([]power.Mode, len(sensedC))
+	chosen := 0
+	var chosenState []float64
+	for k := g.levels.Len() - 1; k >= 0; k-- {
+		for i := range modes {
+			modes[i] = g.levels.Mode(k)
+		}
+		// Predict the end and the midpoint of the next interval (the
+		// midpoint guards fast die-node overshoot within the interval).
+		mid := g.md.Step(g.HorizonS/2, g.state, modes)
+		end := g.md.Step(g.HorizonS/2, mid, modes)
+		pm, _ := mat.VecMax(g.md.CoreTemps(mid))
+		pe, _ := mat.VecMax(g.md.CoreTemps(end))
+		if math.Max(pm, pe) <= budget || k == 0 {
+			chosen = k
+			chosenState = end
+			break
+		}
+	}
+	// Advance the observer with the decision actually taken.
+	g.state = chosenState
+
+	next := make([]int, len(current))
+	for i := range next {
+		next[i] = chosen
+	}
+	return next
+}

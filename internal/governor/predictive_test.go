@@ -1,0 +1,73 @@
+package governor
+
+import (
+	"testing"
+)
+
+func TestPredictiveHoldsConstraintWithCleanSensors(t *testing.T) {
+	md, ls := testSetup(t)
+	pol := NewPredictive(md, ls, 65, 0.5, 10e-3)
+	res, err := Simulate(md, ls, pol, Sensor{PeriodS: 10e-3}, 65, 120, 40, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TruePeakC > 65.05 {
+		t.Fatalf("predictive governor violated the cap: %.3f", res.TruePeakC)
+	}
+	if res.ViolationFrac > 0.001 {
+		t.Fatalf("violation fraction %.4f", res.ViolationFrac)
+	}
+	if res.Throughput <= 0.6 {
+		t.Fatalf("predictive throughput %.4f too low", res.Throughput)
+	}
+	if res.Policy != "predictive" {
+		t.Fatalf("name %q", res.Policy)
+	}
+}
+
+func TestPredictiveBeatsGuardedStepWise(t *testing.T) {
+	md, ls := testSetup(t)
+	pred := NewPredictive(md, ls, 65, 0.5, 10e-3)
+	resPred, err := Simulate(md, ls, pred, Sensor{PeriodS: 10e-3}, 65, 120, 40, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarded := &StepWise{TripC: 60, HystK: 2, Levels: ls.Len()}
+	resStep, err := Simulate(md, ls, guarded, Sensor{PeriodS: 10e-3}, 65, 120, 40, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The model-based governor should ride closer to the cap than a
+	// blind step-wise with a 5 K guard band — higher throughput, no
+	// violations.
+	if resPred.Throughput <= resStep.Throughput {
+		t.Fatalf("predictive %.4f should beat guarded step-wise %.4f",
+			resPred.Throughput, resStep.Throughput)
+	}
+}
+
+func TestPredictiveSurvivesNoisySensors(t *testing.T) {
+	md, ls := testSetup(t)
+	pol := NewPredictive(md, ls, 65, 2.0, 10e-3) // guard sized to the noise
+	res, err := Simulate(md, ls, pol, DefaultSensor(), 65, 120, 40, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ViolationFrac > 0.02 {
+		t.Fatalf("noisy predictive violations %.4f beyond budget", res.ViolationFrac)
+	}
+}
+
+func TestPredictiveFallsBackToFloor(t *testing.T) {
+	md, ls := testSetup(t)
+	// Impossibly tight budget: the governor must settle at the lowest
+	// level rather than panic.
+	pol := NewPredictive(md, ls, 36, 0.5, 10e-3)
+	res, err := Simulate(md, ls, pol, Sensor{PeriodS: 10e-3}, 36, 30, 10, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput > 0.6+1e-9 {
+		t.Fatalf("expected floor throughput, got %.4f", res.Throughput)
+	}
+}

@@ -1,0 +1,150 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpmZero(t *testing.T) {
+	z := NewDense(4, 4)
+	e, err := Expm(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Equal(Eye(4), 1e-14) {
+		t.Fatalf("e^0 != I: %v", e)
+	}
+}
+
+func TestExpmDiagonal(t *testing.T) {
+	a := DiagOf([]float64{1, -2, 0.5})
+	e, err := Expm(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DiagOf([]float64{math.E, math.Exp(-2), math.Exp(0.5)})
+	if !e.Equal(want, 1e-12) {
+		t.Fatalf("Expm(diag) = %v", e)
+	}
+}
+
+func TestExpmKnownRotationGenerator(t *testing.T) {
+	// exp([[0,−θ],[θ,0]]) = rotation by θ.
+	theta := 0.7
+	a := NewDenseData(2, 2, []float64{0, -theta, theta, 0})
+	e, err := Expm(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewDenseData(2, 2, []float64{
+		math.Cos(theta), -math.Sin(theta),
+		math.Sin(theta), math.Cos(theta),
+	})
+	if !e.Equal(want, 1e-12) {
+		t.Fatalf("rotation exp = %v, want %v", e, want)
+	}
+}
+
+func TestExpmNilpotent(t *testing.T) {
+	// N = [[0,1],[0,0]] ⇒ e^N = I + N exactly.
+	a := NewDenseData(2, 2, []float64{0, 1, 0, 0})
+	e, err := Expm(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewDenseData(2, 2, []float64{1, 1, 0, 1})
+	if !e.Equal(want, 1e-13) {
+		t.Fatalf("e^N = %v", e)
+	}
+}
+
+func TestExpmLargeNormTriggersScaling(t *testing.T) {
+	// ‖A‖ far above θ13 exercises the squaring phase.
+	a := DiagOf([]float64{-30, -45})
+	e, err := Expm(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DiagOf([]float64{math.Exp(-30), math.Exp(-45)})
+	if !e.Equal(want, 1e-12) {
+		t.Fatalf("Expm with scaling = %v", e)
+	}
+}
+
+// Property: e^{A(s+t)} = e^{As}·e^{At} for commuting arguments (same A).
+func TestExpmSemigroupProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		a := randomDense(r, n, n)
+		a.Scale(0.5)
+		s, tt := r.Float64()*2, r.Float64()*2
+		est, err1 := ExpmScaled(a, s+tt)
+		es, err2 := ExpmScaled(a, s)
+		et, err3 := ExpmScaled(a, tt)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return est.Equal(es.Mul(et), 1e-8*math.Max(1, est.MaxAbs()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: det(e^A) = e^{tr A}.
+func TestExpmDeterminantTraceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		a := randomDense(r, n, n)
+		e, err := Expm(a)
+		if err != nil {
+			return false
+		}
+		f2, err := Factorize(e)
+		if err != nil {
+			return false
+		}
+		var tr float64
+		for i := 0; i < n; i++ {
+			tr += a.At(i, i)
+		}
+		return math.Abs(f2.Det()-math.Exp(tr)) < 1e-7*math.Max(1, math.Exp(tr))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpmNonSquare(t *testing.T) {
+	if _, err := Expm(NewDense(2, 3)); err == nil {
+		t.Fatal("expected error for non-square input")
+	}
+}
+
+func BenchmarkExpmPade10(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	a := randomDense(r, 10, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Expm(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEigenExp10(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	d, m := randomRCStyle(r, 10)
+	e, err := DecomposeSymmetrizable(d, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ExpAt(0.37)
+	}
+}

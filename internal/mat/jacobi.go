@@ -1,0 +1,129 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// SymEigen holds the eigendecomposition of a real symmetric matrix:
+// S = V·diag(Values)·Vᵀ with orthonormal V (columns are eigenvectors).
+type SymEigen struct {
+	Values  []float64 // eigenvalues, ascending
+	Vectors *Dense    // column j is the eigenvector for Values[j]
+}
+
+// maxJacobiSweeps bounds the cyclic Jacobi iteration. Convergence for
+// symmetric matrices is quadratic; 64 sweeps is far beyond what any
+// reasonable input needs and exists only to turn pathological inputs
+// (NaNs etc.) into an error instead of a hang.
+const maxJacobiSweeps = 64
+
+// SymEigenDecompose computes the eigendecomposition of the symmetric matrix
+// s with the cyclic Jacobi method. Only the lower triangle is read; slight
+// asymmetry from floating-point construction is therefore harmless.
+func SymEigenDecompose(s *Dense) (*SymEigen, error) {
+	if !s.IsSquare() {
+		return nil, errors.New("mat: SymEigenDecompose requires a square matrix")
+	}
+	n := s.rows
+	// Work on a symmetrized copy.
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := 0.5 * (s.At(i, j) + s.At(j, i))
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	v := Eye(n)
+	ad := a.data
+	vd := v.data
+
+	offDiag := func() float64 {
+		var sum float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				sum += ad[i*n+j] * ad[i*n+j]
+			}
+		}
+		return math.Sqrt(sum)
+	}
+
+	scale := a.NormFrob()
+	if scale == 0 {
+		scale = 1
+	}
+	tol := 1e-14 * scale
+
+	for sweep := 0; sweep < maxJacobiSweeps; sweep++ {
+		if offDiag() <= tol {
+			return sortedSymEigen(a, v), nil
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := ad[p*n+q]
+				if math.Abs(apq) <= 1e-300 {
+					continue
+				}
+				app := ad[p*n+p]
+				aqq := ad[q*n+q]
+				// Compute the Jacobi rotation (c, s) zeroing a[p][q].
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				sn := t * c
+
+				// Update rows/columns p and q of A.
+				for k := 0; k < n; k++ {
+					akp := ad[k*n+p]
+					akq := ad[k*n+q]
+					ad[k*n+p] = c*akp - sn*akq
+					ad[k*n+q] = sn*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk := ad[p*n+k]
+					aqk := ad[q*n+k]
+					ad[p*n+k] = c*apk - sn*aqk
+					ad[q*n+k] = sn*apk + c*aqk
+				}
+				// Accumulate the rotation into V.
+				for k := 0; k < n; k++ {
+					vkp := vd[k*n+p]
+					vkq := vd[k*n+q]
+					vd[k*n+p] = c*vkp - sn*vkq
+					vd[k*n+q] = sn*vkp + c*vkq
+				}
+			}
+		}
+	}
+	if offDiag() <= tol*1e3 {
+		// Accept a slightly looser tolerance rather than fail outright.
+		return sortedSymEigen(a, v), nil
+	}
+	return nil, errors.New("mat: Jacobi eigensolver did not converge")
+}
+
+func sortedSymEigen(a, v *Dense) *SymEigen {
+	n := a.rows
+	vals := a.Diag()
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return vals[idx[i]] < vals[idx[j]] })
+	sortedVals := make([]float64, n)
+	vecs := NewDense(n, n)
+	for newJ, oldJ := range idx {
+		sortedVals[newJ] = vals[oldJ]
+		for i := 0; i < n; i++ {
+			vecs.Set(i, newJ, v.At(i, oldJ))
+		}
+	}
+	return &SymEigen{Values: sortedVals, Vectors: vecs}
+}

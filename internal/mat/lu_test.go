@@ -1,0 +1,141 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveHandComputed(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{2, 1, 1, 3})
+	x, err := Solve(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x+y=5, x+3y=10 → x=1, y=3.
+	if !VecEqual(x, []float64{1, 3}, 1e-12) {
+		t.Fatalf("Solve = %v", x)
+	}
+}
+
+func TestSolveRequiresPivoting(t *testing.T) {
+	// Zero on the leading diagonal forces a row swap.
+	a := NewDenseData(2, 2, []float64{0, 1, 1, 0})
+	x, err := Solve(a, []float64{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VecEqual(x, []float64{7, 3}, 1e-12) {
+		t.Fatalf("Solve with pivoting = %v", x)
+	}
+}
+
+func TestSingularDetection(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 2, 2, 4})
+	if _, err := Factorize(a); err != ErrSingular {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestInverseIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		a := randomDense(r, n, n)
+		// Make it comfortably nonsingular: diagonally dominant.
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n)+2)
+		}
+		inv, err := Inverse(a)
+		if err != nil {
+			return false
+		}
+		return a.Mul(inv).Equal(Eye(n), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDet(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{3, 1, 4, 2})
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Det()-2) > 1e-12 {
+		t.Fatalf("Det = %v, want 2", f.Det())
+	}
+	// Permutation sign: swapped rows give negated determinant.
+	b := NewDenseData(2, 2, []float64{4, 2, 3, 1})
+	fb, err := Factorize(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fb.Det()+2) > 1e-12 {
+		t.Fatalf("Det = %v, want -2", fb.Det())
+	}
+}
+
+func TestSolveMatMatchesColumnSolves(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	n := 5
+	a := randomDense(r, n, n)
+	for i := 0; i < n; i++ {
+		a.Add(i, i, 8)
+	}
+	b := randomDense(r, n, 3)
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := f.SolveMat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Mul(x).Equal(b, 1e-9) {
+		t.Fatal("A·X != B")
+	}
+}
+
+func TestSolveDimensionErrors(t *testing.T) {
+	a := NewDenseData(2, 2, []float64{1, 0, 0, 1})
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.SolveVec([]float64{1, 2, 3}); err == nil {
+		t.Fatal("expected error for wrong b length")
+	}
+	if _, err := f.SolveMat(NewDense(3, 1)); err == nil {
+		t.Fatal("expected error for wrong B rows")
+	}
+	if _, err := Factorize(NewDense(2, 3)); err == nil {
+		t.Fatal("expected error for non-square matrix")
+	}
+}
+
+// Property: solving then multiplying returns the right-hand side.
+func TestSolveRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		a := randomDense(r, n, n)
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n)+3)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		return VecEqual(a.MulVec(x), b, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,177 @@
+// Package report renders experiment outputs: aligned text tables, CSV
+// emission, and minimal ASCII line plots for temperature traces — the
+// textual equivalents of the paper's tables and figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row; cells beyond the header width are kept as-is.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddRowf appends a row of formatted values: each argument is rendered
+// with %v except float64, which uses %.4f.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.AddRow(row...)
+}
+
+// WriteTo renders the table in aligned text form.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteString("\n")
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", pad))
+		}
+		sb.WriteString("\n")
+	}
+	line(t.Header)
+	total := 0
+	for _, w2 := range widths {
+		total += w2 + 2
+	}
+	sb.WriteString(strings.Repeat("-", max(0, total-2)))
+	sb.WriteString("\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	sb.WriteString("\n")
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// String renders the table as text.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if _, err := t.WriteTo(&sb); err != nil {
+		return err.Error()
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values (naive quoting: cells
+// containing commas or quotes are double-quoted).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				sb.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
+			} else {
+				sb.WriteString(c)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// ASCIIPlot renders series as a crude terminal line plot: one rune per
+// series ('0'-'9' then letters), y auto-scaled, x compressed to width.
+// All series share the x axis and must have equal length.
+func ASCIIPlot(title string, x []float64, series [][]float64, width, height int) string {
+	if len(series) == 0 || len(x) == 0 || width < 8 || height < 3 {
+		return ""
+	}
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s {
+			ymin = math.Min(ymin, v)
+			ymax = math.Max(ymax, v)
+		}
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	marks := []rune("0123456789abcdef")
+	for si, s := range series {
+		m := marks[si%len(marks)]
+		for k, v := range s {
+			col := int(float64(k) / (float64(len(s)-1) + 1e-12) * float64(width-1))
+			row := height - 1 - int((v-ymin)/(ymax-ymin)*float64(height-1))
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = m
+			}
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		fmt.Fprintf(&sb, "%s  [y: %.3g..%.3g, x: %.3g..%.3g]\n", title, ymin, ymax, x[0], x[len(x)-1])
+	}
+	for _, row := range grid {
+		sb.WriteString("|")
+		sb.WriteString(string(row))
+		sb.WriteString("\n")
+	}
+	sb.WriteString("+")
+	sb.WriteString(strings.Repeat("-", width))
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,64 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta", 2.5)
+	tb.AddRowf("gamma", 7)
+	s := tb.String()
+	for _, want := range []string{"Demo", "name", "alpha", "2.5000", "7"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 6 { // title, header, rule, 3 rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), s)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("x,y", `quote"inside`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,y"`) {
+		t.Fatalf("comma cell not quoted: %q", csv)
+	}
+	if !strings.Contains(csv, `"quote""inside"`) {
+		t.Fatalf("quote cell not escaped: %q", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Fatalf("missing header: %q", csv)
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	s1 := []float64{0, 1, 2, 3}
+	s2 := []float64{3, 2, 1, 0}
+	out := ASCIIPlot("ramp", x, [][]float64{s1, s2}, 20, 6)
+	if !strings.Contains(out, "ramp") || !strings.Contains(out, "0") || !strings.Contains(out, "1") {
+		t.Fatalf("plot missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 8 { // title + 6 rows + axis
+		t.Fatalf("plot has %d lines:\n%s", len(lines), out)
+	}
+	// Degenerate inputs return empty rather than panicking.
+	if ASCIIPlot("", nil, nil, 20, 6) != "" {
+		t.Fatal("empty input should render nothing")
+	}
+	if ASCIIPlot("", x, [][]float64{s1}, 2, 2) != "" {
+		t.Fatal("tiny canvas should render nothing")
+	}
+	// Constant series must not divide by zero.
+	flat := ASCIIPlot("flat", x, [][]float64{{1, 1, 1, 1}}, 16, 4)
+	if flat == "" {
+		t.Fatal("flat series should still render")
+	}
+}

@@ -1,0 +1,161 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// SVGSeries is one named line in an SVG chart.
+type SVGSeries struct {
+	Name string
+	X, Y []float64
+}
+
+// SVGOptions tune chart geometry.
+type SVGOptions struct {
+	Width, Height int // pixels; zero takes defaults 720×440
+	XLabel        string
+	YLabel        string
+	// LogX plots the x axis on a log10 scale (for m-sweeps).
+	LogX bool
+}
+
+// seriesPalette holds distinguishable stroke colors (Okabe–Ito).
+var seriesPalette = []string{
+	"#0072b2", "#d55e00", "#009e73", "#cc79a7",
+	"#e69f00", "#56b4e9", "#f0e442", "#000000",
+}
+
+// SVGLineChart renders a multi-series line chart as a standalone SVG
+// document: axes with ticks, legend, one polyline per series. It is
+// deliberately dependency-free — the experiments write these files so a
+// reader can open the paper's figures directly from the repository.
+func SVGLineChart(title string, series []SVGSeries, opt SVGOptions) (string, error) {
+	if len(series) == 0 {
+		return "", fmt.Errorf("report: no series")
+	}
+	w, h := opt.Width, opt.Height
+	if w == 0 {
+		w = 720
+	}
+	if h == 0 {
+		h = 440
+	}
+	const (
+		left, right = 70.0, 24.0
+		top, bottom = 44.0, 56.0
+	)
+	plotW := float64(w) - left - right
+	plotH := float64(h) - top - bottom
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("report: series %q has %d x values for %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return "", fmt.Errorf("report: series %q is empty", s.Name)
+		}
+		for i := range s.X {
+			x := s.X[i]
+			if opt.LogX {
+				if x <= 0 {
+					return "", fmt.Errorf("report: LogX with non-positive x %v", x)
+				}
+				x = math.Log10(x)
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Pad y range 5% each side.
+	pad := 0.05 * (ymax - ymin)
+	ymin -= pad
+	ymax += pad
+
+	px := func(x float64) float64 {
+		if opt.LogX {
+			x = math.Log10(x)
+		}
+		return left + (x-xmin)/(xmax-xmin)*plotW
+	}
+	py := func(y float64) float64 {
+		return top + (1-(y-ymin)/(ymax-ymin))*plotH
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`, w, h, w, h)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	fmt.Fprintf(&sb, `<text x="%g" y="24" font-size="15" font-weight="bold">%s</text>`, left, xmlEscape(title))
+
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#444"/>`, left, top, left, top+plotH)
+	fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#444"/>`, left, top+plotH, left+plotW, top+plotH)
+
+	// Ticks: 5 per axis.
+	for k := 0; k <= 5; k++ {
+		fy := ymin + (ymax-ymin)*float64(k)/5
+		yy := py(fy)
+		fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ccc"/>`, left, yy, left+plotW, yy)
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" font-size="11" text-anchor="end">%s</text>`, left-6, yy+4, trimFloat(fy))
+
+		fxv := xmin + (xmax-xmin)*float64(k)/5
+		label := fxv
+		if opt.LogX {
+			label = math.Pow(10, fxv)
+		}
+		xx := left + plotW*float64(k)/5
+		fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ccc"/>`, xx, top, xx, top+plotH)
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" font-size="11" text-anchor="middle">%s</text>`, xx, top+plotH+16, trimFloat(label))
+	}
+	// Axis labels.
+	fmt.Fprintf(&sb, `<text x="%g" y="%g" font-size="12" text-anchor="middle">%s</text>`,
+		left+plotW/2, float64(h)-14, xmlEscape(opt.XLabel))
+	fmt.Fprintf(&sb, `<text x="16" y="%g" font-size="12" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`,
+		top+plotH/2, top+plotH/2, xmlEscape(opt.YLabel))
+
+	// Series.
+	for si, s := range series {
+		color := seriesPalette[si%len(seriesPalette)]
+		var pts strings.Builder
+		for i := range s.X {
+			if i > 0 {
+				pts.WriteString(" ")
+			}
+			fmt.Fprintf(&pts, "%.2f,%.2f", px(s.X[i]), py(s.Y[i]))
+		}
+		fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`, pts.String(), color)
+		for i := range s.X {
+			fmt.Fprintf(&sb, `<circle cx="%.2f" cy="%.2f" r="2.6" fill="%s"/>`, px(s.X[i]), py(s.Y[i]), color)
+		}
+		// Legend entry.
+		lx := left + plotW - 150
+		ly := top + 10 + float64(si)*18
+		fmt.Fprintf(&sb, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`, lx, ly, lx+22, ly, color)
+		fmt.Fprintf(&sb, `<text x="%g" y="%g" font-size="12">%s</text>`, lx+28, ly+4, xmlEscape(s.Name))
+	}
+	sb.WriteString(`</svg>`)
+	return sb.String(), nil
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func trimFloat(v float64) string {
+	if math.Abs(v) >= 1000 || (math.Abs(v) < 0.01 && v != 0) {
+		return fmt.Sprintf("%.2g", v)
+	}
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}

@@ -1,0 +1,96 @@
+package report
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func TestSVGLineChartWellFormed(t *testing.T) {
+	svg, err := SVGLineChart("Peak vs m", []SVGSeries{
+		{Name: "peak", X: []float64{1, 2, 4, 8}, Y: []float64{100, 99.5, 99.1, 98.9}},
+		{Name: "bound", X: []float64{1, 2, 4, 8}, Y: []float64{101, 100.5, 100.2, 100.0}},
+	}, SVGOptions{XLabel: "m", YLabel: "°C", LogX: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must be parseable XML.
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v", err)
+		}
+	}
+	for _, want := range []string{"<svg", "polyline", "Peak vs m", "peak", "bound", "circle"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestSVGLineChartValidation(t *testing.T) {
+	if _, err := SVGLineChart("x", nil, SVGOptions{}); err == nil {
+		t.Fatal("empty series must error")
+	}
+	if _, err := SVGLineChart("x", []SVGSeries{{Name: "a", X: []float64{1}, Y: []float64{1, 2}}}, SVGOptions{}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := SVGLineChart("x", []SVGSeries{{Name: "a"}}, SVGOptions{}); err == nil {
+		t.Fatal("empty points must error")
+	}
+	if _, err := SVGLineChart("x", []SVGSeries{{Name: "a", X: []float64{0}, Y: []float64{1}}}, SVGOptions{LogX: true}); err == nil {
+		t.Fatal("LogX with x=0 must error")
+	}
+}
+
+func TestSVGEscapesMarkup(t *testing.T) {
+	svg, err := SVGLineChart(`a<b>&"c"`, []SVGSeries{
+		{Name: "s<1>", X: []float64{0, 1}, Y: []float64{0, 1}},
+	}, SVGOptions{XLabel: "<x>", YLabel: "&y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "a<b>") || strings.Contains(svg, "s<1>") {
+		t.Fatal("markup not escaped")
+	}
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("escaped SVG not well-formed: %v", err)
+		}
+	}
+}
+
+func TestSVGDegenerateRanges(t *testing.T) {
+	// Flat series and single points must not divide by zero.
+	svg, err := SVGLineChart("flat", []SVGSeries{
+		{Name: "c", X: []float64{1, 1, 1}, Y: []float64{5, 5, 5}},
+	}, SVGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "polyline") {
+		t.Fatal("flat chart should still render")
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		1.5:    "1.5",
+		2:      "2",
+		0.25:   "0.25",
+		1234.5: "1.2e+03",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Fatalf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package rt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTaskValidate(t *testing.T) {
+	if err := (Task{Name: "a", WCET: 1, Period: 10}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Task{Name: "b", WCET: 0, Period: 10}).Validate(); err == nil {
+		t.Fatal("zero WCET must error")
+	}
+	if err := (Task{Name: "c", WCET: 1, Period: -1}).Validate(); err == nil {
+		t.Fatal("negative period must error")
+	}
+	u := Task{WCET: 2, Period: 8}.Utilization()
+	if u != 0.25 {
+		t.Fatalf("utilization = %v", u)
+	}
+}
+
+func TestFirstFitDecreasingBalances(t *testing.T) {
+	tasks := []Task{
+		{Name: "t1", WCET: 6, Period: 10}, // 0.6
+		{Name: "t2", WCET: 5, Period: 10}, // 0.5
+		{Name: "t3", WCET: 4, Period: 10}, // 0.4
+		{Name: "t4", WCET: 3, Period: 10}, // 0.3
+	}
+	part, err := FirstFitDecreasing(tasks, 2, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worst-fit decreasing: 0.6→c0, 0.5→c1, 0.4→c1 (0.9), 0.3→c0 (0.9).
+	if math.Abs(part.CoreUtil[0]-0.9) > 1e-12 || math.Abs(part.CoreUtil[1]-0.9) > 1e-12 {
+		t.Fatalf("unbalanced: %v", part.CoreUtil)
+	}
+	if part.MaxUtil() != 0.9 {
+		t.Fatalf("MaxUtil = %v", part.MaxUtil())
+	}
+	// Tasks() inverts TaskCore.
+	seen := 0
+	for c := 0; c < 2; c++ {
+		for _, ti := range part.Tasks(c) {
+			if part.TaskCore[ti] != c {
+				t.Fatal("Tasks/TaskCore inconsistent")
+			}
+			seen++
+		}
+	}
+	if seen != len(tasks) {
+		t.Fatalf("placed %d of %d tasks", seen, len(tasks))
+	}
+}
+
+func TestFirstFitDecreasingErrors(t *testing.T) {
+	tasks := []Task{{Name: "big", WCET: 14, Period: 10}} // u = 1.4
+	if _, err := FirstFitDecreasing(tasks, 4, 1.3); err == nil {
+		t.Fatal("oversized task must be rejected")
+	}
+	if _, err := FirstFitDecreasing(nil, 0, 1.3); err == nil {
+		t.Fatal("zero cores must error")
+	}
+	if _, err := FirstFitDecreasing(nil, 2, 0); err == nil {
+		t.Fatal("zero capacity must error")
+	}
+	bad := []Task{{Name: "x", WCET: -1, Period: 1}}
+	if _, err := FirstFitDecreasing(bad, 2, 1.3); err == nil {
+		t.Fatal("invalid task must be rejected")
+	}
+}
+
+func TestAdmissible(t *testing.T) {
+	part := &Partition{TaskCore: []int{0, 1}, CoreUtil: []float64{0.8, 0.5}}
+	adm, err := Admissible(part, []float64{0.9, 0.6}, 2e-3, 50e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adm.Admissible || !adm.FluidOK {
+		t.Fatalf("should admit: %+v", adm)
+	}
+	if math.Abs(adm.Margins[0]-0.1) > 1e-12 {
+		t.Fatalf("margin = %v", adm.Margins[0])
+	}
+	// Overloaded core.
+	adm, err = Admissible(part, []float64{0.7, 0.6}, 2e-3, 50e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm.Admissible {
+		t.Fatal("overload must be rejected")
+	}
+	// Fluid approximation violated: oscillation cycle near task period.
+	adm, err = Admissible(part, []float64{0.9, 0.6}, 20e-3, 50e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm.FluidOK || adm.Admissible {
+		t.Fatal("slow oscillation must fail the fluid check")
+	}
+	if _, err := Admissible(part, []float64{1}, 0, 0); err == nil {
+		t.Fatal("dimension mismatch must error")
+	}
+}
+
+func TestPartitionBySpeeds(t *testing.T) {
+	tasks := []Task{
+		{Name: "a", WCET: 6, Period: 10}, // 0.6
+		{Name: "b", WCET: 5, Period: 10}, // 0.5
+		{Name: "c", WCET: 4, Period: 10}, // 0.4
+	}
+	// Core 1 is off: nothing may land there while core 0 and 2 have room.
+	speeds := []float64{1.3, 0, 1.3}
+	part, err := PartitionBySpeeds(tasks, speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.CoreUtil[1] != 0 {
+		t.Fatalf("off core received load: %v", part.CoreUtil)
+	}
+	adm, err := Admissible(part, speeds, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adm.Admissible {
+		t.Fatalf("should admit onto the two fast cores: %+v", adm)
+	}
+	// Overload: best-effort placement with negative margins, not an error.
+	heavy := []Task{
+		{Name: "x", WCET: 12, Period: 10},
+		{Name: "y", WCET: 12, Period: 10},
+		{Name: "z", WCET: 12, Period: 10},
+	}
+	part, err = PartitionBySpeeds(heavy, speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adm, err = Admissible(part, speeds, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm.Admissible {
+		t.Fatal("overload must not be admissible")
+	}
+	// Errors.
+	if _, err := PartitionBySpeeds(tasks, nil); err == nil {
+		t.Fatal("no cores must error")
+	}
+	if _, err := PartitionBySpeeds([]Task{{WCET: -1, Period: 1}}, speeds); err == nil {
+		t.Fatal("invalid task must error")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	tasks := []Task{{WCET: 1, Period: 4}, {WCET: 1, Period: 2}}
+	if MinPeriod(tasks) != 2 {
+		t.Fatalf("MinPeriod = %v", MinPeriod(tasks))
+	}
+	if MinPeriod(nil) != 0 {
+		t.Fatal("empty MinPeriod should be 0")
+	}
+	if math.Abs(TotalUtilization(tasks)-0.75) > 1e-12 {
+		t.Fatalf("TotalUtilization = %v", TotalUtilization(tasks))
+	}
+}
+
+// Properties of the partitioner: every task is placed exactly once, core
+// utilizations are consistent, no core exceeds capacity, and the most
+// loaded core carries at most the least loaded plus the largest task.
+func TestFirstFitDecreasingProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		cap := 1.0 + r.Float64()*0.5
+		var tasks []Task
+		var maxU float64
+		for i := 0; i < 1+r.Intn(20); i++ {
+			u := 0.05 + r.Float64()*0.5
+			tasks = append(tasks, Task{Name: "t", WCET: u, Period: 1})
+			if u > maxU {
+				maxU = u
+			}
+		}
+		part, err := FirstFitDecreasing(tasks, n, cap)
+		if err != nil {
+			// Legitimate when the load genuinely does not fit.
+			return TotalUtilization(tasks) > float64(n)*cap-maxU
+		}
+		sums := make([]float64, n)
+		for i, c := range part.TaskCore {
+			if c < 0 || c >= n {
+				return false
+			}
+			sums[c] += tasks[i].Utilization()
+		}
+		lo, hi := math.Inf(1), 0.0
+		for c := 0; c < n; c++ {
+			if math.Abs(sums[c]-part.CoreUtil[c]) > 1e-9 {
+				return false
+			}
+			if part.CoreUtil[c] > cap+1e-9 {
+				return false
+			}
+			if part.CoreUtil[c] < lo {
+				lo = part.CoreUtil[c]
+			}
+			if part.CoreUtil[c] > hi {
+				hi = part.CoreUtil[c]
+			}
+		}
+		// Worst-fit balance bound.
+		return hi <= lo+maxU+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

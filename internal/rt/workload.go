@@ -1,0 +1,95 @@
+package rt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// UUniFast generates n task utilizations summing exactly to totalU with
+// the classic unbiased UUniFast algorithm (Bini & Buttazzo), the standard
+// way to sample schedulability experiments without skewing the
+// distribution of individual utilizations.
+func UUniFast(r *rand.Rand, n int, totalU float64) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("rt: UUniFast needs n ≥ 1, got %d", n)
+	}
+	if totalU <= 0 {
+		return nil, fmt.Errorf("rt: UUniFast needs positive total utilization, got %v", totalU)
+	}
+	out := make([]float64, n)
+	sum := totalU
+	for i := 1; i < n; i++ {
+		next := sum * math.Pow(r.Float64(), 1/float64(n-i))
+		out[i-1] = sum - next
+		sum = next
+	}
+	out[n-1] = sum
+	return out, nil
+}
+
+// GenSpec controls random task-set generation.
+type GenSpec struct {
+	NumTasks  int
+	TotalUtil float64
+	// Periods are drawn log-uniformly from [PeriodMin, PeriodMax] seconds
+	// (log-uniform is the conventional choice; it avoids harmonic bias).
+	PeriodMin, PeriodMax float64
+	// UtilCap rejects task sets containing an individual utilization
+	// above this value (0 disables the cap).
+	UtilCap float64
+}
+
+// DefaultGenSpec returns a spec typical of embedded control workloads:
+// periods 10–200 ms, per-task utilization capped at 1.2 (must fit the top
+// DVFS speed of 1.3 with margin).
+func DefaultGenSpec(numTasks int, totalU float64) GenSpec {
+	return GenSpec{
+		NumTasks:  numTasks,
+		TotalUtil: totalU,
+		PeriodMin: 10e-3,
+		PeriodMax: 200e-3,
+		UtilCap:   1.2,
+	}
+}
+
+// maxGenAttempts bounds rejection sampling in Generate.
+const maxGenAttempts = 1000
+
+// Generate samples one random task set from the spec.
+func Generate(r *rand.Rand, spec GenSpec) ([]Task, error) {
+	if spec.PeriodMin <= 0 || spec.PeriodMax < spec.PeriodMin {
+		return nil, fmt.Errorf("rt: invalid period range [%v, %v]", spec.PeriodMin, spec.PeriodMax)
+	}
+	logMin, logMax := math.Log(spec.PeriodMin), math.Log(spec.PeriodMax)
+	for attempt := 0; attempt < maxGenAttempts; attempt++ {
+		utils, err := UUniFast(r, spec.NumTasks, spec.TotalUtil)
+		if err != nil {
+			return nil, err
+		}
+		if spec.UtilCap > 0 {
+			ok := true
+			for _, u := range utils {
+				if u > spec.UtilCap {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+		}
+		tasks := make([]Task, spec.NumTasks)
+		for i, u := range utils {
+			period := math.Exp(logMin + r.Float64()*(logMax-logMin))
+			tasks[i] = Task{
+				Name:   fmt.Sprintf("t%d", i),
+				WCET:   u * period,
+				Period: period,
+			}
+		}
+		return tasks, nil
+	}
+	return nil, fmt.Errorf("rt: could not sample a task set with per-task utilization ≤ %v after %d attempts",
+		spec.UtilCap, maxGenAttempts)
+}

@@ -1,0 +1,94 @@
+package rt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUUniFastSumsExactly(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(20)
+		total := 0.1 + r.Float64()*8
+		utils, err := UUniFast(r, n, total)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, u := range utils {
+			if u < -1e-12 {
+				return false
+			}
+			sum += u
+		}
+		return math.Abs(sum-total) < 1e-9*math.Max(1, total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUUniFastValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if _, err := UUniFast(r, 0, 1); err == nil {
+		t.Fatal("n=0 must error")
+	}
+	if _, err := UUniFast(r, 3, 0); err == nil {
+		t.Fatal("zero total must error")
+	}
+	// n=1 returns the total directly.
+	u, err := UUniFast(r, 1, 0.7)
+	if err != nil || len(u) != 1 || u[0] != 0.7 {
+		t.Fatalf("n=1: %v %v", u, err)
+	}
+}
+
+func TestGenerateRespectsSpec(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	spec := DefaultGenSpec(8, 2.5)
+	for trial := 0; trial < 50; trial++ {
+		tasks, err := Generate(r, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tasks) != 8 {
+			t.Fatalf("got %d tasks", len(tasks))
+		}
+		var sum float64
+		for _, task := range tasks {
+			if task.Period < spec.PeriodMin-1e-12 || task.Period > spec.PeriodMax+1e-12 {
+				t.Fatalf("period %v outside range", task.Period)
+			}
+			u := task.Utilization()
+			if u > spec.UtilCap+1e-9 {
+				t.Fatalf("utilization %v above cap", u)
+			}
+			sum += u
+		}
+		if math.Abs(sum-2.5) > 1e-6 {
+			t.Fatalf("total utilization %v, want 2.5", sum)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	spec := DefaultGenSpec(3, 1)
+	spec.PeriodMin = 0
+	if _, err := Generate(r, spec); err == nil {
+		t.Fatal("zero min period must error")
+	}
+	spec = DefaultGenSpec(3, 1)
+	spec.PeriodMax = spec.PeriodMin / 2
+	if _, err := Generate(r, spec); err == nil {
+		t.Fatal("inverted period range must error")
+	}
+	// Impossible cap: 2 tasks summing to 3.0 with per-task cap 1.2 is
+	// infeasible (max 2.4), so rejection sampling must give up cleanly.
+	spec = DefaultGenSpec(2, 3.0)
+	if _, err := Generate(r, spec); err == nil {
+		t.Fatal("unsatisfiable cap must error")
+	}
+}

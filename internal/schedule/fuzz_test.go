@@ -1,0 +1,102 @@
+package schedule
+
+import (
+	"math"
+	"testing"
+
+	"thermosc/internal/power"
+)
+
+// FuzzShiftRotate drives Shift with arbitrary segment lengths and offsets
+// and checks its invariants: period, work, and pointwise correspondence
+// survive any rotation, including cuts landing exactly on boundaries.
+func FuzzShiftRotate(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 0.5)
+	f.Add(0.1, 0.1, 0.1, 0.3)
+	f.Add(5.0, 0.0, 1.0, 6.0) // zero-length middle segment, full-period shift
+	f.Add(1.0, 1.0, 1.0, 1.0) // cut exactly on a boundary
+	f.Fuzz(func(t *testing.T, l1, l2, l3, off float64) {
+		for _, v := range []float64{l1, l2, l3, off} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > 1e6 {
+				t.Skip()
+			}
+		}
+		if l1+l2+l3 <= 1e-9 {
+			t.Skip()
+		}
+		s, err := New([][]Segment{{
+			{Length: l1, Mode: power.NewMode(0.6)},
+			{Length: l2, Mode: power.NewMode(1.0)},
+			{Length: l3, Mode: power.NewMode(1.3)},
+		}})
+		if err != nil {
+			t.Skip()
+		}
+		sh := s.Shift(0, off)
+		if math.Abs(sh.Period()-s.Period()) > 1e-9*math.Max(1, s.Period()) {
+			t.Fatalf("period changed: %v vs %v", sh.Period(), s.Period())
+		}
+		if math.Abs(sh.CoreWork(0)-s.CoreWork(0)) > 1e-6*math.Max(1, s.CoreWork(0)) {
+			t.Fatalf("work changed: %v vs %v", sh.CoreWork(0), s.CoreWork(0))
+		}
+		// Pointwise: shifted(t) == original(t−off) away from boundaries.
+		for _, frac := range []float64{0.13, 0.41, 0.77} {
+			tq := frac * s.Period()
+			if nearBoundary(s, tq-off) || nearBoundary(sh, tq) {
+				continue
+			}
+			if sh.ModeAt(0, tq) != s.ModeAt(0, tq-off) {
+				t.Fatalf("pointwise mismatch at t=%v (off=%v)", tq, off)
+			}
+		}
+	})
+}
+
+func nearBoundary(s *Schedule, t float64) bool {
+	t = math.Mod(t, s.Period())
+	if t < 0 {
+		t += s.Period()
+	}
+	var acc float64
+	eps := 1e-7 * math.Max(1, s.Period())
+	for _, seg := range s.CoreSegments(0) {
+		if math.Abs(t-acc) < eps {
+			return true
+		}
+		acc += seg.Length
+	}
+	return math.Abs(t-acc) < eps
+}
+
+// FuzzMOscillateInvariants drives the m-oscillation transform with
+// arbitrary inputs and validates the definition's invariants.
+func FuzzMOscillateInvariants(f *testing.F) {
+	f.Add(1.0, 1.0, uint8(2))
+	f.Add(0.01, 3.0, uint8(17))
+	f.Fuzz(func(t *testing.T, lLow, lHigh float64, m8 uint8) {
+		m := int(m8%32) + 1
+		for _, v := range []float64{lLow, lHigh} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 || v > 1e6 {
+				t.Skip()
+			}
+		}
+		s, err := New([][]Segment{{
+			{Length: lLow, Mode: power.NewMode(0.6)},
+			{Length: lHigh, Mode: power.NewMode(1.3)},
+		}})
+		if err != nil {
+			t.Skip()
+		}
+		o := s.MOscillate(m)
+		if math.Abs(o.Period()-s.Period()) > 1e-9*s.Period() {
+			t.Fatalf("period changed under m=%d", m)
+		}
+		if math.Abs(o.Throughput()-s.Throughput()) > 1e-9 {
+			t.Fatalf("throughput changed under m=%d", m)
+		}
+		c := s.Cycle(m)
+		if math.Abs(c.Period()*float64(m)-s.Period()) > 1e-9*s.Period() {
+			t.Fatalf("cycle period wrong under m=%d", m)
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"math"
+
+	"thermosc/internal/mat"
+)
+
+// EnergyReport accounts the electrical energy of one stable-status period
+// of a schedule, split into the temperature-independent component (ψ:
+// dynamic power plus leakage floor) and the leakage/temperature feedback
+// component (β·T integrated along the exact trajectory).
+type EnergyReport struct {
+	// PerCore[i] is core i's total energy per period in joules.
+	PerCore []float64
+	// StaticJ and LeakageJ split the chip total.
+	StaticJ, LeakageJ float64
+	// WorkUnits is the chip's useful work per period (Σ speed·dt), so
+	// EnergyPerWork = TotalJ() / WorkUnits is the J-per-work-unit
+	// efficiency metric.
+	WorkUnits float64
+}
+
+// TotalJ returns the chip's total energy per period.
+func (e *EnergyReport) TotalJ() float64 { return e.StaticJ + e.LeakageJ }
+
+// EnergyPerWork returns joules per unit of completed work (0 when idle).
+func (e *EnergyReport) EnergyPerWork() float64 {
+	if e.WorkUnits == 0 {
+		return 0
+	}
+	return e.TotalJ() / e.WorkUnits
+}
+
+// Energy integrates each core's power over one stable-status period using
+// the closed-form trajectory: within an interval of length l starting
+// from state x with target T∞,
+//
+//	∫₀ˡ T(t) dt = T∞·l + A⁻¹·(e^{A·l} − I)·(x − T∞),
+//
+// evaluated through the eigendecomposition (no matrix inversion).
+func (s *Stable) Energy() *EnergyReport {
+	md := s.md
+	eig := md.Eigen()
+	n := md.NumCores()
+	pm := md.Power()
+	rep := &EnergyReport{PerCore: make([]float64, n)}
+
+	cur := s.start
+	for q, iv := range s.ivs {
+		l := iv.Length
+		// ∫ T dt for all nodes over this interval.
+		diff := mat.VecSub(cur, s.tinfs[q])
+		y := eig.Winv.MulVec(diff)
+		for k, lam := range eig.Lambda {
+			// (e^{λl} − 1)/λ, with the λ→0 limit l.
+			if math.Abs(lam*l) < 1e-12 {
+				y[k] *= l
+			} else {
+				y[k] *= math.Expm1(lam*l) / lam
+			}
+		}
+		intT := eig.W.MulVec(y)
+		for i := 0; i < n; i++ {
+			intT[i] += s.tinfs[q][i] * l
+		}
+		for i := 0; i < n; i++ {
+			m := iv.Modes[i]
+			scale := md.CoreScale(i)
+			staticJ := scale * pm.Static(m) * l
+			leakJ := 0.0
+			if !m.IsOff() {
+				leakJ = scale * pm.Beta * intT[i]
+			}
+			rep.PerCore[i] += staticJ + leakJ
+			rep.StaticJ += staticJ
+			rep.LeakageJ += leakJ
+			rep.WorkUnits += m.Speed() * l
+		}
+		cur = s.ends[q]
+	}
+	return rep
+}
+
+// PeakRefined sharpens PeakDense with golden-section refinement around
+// the best sample: within the bracketing sub-interval the core's
+// temperature is smooth (a sum of exponentials), so a few golden-section
+// iterations recover the continuous-time peak to high precision.
+func (s *Stable) PeakRefined(samples, iters int) (peak float64, core int, at float64) {
+	peak, core, at = s.PeakDense(samples)
+	if iters < 1 {
+		return peak, core, at
+	}
+	// Bracket: one dense-sample spacing on either side of the argmax.
+	step := s.sched.Period() / float64(max(1, samples*len(s.ivs)))
+	lo := math.Max(0, at-step)
+	hi := math.Min(s.sched.Period(), at+step)
+
+	tempAt := func(t float64) float64 {
+		return s.At(t)[core]
+	}
+	const phi = 0.6180339887498949
+	a, b := lo, hi
+	c := b - phi*(b-a)
+	d := a + phi*(b-a)
+	fc, fd := tempAt(c), tempAt(d)
+	for k := 0; k < iters; k++ {
+		if fc > fd {
+			b, d, fd = d, c, fc
+			c = b - phi*(b-a)
+			fc = tempAt(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + phi*(b-a)
+			fd = tempAt(d)
+		}
+	}
+	best := 0.5 * (a + b)
+	if v := tempAt(best); v > peak {
+		peak, at = v, best
+	}
+	return peak, core, at
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"thermosc/internal/mat"
+	"thermosc/internal/schedule"
+	"thermosc/internal/thermal"
+)
+
+// RK45Options tune the adaptive Dormand–Prince integrator.
+type RK45Options struct {
+	// AbsTol and RelTol form the per-step error budget
+	// tol_i = AbsTol + RelTol·|T_i|.
+	AbsTol, RelTol float64
+	// InitialStep seeds the controller; MinStep aborts runaway rejection;
+	// MaxStep caps growth (all seconds). Zero values take defaults.
+	InitialStep, MinStep, MaxStep float64
+}
+
+// DefaultRK45 returns tolerances suited to milli-kelvin validation.
+func DefaultRK45() RK45Options {
+	return RK45Options{AbsTol: 1e-7, RelTol: 1e-7}
+}
+
+// dormandPrince holds the Butcher tableau of the Dormand–Prince 5(4)
+// pair (the classic ode45 coefficients).
+var dpA = [7][6]float64{
+	{},
+	{1.0 / 5},
+	{3.0 / 40, 9.0 / 40},
+	{44.0 / 45, -56.0 / 15, 32.0 / 9},
+	{19372.0 / 6561, -25360.0 / 2187, 64448.0 / 6561, -212.0 / 729},
+	{9017.0 / 3168, -355.0 / 33, 46732.0 / 5247, 49.0 / 176, -5103.0 / 18656},
+	{35.0 / 384, 0, 500.0 / 1113, 125.0 / 192, -2187.0 / 6784, 11.0 / 84},
+}
+
+var dpB5 = [7]float64{35.0 / 384, 0, 500.0 / 1113, 125.0 / 192, -2187.0 / 6784, 11.0 / 84, 0}
+var dpB4 = [7]float64{5179.0 / 57600, 0, 7571.0 / 16695, 393.0 / 640, -92097.0 / 339200, 187.0 / 2100, 1.0 / 40}
+
+// RK45 integrates nPeriods of sched from t0 with adaptive Dormand–Prince
+// steps, restarting cleanly at every state-interval boundary (where B(v)
+// jumps). It returns the state at the end of the horizon and the number
+// of accepted steps — the adaptive cross-validator for the closed-form
+// solver at user-chosen tolerances.
+func RK45(md *thermal.Model, sched *schedule.Schedule, t0 []float64, nPeriods int, opt RK45Options) ([]float64, int, error) {
+	if nPeriods < 1 {
+		return nil, 0, fmt.Errorf("sim: RK45 with %d periods", nPeriods)
+	}
+	if opt.AbsTol <= 0 {
+		opt.AbsTol = 1e-7
+	}
+	if opt.RelTol <= 0 {
+		opt.RelTol = 1e-7
+	}
+	if opt.InitialStep <= 0 {
+		opt.InitialStep = sched.Period() / 256
+	}
+	if opt.MinStep <= 0 {
+		opt.MinStep = sched.Period() * 1e-12
+	}
+	if opt.MaxStep <= 0 {
+		opt.MaxStep = sched.Period()
+	}
+
+	a := md.A()
+	ivs := sched.Intervals()
+	bvecs := make([][]float64, len(ivs))
+	for q, iv := range ivs {
+		bvecs[q] = md.BVec(iv.Modes)
+	}
+	n := len(t0)
+	deriv := func(state, b []float64) []float64 {
+		d := a.MulVec(state)
+		return mat.VecAddInPlace(d, b)
+	}
+
+	state := mat.VecClone(t0)
+	accepted := 0
+	h := opt.InitialStep
+	for p := 0; p < nPeriods; p++ {
+		for q := range ivs {
+			remaining := ivs[q].Length
+			b := bvecs[q]
+			for remaining > 1e-15 {
+				step := math.Min(h, math.Min(remaining, opt.MaxStep))
+				// Dormand–Prince stages.
+				var k [7][]float64
+				k[0] = deriv(state, b)
+				for s := 1; s < 7; s++ {
+					y := mat.VecClone(state)
+					for j := 0; j < s; j++ {
+						if dpA[s][j] != 0 {
+							mat.VecAXPY(y, step*dpA[s][j], k[j])
+						}
+					}
+					k[s] = deriv(y, b)
+				}
+				y5 := mat.VecClone(state)
+				y4 := mat.VecClone(state)
+				for s := 0; s < 7; s++ {
+					if dpB5[s] != 0 {
+						mat.VecAXPY(y5, step*dpB5[s], k[s])
+					}
+					if dpB4[s] != 0 {
+						mat.VecAXPY(y4, step*dpB4[s], k[s])
+					}
+				}
+				// Error estimate against the mixed tolerance.
+				var errNorm float64
+				for i := 0; i < n; i++ {
+					tol := opt.AbsTol + opt.RelTol*math.Abs(y5[i])
+					e := math.Abs(y5[i]-y4[i]) / tol
+					if e > errNorm {
+						errNorm = e
+					}
+				}
+				if errNorm <= 1 {
+					state = y5
+					remaining -= step
+					accepted++
+					// Grow the step (5th-order controller, capped).
+					if errNorm == 0 {
+						h = step * 4
+					} else {
+						h = step * math.Min(4, 0.9*math.Pow(errNorm, -0.2))
+					}
+				} else {
+					h = step * math.Max(0.1, 0.9*math.Pow(errNorm, -0.2))
+					if h < opt.MinStep {
+						return nil, accepted, fmt.Errorf("sim: RK45 step collapsed below %g s", opt.MinStep)
+					}
+				}
+			}
+		}
+	}
+	return state, accepted, nil
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"thermosc/internal/mat"
+	"thermosc/internal/schedule"
+)
+
+func TestRK45MatchesClosedForm(t *testing.T) {
+	md := model(t, 3, 1)
+	s := schedule.Must([][]schedule.Segment{
+		{seg(0.3, 0.6), seg(0.7, 1.3)},
+		{seg(1.0, 0.9)},
+		{seg(0.5, 0.6), seg(0.5, 1.2)},
+	})
+	exact := md.ZeroState()
+	for p := 0; p < 2; p++ {
+		exact = PeriodEnd(md, s, exact)
+	}
+	got, steps, err := RK45(md, s, md.ZeroState(), 2, DefaultRK45())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps <= 0 {
+		t.Fatal("no steps accepted")
+	}
+	if !mat.VecEqual(got, exact, 1e-5*math.Max(1, mat.VecNormInf(exact))) {
+		t.Fatalf("RK45 deviates from closed form:\n%v\n%v", got, exact)
+	}
+}
+
+func TestRK45AdaptsToTolerance(t *testing.T) {
+	md := model(t, 2, 1)
+	s := twoCoreSched()
+	loose := RK45Options{AbsTol: 1e-3, RelTol: 1e-3}
+	tight := RK45Options{AbsTol: 1e-9, RelTol: 1e-9}
+	_, stepsLoose, err := RK45(md, s, md.ZeroState(), 1, loose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stepsTight, err := RK45(md, s, md.ZeroState(), 1, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stepsTight <= stepsLoose {
+		t.Fatalf("tighter tolerance should need more steps: %d vs %d", stepsTight, stepsLoose)
+	}
+	// And the tight run should be closer to the closed form.
+	exact := PeriodEnd(md, s, md.ZeroState())
+	gotTight, _, err := RK45(md, s, md.ZeroState(), 1, tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errTight := mat.VecNormInf(mat.VecSub(gotTight, exact))
+	if errTight > 1e-6 {
+		t.Fatalf("tight tolerance error %v", errTight)
+	}
+}
+
+func TestRK45CheaperThanFixedStepAtEqualAccuracy(t *testing.T) {
+	// The adaptive integrator should need far fewer derivative
+	// evaluations than a fixed-step RK4 resolving the fastest node.
+	md := model(t, 2, 1)
+	s := twoCoreSched()
+	_, steps, err := RK45(md, s, md.ZeroState(), 1, DefaultRK45())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixedSteps := int(s.Period() / 1e-4) // the dt RK4 needs (see its test)
+	if steps*7 >= fixedSteps*4 {
+		t.Fatalf("adaptive (%d×7 evals) not cheaper than fixed (%d×4 evals)", steps, fixedSteps)
+	}
+}
+
+func TestRK45Validation(t *testing.T) {
+	md := model(t, 2, 1)
+	s := twoCoreSched()
+	if _, _, err := RK45(md, s, md.ZeroState(), 0, DefaultRK45()); err == nil {
+		t.Fatal("zero periods must error")
+	}
+}

@@ -1,0 +1,202 @@
+// Package sim evaluates the thermal behaviour of periodic multi-core
+// schedules on a compact RC model: exact piecewise-exponential transients
+// (paper eq. (3)), the thermally stable status (eq. (4)), and peak
+// temperature identification — the O(z) end-of-period evaluation that
+// Theorem 1 licenses for step-up schedules, and a dense-sampling search
+// for arbitrary schedules. A classic RK4 integrator cross-validates the
+// closed-form solutions (standing in for HotSpot transient simulation).
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"thermosc/internal/mat"
+	"thermosc/internal/schedule"
+	"thermosc/internal/thermal"
+)
+
+// PeriodEnd propagates the state t0 through exactly one period of sched
+// using the closed-form per-interval solution and returns the state at the
+// end of the period.
+func PeriodEnd(md *thermal.Model, sched *schedule.Schedule, t0 []float64) []float64 {
+	state := mat.VecClone(t0)
+	for _, iv := range sched.Intervals() {
+		state = md.Step(iv.Length, state, iv.Modes)
+	}
+	return state
+}
+
+// PeriodCache holds the period-dependent operators of the stable-status
+// equation — K = e^{A·t_p} and an LU factorization of (I−K) — so repeated
+// stable solves over schedules with the same period (the AO inner loops)
+// share the O(n³) setup.
+type PeriodCache struct {
+	md *thermal.Model
+	tp float64
+	lu *mat.LU
+}
+
+// NewPeriodCache prepares the stable-status operators for period tp.
+func NewPeriodCache(md *thermal.Model, tp float64) (*PeriodCache, error) {
+	if tp <= 0 {
+		return nil, fmt.Errorf("sim: non-positive period %v", tp)
+	}
+	k := md.Eigen().ExpAt(tp)
+	imk := mat.Eye(md.NumNodes()).SubInPlace(k)
+	lu, err := mat.Factorize(imk)
+	if err != nil {
+		return nil, fmt.Errorf("sim: (I−K) singular for period %v: %w", tp, err)
+	}
+	return &PeriodCache{md: md, tp: tp, lu: lu}, nil
+}
+
+// StableStart maps the end-of-period state reached from the all-ambient
+// start (T(0)=0) to the start-of-period state in the thermally stable
+// status: T* = (I−K)⁻¹·T(t_p) — the closed form of paper eq. (4) at q = z.
+func (c *PeriodCache) StableStart(endFromZero []float64) ([]float64, error) {
+	return c.lu.SolveVec(endFromZero)
+}
+
+// Stable is the thermally-stable-status view of one periodic schedule.
+type Stable struct {
+	md    *thermal.Model
+	sched *schedule.Schedule
+	ivs   []schedule.Interval
+	tinfs [][]float64 // per-interval steady-state targets T∞(v_q)
+	start []float64   // stable state at the start of the period
+	ends  [][]float64 // stable state at the end of every interval
+}
+
+// NewStable solves for the stable status of sched on md.
+func NewStable(md *thermal.Model, sched *schedule.Schedule) (*Stable, error) {
+	cache, err := NewPeriodCache(md, sched.Period())
+	if err != nil {
+		return nil, err
+	}
+	return NewStableCached(md, sched, cache)
+}
+
+// NewStableCached is NewStable reusing a PeriodCache whose period must
+// match the schedule's.
+func NewStableCached(md *thermal.Model, sched *schedule.Schedule, cache *PeriodCache) (*Stable, error) {
+	if cache.md != md {
+		return nil, errors.New("sim: PeriodCache built for a different model")
+	}
+	if d := cache.tp - sched.Period(); d > 1e-9*sched.Period() || d < -1e-9*sched.Period() {
+		return nil, fmt.Errorf("sim: PeriodCache period %v != schedule period %v", cache.tp, sched.Period())
+	}
+	ivs := sched.Intervals()
+	tinfs := make([][]float64, len(ivs))
+	state := md.ZeroState()
+	for q, iv := range ivs {
+		tinfs[q] = md.SteadyState(iv.Modes)
+		state = md.StepToward(iv.Length, state, tinfs[q])
+	}
+	start, err := cache.StableStart(state)
+	if err != nil {
+		return nil, err
+	}
+	ends := make([][]float64, len(ivs))
+	cur := start
+	for q, iv := range ivs {
+		cur = md.StepToward(iv.Length, cur, tinfs[q])
+		ends[q] = cur
+	}
+	return &Stable{md: md, sched: sched, ivs: ivs, tinfs: tinfs, start: start, ends: ends}, nil
+}
+
+// Start returns the stable state at the start of the period (copy).
+func (s *Stable) Start() []float64 { return mat.VecClone(s.start) }
+
+// End returns the stable state at the end of interval q (copy).
+func (s *Stable) End(q int) []float64 { return mat.VecClone(s.ends[q]) }
+
+// NumIntervals returns the number of merged state intervals.
+func (s *Stable) NumIntervals() int { return len(s.ivs) }
+
+// At returns the stable-status state at offset t into the period.
+func (s *Stable) At(t float64) []float64 {
+	if t <= 0 {
+		return s.Start()
+	}
+	var acc float64
+	cur := s.start
+	for q, iv := range s.ivs {
+		if t <= acc+iv.Length || q == len(s.ivs)-1 {
+			return s.md.StepToward(t-acc, cur, s.tinfs[q])
+		}
+		cur = s.ends[q]
+		acc += iv.Length
+	}
+	return mat.VecClone(cur) // unreachable
+}
+
+// PeakEndOfPeriod returns the hottest core temperature rise at the end of
+// the period in the stable status, and which core attains it.
+//
+// By the paper's Theorem 1 this is the peak temperature of a step-up
+// schedule. Reproduction finding (see EXPERIMENTS.md): the statement is
+// exact when every core's voltage strictly increases over the period, but
+// when some core holds a constant mode while others step up, that core's
+// temperature derivative is continuous across the period wrap and it keeps
+// rising briefly past the period end — the true peak then exceeds this
+// value by a small margin (≤ ~0.02 K in the repository calibrations).
+// Use PeakDense for a sampling-verified peak; AO verifies its final
+// schedules densely for exactly this reason.
+func (s *Stable) PeakEndOfPeriod() (peak float64, core int) {
+	temps := s.md.CoreTemps(s.ends[len(s.ends)-1])
+	return mat.VecMax(temps)
+}
+
+// PeakAtIntervalEnds returns the hottest core temperature over all
+// interval boundaries in the stable status (the classic "scheduling
+// points" heuristic, exact for single cores but not for multi-core
+// platforms — see paper §IV).
+func (s *Stable) PeakAtIntervalEnds() (peak float64, core int) {
+	peak, core = mat.VecMax(s.md.CoreTemps(s.start))
+	for _, end := range s.ends {
+		if p, c := mat.VecMax(s.md.CoreTemps(end)); p > peak {
+			peak, core = p, c
+		}
+	}
+	return peak, core
+}
+
+// PeakDense searches for the peak core temperature anywhere in the stable
+// period by sampling each state interval at `samples` interior points plus
+// its boundaries. It returns the peak rise, the core attaining it, and the
+// period offset. Use for arbitrary (non-step-up) schedules such as PCO's
+// phase-shifted candidates.
+func (s *Stable) PeakDense(samples int) (peak float64, core int, at float64) {
+	if samples < 1 {
+		samples = 1
+	}
+	peak, core = mat.VecMax(s.md.CoreTemps(s.start))
+	at = 0
+	var acc float64
+	cur := s.start
+	for q, iv := range s.ivs {
+		for k := 1; k <= samples; k++ {
+			frac := float64(k) / float64(samples)
+			st := s.md.StepToward(iv.Length*frac, cur, s.tinfs[q])
+			if p, c := mat.VecMax(s.md.CoreTemps(st)); p > peak {
+				peak, core, at = p, c, acc+iv.Length*frac
+			}
+		}
+		cur = s.ends[q]
+		acc += iv.Length
+	}
+	return peak, core, at
+}
+
+// StepUpPeak computes the peak temperature of a step-up schedule in O(z)
+// via Theorem 1, using (and validating against) the provided cache.
+func StepUpPeak(md *thermal.Model, sched *schedule.Schedule, cache *PeriodCache) (float64, int, error) {
+	st, err := NewStableCached(md, sched, cache)
+	if err != nil {
+		return 0, 0, err
+	}
+	p, c := st.PeakEndOfPeriod()
+	return p, c, nil
+}

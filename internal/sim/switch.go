@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"fmt"
+
+	"thermosc/internal/mat"
+	"thermosc/internal/schedule"
+	"thermosc/internal/thermal"
+)
+
+// SwitchReport characterizes the transient of abandoning one periodic
+// schedule (at its thermally stable state) for another.
+type SwitchReport struct {
+	// PeakRise is the hottest core temperature rise observed during the
+	// transition window (K above ambient).
+	PeakRise float64
+	// SettlePeriods is the first destination period after which the
+	// per-period maximum stays at or below settleRise; -1 if it never
+	// settles within the analyzed horizon.
+	SettlePeriods int
+}
+
+// Switch analyzes the transition from `from` (in stable status) to `to`:
+// it propagates up to maxPeriods of `to` starting from `from`'s stable
+// start-of-period state, sampling samplesPerPeriod points per period, and
+// reports the transient peak plus how many periods the hottest core needs
+// to settle at or below settleRise (K above ambient).
+//
+// Governor ladders use this to certify entry hopping: switching DOWN the
+// ladder (hot plan → cool plan) starts above the cool threshold by
+// construction and decays — SettlePeriods bounds how long the governor
+// must wait before trusting the cooler certificate; switching UP starts
+// below the hot threshold and must never overshoot it.
+func Switch(md *thermal.Model, from, to *schedule.Schedule, settleRise float64,
+	maxPeriods, samplesPerPeriod int) (*SwitchReport, error) {
+	if maxPeriods < 1 || samplesPerPeriod < 1 {
+		return nil, fmt.Errorf("sim: Switch with %d periods, %d samples", maxPeriods, samplesPerPeriod)
+	}
+	stFrom, err := NewStable(md, from)
+	if err != nil {
+		return nil, err
+	}
+	state := stFrom.Start()
+
+	ivs := to.Intervals()
+	tinfs := make([][]float64, len(ivs))
+	for q, iv := range ivs {
+		tinfs[q] = md.SteadyState(iv.Modes)
+	}
+	rep := &SwitchReport{SettlePeriods: -1}
+	for p := 0; p < maxPeriods; p++ {
+		periodMax := 0.0
+		for q, iv := range ivs {
+			sub := iv.Length / float64(samplesPerPeriod)
+			for s := 0; s < samplesPerPeriod; s++ {
+				state = md.StepToward(sub, state, tinfs[q])
+				if hot, _ := mat.VecMax(md.CoreTemps(state)); hot > periodMax {
+					periodMax = hot
+				}
+			}
+		}
+		if periodMax > rep.PeakRise {
+			rep.PeakRise = periodMax
+		}
+		if rep.SettlePeriods < 0 && periodMax <= settleRise {
+			rep.SettlePeriods = p
+			// The transient decays monotonically in envelope from here;
+			// the peak cannot grow again above what we have seen plus the
+			// destination's own stable peak, which settleRise covers.
+			break
+		}
+	}
+	return rep, nil
+}

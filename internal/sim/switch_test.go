@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"testing"
+
+	"thermosc/internal/schedule"
+)
+
+func TestSwitchUpNeverOvershootsDestination(t *testing.T) {
+	md := model(t, 3, 1)
+	cool := schedule.Must([][]schedule.Segment{
+		{seg(10e-3, 0.6)}, {seg(10e-3, 0.6)}, {seg(10e-3, 0.6)},
+	})
+	hot := schedule.Must([][]schedule.Segment{
+		{seg(5e-3, 0.6), seg(5e-3, 1.3)},
+		{seg(5e-3, 0.6), seg(5e-3, 1.3)},
+		{seg(5e-3, 0.6), seg(5e-3, 1.3)},
+	})
+	stHot, err := NewStable(md, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotPeak, _, _ := stHot.PeakDense(48)
+
+	// Ramping UP from the cool stable state: the transient approaches the
+	// hot stable trajectory from below and must not overshoot its peak.
+	rep, err := Switch(md, cool, hot, hotPeak, 50000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PeakRise > hotPeak+1e-6 {
+		t.Fatalf("ramp-up overshot: %.4f vs destination peak %.4f", rep.PeakRise, hotPeak)
+	}
+	if rep.SettlePeriods < 0 {
+		t.Fatal("ramp-up never settled below the destination peak")
+	}
+}
+
+func TestSwitchDownDecaysAndSettles(t *testing.T) {
+	md := model(t, 3, 1)
+	hot := schedule.Must([][]schedule.Segment{
+		{seg(5e-3, 0.6), seg(5e-3, 1.3)},
+		{seg(5e-3, 0.6), seg(5e-3, 1.3)},
+		{seg(5e-3, 0.6), seg(5e-3, 1.3)},
+	})
+	cool := schedule.Must([][]schedule.Segment{
+		{seg(10e-3, 0.6)}, {seg(10e-3, 0.6)}, {seg(10e-3, 0.6)},
+	})
+	stHot, err := NewStable(md, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotPeak, _, _ := stHot.PeakDense(48)
+	stCool, err := NewStable(md, cool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coolPeak, _, _ := stCool.PeakDense(48)
+
+	rep, err := Switch(md, hot, cool, coolPeak+0.1, 100000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Throttling down never exceeds where we already were.
+	if rep.PeakRise > hotPeak+1e-6 {
+		t.Fatalf("throttle-down transient %.4f above the source peak %.4f", rep.PeakRise, hotPeak)
+	}
+	if rep.SettlePeriods < 0 {
+		t.Fatal("never settled to the cool envelope")
+	}
+	// Settling takes a physically meaningful time: at least one period,
+	// and within a few dominant time constants.
+	maxPeriods := int(8*md.DominantTimeConstant()/cool.Period()) + 1
+	if rep.SettlePeriods < 1 || rep.SettlePeriods > maxPeriods {
+		t.Fatalf("settle periods %d outside (1, %d)", rep.SettlePeriods, maxPeriods)
+	}
+}
+
+func TestSwitchValidation(t *testing.T) {
+	md := model(t, 2, 1)
+	s := twoCoreSched()
+	if _, err := Switch(md, s, s, 10, 0, 4); err == nil {
+		t.Fatal("zero periods must error")
+	}
+	if _, err := Switch(md, s, s, 10, 4, 0); err == nil {
+		t.Fatal("zero samples must error")
+	}
+	// Self-switch settles immediately at its own stable peak.
+	st, err := NewStable(md, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, _, _ := st.PeakDense(48)
+	rep, err := Switch(md, s, s, peak+1e-6, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SettlePeriods != 0 {
+		t.Fatalf("self switch should settle in period 0, got %d", rep.SettlePeriods)
+	}
+}

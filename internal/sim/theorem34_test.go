@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"thermosc/internal/power"
+	"thermosc/internal/schedule"
+)
+
+// Theorem 3: among schedules completing the same work on core i within
+// the period (other cores fixed), the constant-voltage schedule has the
+// lowest stable-status peak; any same-work two-mode split peaks higher.
+func TestTheorem3ConstantBeatsTwoMode(t *testing.T) {
+	md := model(t, 3, 1)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		period := 0.05 + r.Float64()*2
+		// Core 0 oscillates vL/vH with ratio x; cores 1..2 hold fixed
+		// voltages — step-up by construction.
+		vL := 0.6 + r.Float64()*0.3
+		vH := vL + 0.1 + r.Float64()*(1.3-vL-0.1)
+		x := 0.1 + 0.8*r.Float64() // low-mode fraction
+		ve := x*vL + (1-x)*vH      // same-work constant voltage
+
+		fixed1 := power.NewMode(0.6 + r.Float64()*0.7)
+		fixed2 := power.NewMode(0.6 + r.Float64()*0.7)
+
+		twoMode := schedule.Must([][]schedule.Segment{
+			{
+				{Length: x * period, Mode: power.NewMode(vL)},
+				{Length: (1 - x) * period, Mode: power.NewMode(vH)},
+			},
+			{{Length: period, Mode: fixed1}},
+			{{Length: period, Mode: fixed2}},
+		})
+		constant := schedule.Must([][]schedule.Segment{
+			{{Length: period, Mode: power.NewMode(ve)}},
+			{{Length: period, Mode: fixed1}},
+			{{Length: period, Mode: fixed2}},
+		})
+		stTwo, err := NewStable(md, twoMode)
+		if err != nil {
+			return false
+		}
+		stConst, err := NewStable(md, constant)
+		if err != nil {
+			return false
+		}
+		peakTwo, _, _ := stTwo.PeakDense(48)
+		peakConst, _, _ := stConst.PeakDense(48)
+		// Work is identical; the constant schedule must not peak higher
+		// (up to the cross-coupling margin documented in EXPERIMENTS.md).
+		return peakConst <= peakTwo+2e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Theorem 3's convexity root: with the cubic dynamic-power law, the
+// same-work two-mode split injects at least as much average power as the
+// constant voltage — strictly more for a genuine split.
+func TestTheorem3PowerConvexity(t *testing.T) {
+	pm := power.DefaultModel()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		vL := 0.4 + r.Float64()*0.5
+		vH := vL + 0.05 + r.Float64()*0.5
+		x := r.Float64()
+		ve := x*vL + (1-x)*vH
+		avgSplit := x*pm.Static(power.NewMode(vL)) + (1-x)*pm.Static(power.NewMode(vH))
+		return pm.Static(power.NewMode(ve)) <= avgSplit+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Theorem 4: among same-work two-mode splits, the pair of NEIGHBORING
+// voltages (tightest bracket around the target) yields the lowest peak;
+// widening the bracket can only heat the chip.
+func TestTheorem4NeighboringModesBeatWiderModes(t *testing.T) {
+	md := model(t, 3, 1)
+	const period = 0.5
+	target := 0.95 // effective voltage to realize on core 0
+
+	peakFor := func(vL, vH float64) float64 {
+		t.Helper()
+		x := (vH - target) / (vH - vL) // low-mode fraction for same work
+		s := schedule.Must([][]schedule.Segment{
+			{
+				{Length: x * period, Mode: power.NewMode(vL)},
+				{Length: (1 - x) * period, Mode: power.NewMode(vH)},
+			},
+			{{Length: period, Mode: power.NewMode(0.8)}},
+			{{Length: period, Mode: power.NewMode(0.8)}},
+		})
+		st, err := NewStable(md, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peak, _, _ := st.PeakDense(48)
+		return peak
+	}
+
+	neighboring := peakFor(0.9, 1.0)
+	wider := peakFor(0.8, 1.1)
+	widest := peakFor(0.6, 1.3)
+	if !(neighboring <= wider+2e-3 && wider <= widest+2e-3) {
+		t.Fatalf("Theorem 4 ordering violated: %.4f (0.9/1.0) vs %.4f (0.8/1.1) vs %.4f (0.6/1.3)",
+			neighboring, wider, widest)
+	}
+	if widest-neighboring < 0.05 {
+		t.Fatalf("bracket widening should cost measurably: %.4f vs %.4f", neighboring, widest)
+	}
+}
+
+// Randomized Theorem 4: for any same-work nested brackets, the inner pair
+// never peaks above the outer pair.
+func TestTheorem4NestedBracketsProperty(t *testing.T) {
+	md := model(t, 2, 1)
+	const period = 0.4
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		target := 0.8 + r.Float64()*0.3
+		// Inner bracket around the target.
+		innerL := target - (0.02 + r.Float64()*0.1)
+		innerH := target + (0.02 + r.Float64()*0.1)
+		// Outer bracket strictly containing the inner one.
+		outerL := innerL - (0.02 + r.Float64()*(innerL-0.4))
+		outerH := innerH + (0.02 + r.Float64()*(1.4-innerH))
+
+		build := func(vL, vH float64) *schedule.Schedule {
+			x := (vH - target) / (vH - vL)
+			return schedule.Must([][]schedule.Segment{
+				{
+					{Length: x * period, Mode: power.NewMode(vL)},
+					{Length: (1 - x) * period, Mode: power.NewMode(vH)},
+				},
+				{{Length: period, Mode: power.NewMode(0.7)}},
+			})
+		}
+		stInner, err := NewStable(md, build(innerL, innerH))
+		if err != nil {
+			return false
+		}
+		stOuter, err := NewStable(md, build(outerL, outerH))
+		if err != nil {
+			return false
+		}
+		pi, _, _ := stInner.PeakDense(32)
+		po, _, _ := stOuter.PeakDense(32)
+		return pi <= po+2e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The motivation example's quantitative anchor: the same-throughput
+// two-mode split of the ideal voltages peaks ABOVE Tmax (Table II → the
+// 79.69 °C observation), so ratio adjustment is genuinely required.
+func TestTwoModeSplitOverheatsWithoutAdjustment(t *testing.T) {
+	md := model(t, 3, 1)
+	// Use the calibrated ideal band ≈1.15–1.18 V split into 0.6/1.3 V.
+	specs := make([]schedule.TwoModeSpec, 3)
+	for i, v := range []float64{1.1755, 1.1501, 1.1755} {
+		specs[i] = schedule.TwoModeSpec{
+			Low:       power.NewMode(0.6),
+			High:      power.NewMode(1.3),
+			HighRatio: (v - 0.6) / 0.7,
+		}
+	}
+	s, err := schedule.TwoMode(20e-3, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStable(md, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, _ := st.PeakEndOfPeriod()
+	if md.Absolute(peak) <= 65 {
+		t.Fatalf("expected the unadjusted split to exceed 65 °C, got %.2f", md.Absolute(peak))
+	}
+	if math.IsNaN(peak) {
+		t.Fatal("NaN peak")
+	}
+}

@@ -1,0 +1,142 @@
+package sim
+
+import (
+	"fmt"
+
+	"thermosc/internal/mat"
+	"thermosc/internal/schedule"
+	"thermosc/internal/thermal"
+)
+
+// Trace is a sampled temperature trajectory. Temps[k] holds the full node
+// state (temperature rise above ambient) at Times[k].
+type Trace struct {
+	Times []float64
+	Temps [][]float64
+}
+
+// CoreSeries extracts core i's absolute temperature series in °C.
+func (tr *Trace) CoreSeries(md *thermal.Model, i int) []float64 {
+	out := make([]float64, len(tr.Times))
+	for k, t := range tr.Temps {
+		out[k] = md.Absolute(t[i])
+	}
+	return out
+}
+
+// MaxCoreRise returns the hottest core temperature rise seen anywhere in
+// the trace and the index at which it occurs.
+func (tr *Trace) MaxCoreRise(md *thermal.Model) (peak float64, sample, core int) {
+	for k, t := range tr.Temps {
+		if p, c := mat.VecMax(md.CoreTemps(t)); p > peak || k == 0 {
+			peak, sample, core = p, k, c
+		}
+	}
+	return peak, sample, core
+}
+
+// Transient simulates nPeriods repetitions of sched from state t0 with the
+// exact closed-form solution, sampling samplesPerPeriod points per period
+// (plus the initial point).
+func Transient(md *thermal.Model, sched *schedule.Schedule, t0 []float64, nPeriods, samplesPerPeriod int) *Trace {
+	if nPeriods < 1 || samplesPerPeriod < 1 {
+		panic(fmt.Sprintf("sim: Transient with nPeriods=%d samples=%d", nPeriods, samplesPerPeriod))
+	}
+	ivs := sched.Intervals()
+	tinfs := make([][]float64, len(ivs))
+	for q, iv := range ivs {
+		tinfs[q] = md.SteadyState(iv.Modes)
+	}
+	tp := sched.Period()
+	dt := tp / float64(samplesPerPeriod)
+
+	tr := &Trace{
+		Times: []float64{0},
+		Temps: [][]float64{mat.VecClone(t0)},
+	}
+	state := mat.VecClone(t0)
+	for p := 0; p < nPeriods; p++ {
+		base := float64(p) * tp
+		q := 0            // current interval
+		var ivAcc float64 // time already consumed in the current interval
+		startOfIv := state
+		for k := 1; k <= samplesPerPeriod; k++ {
+			target := float64(k) * dt
+			// Advance whole intervals that end before the sample point.
+			for q < len(ivs)-1 && ivAcc+ivs[q].Length <= target+1e-15 {
+				startOfIv = md.StepToward(ivs[q].Length-(0), startOfIv, tinfs[q])
+				// We stepped from the interval start; account for any
+				// partial progress made within it by earlier samples.
+				ivAcc += ivs[q].Length
+				q++
+			}
+			st := md.StepToward(target-ivAcc, startOfIv, tinfs[q])
+			tr.Times = append(tr.Times, base+target)
+			tr.Temps = append(tr.Temps, st)
+		}
+		// State at the end of the period: finish the remaining intervals.
+		state = startOfIv
+		for ; q < len(ivs); q++ {
+			rem := ivs[q].Length
+			if q == len(ivs)-1 {
+				rem = tp - ivAcc
+			}
+			state = md.StepToward(rem, state, tinfs[q])
+			ivAcc += ivs[q].Length
+		}
+	}
+	return tr
+}
+
+// RK4 simulates nPeriods of sched from t0 with a fixed-step fourth-order
+// Runge-Kutta integration of dT/dt = A·T + B(v). It is the numerical
+// reference ("HotSpot-lite") used to cross-validate the closed-form
+// solutions; dt must resolve the fastest time constant.
+func RK4(md *thermal.Model, sched *schedule.Schedule, t0 []float64, nPeriods int, dt float64) *Trace {
+	if dt <= 0 || nPeriods < 1 {
+		panic(fmt.Sprintf("sim: RK4 with dt=%v nPeriods=%d", dt, nPeriods))
+	}
+	a := md.A()
+	ivs := sched.Intervals()
+	bvecs := make([][]float64, len(ivs))
+	for q, iv := range ivs {
+		bvecs[q] = md.BVec(iv.Modes)
+	}
+	deriv := func(state, b []float64) []float64 {
+		d := a.MulVec(state)
+		return mat.VecAddInPlace(d, b)
+	}
+	rkStep := func(state, b []float64, h float64) []float64 {
+		k1 := deriv(state, b)
+		k2 := deriv(mat.VecAdd(state, mat.VecScale(h/2, k1)), b)
+		k3 := deriv(mat.VecAdd(state, mat.VecScale(h/2, k2)), b)
+		k4 := deriv(mat.VecAdd(state, mat.VecScale(h, k3)), b)
+		out := mat.VecClone(state)
+		mat.VecAXPY(out, h/6, k1)
+		mat.VecAXPY(out, h/3, k2)
+		mat.VecAXPY(out, h/3, k3)
+		mat.VecAXPY(out, h/6, k4)
+		return out
+	}
+
+	tr := &Trace{Times: []float64{0}, Temps: [][]float64{mat.VecClone(t0)}}
+	state := mat.VecClone(t0)
+	now := 0.0
+	for p := 0; p < nPeriods; p++ {
+		for q, iv := range ivs {
+			remaining := iv.Length
+			for remaining > 1e-15 {
+				h := dt
+				if h > remaining {
+					h = remaining
+				}
+				state = rkStep(state, bvecs[q], h)
+				remaining -= h
+				now += h
+			}
+			tr.Times = append(tr.Times, now)
+			tr.Temps = append(tr.Temps, mat.VecClone(state))
+		}
+	}
+	return tr
+}

@@ -1,0 +1,477 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+
+	"thermosc/internal/mat"
+	"thermosc/internal/power"
+	"thermosc/internal/schedule"
+	"thermosc/internal/sim"
+)
+
+// coreSpec is the per-core two-neighboring-mode decomposition used by AO:
+// the core runs Low for (1−RH)·cycle and High for RH·cycle (eq. (11)).
+// A core whose ideal voltage coincides with a level has Low == High.
+type coreSpec struct {
+	Low, High power.Mode
+	RH        float64
+}
+
+// oscillating reports whether the core actually switches modes.
+func (c coreSpec) oscillating() bool {
+	return c.High.Voltage > c.Low.Voltage && c.RH > 0 && c.RH < 1
+}
+
+// speed returns the core's nominal (useful-work) speed.
+func (c coreSpec) speed() float64 {
+	return (1-c.RH)*c.Low.Speed() + c.RH*c.High.Speed()
+}
+
+// neighborSpecs maps ideal continuous voltages to two-neighboring-mode
+// specs per Theorem 4 and eq. (11). When allowOff is set (the paper's
+// system model permits inactive cores), an ideal voltage below the lowest
+// level oscillates between off and that level; otherwise the core is
+// pinned to the lowest level constantly.
+func neighborSpecs(levels *power.LevelSet, volts []float64, allowOff bool) []coreSpec {
+	specs := make([]coreSpec, len(volts))
+	for i, v := range volts {
+		if v <= 0 {
+			specs[i] = coreSpec{Low: power.ModeOff, High: power.ModeOff}
+			continue
+		}
+		if v < levels.Min() && allowOff {
+			// The core's neighboring modes are "off" and the lowest
+			// level. Start optimistically at the constant lowest level
+			// (RH = 1): the ideal-pinned voltage assumes EVERY core sits
+			// exactly at Tmax, which underestimates what a discrete
+			// assignment can sustain when its neighbors run cooler than
+			// Tmax. The TPT reduction then cuts RH toward shutdown only
+			// as far as the verified peak requires.
+			specs[i] = coreSpec{
+				Low:  power.ModeOff,
+				High: power.NewMode(levels.Min()),
+				RH:   1,
+			}
+			continue
+		}
+		lo, hi := levels.Neighbors(v)
+		if hi <= lo {
+			specs[i] = coreSpec{Low: power.NewMode(lo), High: power.NewMode(lo)}
+			continue
+		}
+		rH := (v - lo) / (hi - lo)
+		if rH < 1e-12 {
+			rH = 0
+		}
+		if rH > 1-1e-12 {
+			rH = 1
+		}
+		specs[i] = coreSpec{Low: power.NewMode(lo), High: power.NewMode(hi), RH: rH}
+	}
+	return specs
+}
+
+// buildCycleKind selects which of the two views of one oscillation cycle
+// buildCycle constructs.
+type buildCycleKind int
+
+const (
+	// cycleEmit is the schedule the platform driver programs: high
+	// intervals extended by 2δ_i per cycle so the useful work survives
+	// the two transition stalls (§V).
+	cycleEmit buildCycleKind = iota
+	// cycleThermal is the peak-evaluation view: cycleEmit plus one extra
+	// τ of high-voltage time. Executing cycleEmit turns the first τ of
+	// the low interval into a stall burning at the high voltage (the rail
+	// settles from v_H — see internal/actuator); that executed timeline
+	// is EXACTLY a time-rotation of cycleThermal, and stable-status peaks
+	// are rotation-invariant, so evaluating cycleThermal certifies the
+	// executed schedule. The paper's accounting omits this window; the
+	// actuation experiment exposed the ~0.3 K gap.
+	cycleThermal
+)
+
+// buildCycle constructs one oscillation cycle of length tc in the
+// requested view. When the overhead extension no longer fits in the cycle
+// (m beyond the core's bound, or a near-1 high ratio), the core degrades
+// to a constant high-mode segment — thermally conservative, and the TPT
+// adjustment phase will cool it back into the oscillating regime. The
+// degradation decision uses the thermal view so both views stay
+// structurally consistent.
+func buildCycle(tc float64, specs []coreSpec, o power.TransitionOverhead, kind buildCycleKind) (*schedule.Schedule, error) {
+	tms := make([]schedule.TwoModeSpec, len(specs))
+	for i, c := range specs {
+		eff := c.RH
+		if c.oscillating() && o.Tau > 0 {
+			effThermal := c.RH + (2*o.Delta(c.High.Voltage, c.Low.Voltage)+o.Tau)/tc
+			if effThermal >= 1 || (1-effThermal)*tc < 2*o.Tau {
+				eff = 1 // overhead does not fit: run constant high
+			} else if kind == cycleThermal {
+				eff = effThermal
+			} else {
+				eff = c.RH + 2*o.Delta(c.High.Voltage, c.Low.Voltage)/tc
+			}
+		}
+		tms[i] = schedule.TwoModeSpec{Low: c.Low, High: c.High, HighRatio: eff}
+	}
+	return schedule.TwoMode(tc, tms)
+}
+
+// nominalThroughput is the chip-wide useful throughput of the specs
+// (excluding overhead padding, which preserves work by construction).
+func nominalThroughput(specs []coreSpec) float64 {
+	var s float64
+	for _, c := range specs {
+		s += c.speed()
+	}
+	return s / float64(len(specs))
+}
+
+// aoState carries the internals of an AO run so PCO can continue from it.
+type aoState struct {
+	specs []coreSpec
+	m     int
+	tc    float64
+	cache *sim.PeriodCache
+	peak  float64
+	hot   int
+	evals int64
+}
+
+// AO runs Algorithm 2 and returns the aligned m-oscillating schedule.
+func AO(p Problem) (*Result, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	start := now()
+	st, err := runAO(p)
+	if err != nil {
+		return nil, err
+	}
+	cyc, err := buildCycle(st.tc, st.specs, p.Overhead, cycleEmit)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Name:       "AO",
+		Schedule:   cyc,
+		Throughput: nominalThroughput(st.specs),
+		PeakRise:   st.peak,
+		M:          st.m,
+		Feasible:   st.peak <= p.tmaxRise()+feasTol,
+		Elapsed:    since(start),
+		Evals:      st.evals,
+	}, nil
+}
+
+// runAO executes Algorithm 2 from two starting points and keeps the
+// better feasible outcome:
+//
+//  1. the paper's ideal-pinned start (continuous voltages with every
+//     core's T∞ at Tmax, split into neighboring modes by eq. (11));
+//  2. an EXS-anchored start: the optimal constant discrete assignment,
+//     with each core paired to the next level up for headroom refill.
+//
+// Seed 2 exists because the ideal-pinned start is not always the discrete
+// optimum (EXPERIMENTS.md, finding 3): when some ideal voltages fall
+// below the lowest level (many cores, tight budgets, 3D stacks), the
+// greedy TPT reduction from seed 1 can converge to an allocation worse
+// than the best constant assignment. Oscillating on top of that constant
+// assignment — exactly the paper's §III motivation narrative — restores
+// AO ≥ EXS.
+func runAO(p Problem) (*aoState, error) {
+	md := p.Model
+	tmax := p.tmaxRise()
+	volts, err := IdealVoltages(md, tmax, p.Levels.Max())
+	if err != nil {
+		return nil, err
+	}
+	idealSpecs := neighborSpecs(p.Levels, volts, !p.DisallowOff)
+	best, err := optimizeSpecs(p, idealSpecs, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	exsSpecs, exsEvals, ok := exsSeedSpecs(p)
+	if ok {
+		alt, altErr := optimizeSpecs(p, exsSpecs, best.m)
+		if altErr == nil {
+			alt.evals += exsEvals
+			best = betterState(p, best, alt)
+		}
+	}
+	return best, nil
+}
+
+// betterState prefers feasible states, then higher nominal throughput.
+func betterState(p Problem, a, b *aoState) *aoState {
+	tmax := p.tmaxRise()
+	aOK := a.peak <= tmax+feasTol
+	bOK := b.peak <= tmax+feasTol
+	switch {
+	case aOK && !bOK:
+		b.evals += a.evals // keep the full accounting on the winner
+		a.evals = b.evals
+		return a
+	case bOK && !aOK:
+		b.evals += a.evals
+		return b
+	case nominalThroughput(b.specs) > nominalThroughput(a.specs):
+		b.evals += a.evals
+		return b
+	default:
+		a.evals += b.evals
+		return a
+	}
+}
+
+// exsSeedSpecs converts the optimal constant assignment into oscillation
+// specs anchored at each core's EXS level, paired with the next level up.
+// The parallel branch-and-bound keeps the seed cheap on large grids,
+// where the sequential search's subtree count explodes.
+func exsSeedSpecs(p Problem) ([]coreSpec, int64, bool) {
+	res, err := EXSParallel(p, 0)
+	if err != nil || !res.Feasible || res.Schedule == nil {
+		if res != nil {
+			return nil, res.Evals, false
+		}
+		return nil, 0, false
+	}
+	volts := p.Levels.Voltages()
+	specs := make([]coreSpec, p.Model.NumCores())
+	for i := range specs {
+		m := res.Schedule.ModeAt(i, 0)
+		switch {
+		case m.IsOff():
+			specs[i] = coreSpec{Low: power.ModeOff, High: power.NewMode(p.Levels.Min()), RH: 0}
+		default:
+			// Pair with the next level up (or stay constant at the top).
+			next := m.Voltage
+			for _, v := range volts {
+				if v > m.Voltage+1e-12 {
+					next = v
+					break
+				}
+			}
+			specs[i] = coreSpec{Low: m, High: power.NewMode(next), RH: 0}
+		}
+	}
+	return specs, res.Evals, true
+}
+
+// optimizeSpecs runs phases 2 and 3 of Algorithm 2 on the given starting
+// specs: the m search (skipped when forceM > 0) followed by TPT-guided
+// ratio reduction, headroom refill, and dense verification.
+func optimizeSpecs(p Problem, specs []coreSpec, forceM int) (*aoState, error) {
+	md := p.Model
+	tmax := p.tmaxRise()
+	tp := p.BasePeriod
+	var evals int64
+	specs = append([]coreSpec(nil), specs...)
+
+	// Chip-wide oscillation bound M = min_i M_i (§V).
+	m := p.MaxM
+	anyOsc := false
+	for _, c := range specs {
+		if !c.oscillating() {
+			continue
+		}
+		anyOsc = true
+		tL := (1 - c.RH) * tp
+		if mi := p.Overhead.MaxM(tL, c.High.Voltage, c.Low.Voltage); mi < m {
+			m = mi
+		}
+	}
+	if !anyOsc {
+		m = 1
+	}
+	if forceM > 0 {
+		m = forceM
+	}
+
+	// Phase 2: scan m ∈ [1, M] for the peak-minimizing oscillation count
+	// (with overhead, the peak is no longer monotone in m).
+	bestM, bestPeak := 0, math.Inf(1)
+	var bestCache *sim.PeriodCache
+	startM := 1
+	if forceM > 0 {
+		startM = forceM
+	}
+	for mm := startM; mm <= m; mm++ {
+		tc := tp / float64(mm)
+		cyc, err := buildCycle(tc, specs, p.Overhead, cycleThermal)
+		if err != nil {
+			return nil, err
+		}
+		cache, err := sim.NewPeriodCache(md, tc)
+		if err != nil {
+			return nil, err
+		}
+		peak, _, err := sim.StepUpPeak(md, cyc, cache)
+		if err != nil {
+			return nil, err
+		}
+		evals++
+		if peak < bestPeak {
+			bestPeak, bestM, bestCache = peak, mm, cache
+		}
+	}
+	if bestM == 0 {
+		return nil, fmt.Errorf("solver: no feasible oscillation cycle for period %v", tp)
+	}
+
+	// Phase 3: TPT-guided ratio adjustment until the constraint holds.
+	tc := tp / float64(bestM)
+	cache := bestCache
+	tUnit := p.TUnitFrac * tc
+	dr := tUnit / tc // ratio change per adjustment quantum
+
+	st := &aoState{specs: specs, m: bestM, tc: tc, cache: cache, evals: evals}
+	// evalCycle returns the stable end-of-cycle core temperature rises —
+	// by Theorem 1 their maximum is the schedule's peak temperature.
+	evalCycle := func(sp []coreSpec) ([]float64, error) {
+		cyc, err := buildCycle(tc, sp, p.Overhead, cycleThermal)
+		if err != nil {
+			return nil, err
+		}
+		st.evals++
+		stable, err := sim.NewStableCached(md, cyc, cache)
+		if err != nil {
+			return nil, err
+		}
+		return md.CoreTemps(stable.End(stable.NumIntervals() - 1)), nil
+	}
+
+	temps, err := evalCycle(specs)
+	if err != nil {
+		return nil, err
+	}
+	peak, hot := mat.VecMax(temps)
+	maxIter := len(specs)*int(math.Ceil(1/dr)) + 10
+	trial := make([]coreSpec, len(specs))
+	for iter := 0; peak > tmax+feasTol && iter < maxIter; iter++ {
+		// Algorithm 2 lines 15–20: pick the core whose slowdown most
+		// effectively cools the hottest core per unit of throughput lost.
+		bestJ, bestTPT := -1, math.Inf(-1)
+		var bestTemps []float64
+		for j, c := range specs {
+			if c.High.Voltage <= c.Low.Voltage || c.RH <= 0 {
+				continue
+			}
+			copy(trial, specs)
+			trial[j].RH = math.Max(0, c.RH-dr)
+			trialTemps, err := evalCycle(trial)
+			if err != nil {
+				continue
+			}
+			deltaT := temps[hot] - trialTemps[hot]
+			tpt := deltaT / ((c.High.Voltage - c.Low.Voltage) * tUnit)
+			if tpt > bestTPT {
+				bestJ, bestTPT = j, tpt
+				bestTemps = trialTemps
+			}
+		}
+		if bestJ == -1 {
+			break // nothing left to slow down
+		}
+		specs[bestJ].RH = math.Max(0, specs[bestJ].RH-dr)
+		temps = bestTemps
+		peak, hot = mat.VecMax(temps)
+	}
+
+	// Headroom refill — the dual of the TPT reduction. The ideal-pinned
+	// starting point maximizes throughput only when every core's steady
+	// temperature can actually sit at Tmax; with coarse level sets the
+	// discrete schedule may converge strictly below the budget (e.g. the
+	// 9-core platform at Tmax = 55 °C, where the uniform lowest level is
+	// feasible outright). Greedily raise the high-mode ratio with the
+	// best throughput-gain-per-Kelvin while the peak stays under the
+	// budget minus a small guard band (absorbing the constant-core
+	// overshoot documented on sim.Stable.PeakEndOfPeriod).
+	const refillGuard = 0.05
+	for iter := 0; peak < tmax-refillGuard && iter < maxIter; iter++ {
+		bestJ, bestScore := -1, 0.0
+		var bestTemps []float64
+		for j, c := range specs {
+			if c.High.Voltage <= c.Low.Voltage || c.RH >= 1 {
+				continue
+			}
+			copy(trial, specs)
+			trial[j].RH = math.Min(1, c.RH+dr)
+			trialTemps, err := evalCycle(trial)
+			if err != nil {
+				continue
+			}
+			trialPeak, _ := mat.VecMax(trialTemps)
+			if trialPeak > tmax-refillGuard+feasTol {
+				continue
+			}
+			gain := (c.High.Voltage - c.Low.Voltage) * (trial[j].RH - c.RH)
+			score := gain / math.Max(trialPeak-peak, 1e-9)
+			if score > bestScore {
+				bestJ, bestScore = j, score
+				bestTemps = trialTemps
+			}
+		}
+		if bestJ == -1 {
+			break
+		}
+		specs[bestJ].RH = math.Min(1, specs[bestJ].RH+dr)
+		temps = bestTemps
+		peak, hot = mat.VecMax(temps)
+	}
+
+	// Final verification with a dense peak search. The end-of-cycle value
+	// used above is Theorem 1's peak, which is exact only when every core
+	// strictly steps up; a constant-mode core can overshoot it slightly
+	// just after the cycle wrap (see sim.Stable.PeakEndOfPeriod). If the
+	// densely-verified peak still violates the budget, keep adjusting
+	// under the dense metric.
+	densePeakOf := func(sp []coreSpec) (float64, error) {
+		cyc, err := buildCycle(tc, sp, p.Overhead, cycleThermal)
+		if err != nil {
+			return math.Inf(1), err
+		}
+		st.evals++
+		stable, err := sim.NewStableCached(md, cyc, cache)
+		if err != nil {
+			return math.Inf(1), err
+		}
+		dp, _, _ := stable.PeakDense(p.PeakSamples)
+		return dp, nil
+	}
+	dense, err := densePeakOf(specs)
+	if err != nil {
+		return nil, err
+	}
+	for iter := 0; dense > tmax+feasTol && iter < maxIter; iter++ {
+		bestJ, bestPeak := -1, math.Inf(1)
+		for j, c := range specs {
+			if c.High.Voltage <= c.Low.Voltage || c.RH <= 0 {
+				continue
+			}
+			copy(trial, specs)
+			trial[j].RH = math.Max(0, c.RH-dr)
+			dp, err := densePeakOf(trial)
+			if err != nil {
+				continue
+			}
+			if dp < bestPeak {
+				bestJ, bestPeak = j, dp
+			}
+		}
+		if bestJ == -1 {
+			break
+		}
+		specs[bestJ].RH = math.Max(0, specs[bestJ].RH-dr)
+		dense = bestPeak
+	}
+	peak = dense
+
+	st.specs = specs
+	st.peak = peak
+	st.hot = hot
+	return st, nil
+}

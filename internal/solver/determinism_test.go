@@ -1,0 +1,68 @@
+package solver
+
+import (
+	"math"
+	"testing"
+)
+
+// The schedulers must be bit-for-bit deterministic: identical problems
+// yield identical plans, including PCO's concurrently-evaluated phase
+// search (ties broken by the smallest offset) and the goroutine-parallel
+// EXS (shared-bound order must not change the optimum).
+func TestSolverDeterminism(t *testing.T) {
+	p := problem(t, 3, 2, 3, 58)
+	type snap struct {
+		thr, peak float64
+		m         int
+	}
+	take := func(f func(Problem) (*Result, error)) snap {
+		t.Helper()
+		res, err := f(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap{res.Throughput, res.PeakRise, res.M}
+	}
+	for name, f := range map[string]func(Problem) (*Result, error){
+		"AO":  AO,
+		"PCO": PCO,
+		"EXS": EXS,
+		"EXSParallel": func(pp Problem) (*Result, error) {
+			return EXSParallel(pp, 4)
+		},
+	} {
+		first := take(f)
+		for k := 0; k < 3; k++ {
+			again := take(f)
+			if math.Abs(again.thr-first.thr) > 1e-15 ||
+				math.Abs(again.peak-first.peak) > 1e-12 ||
+				again.m != first.m {
+				t.Fatalf("%s run %d diverged: %+v vs %+v", name, k, again, first)
+			}
+		}
+	}
+}
+
+// Schedules, not just summary numbers, must repeat exactly.
+func TestAOScheduleDeterminism(t *testing.T) {
+	p := problem(t, 3, 1, 2, 62)
+	a, err := AO(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AO(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		sa, sb := a.Schedule.CoreSegments(i), b.Schedule.CoreSegments(i)
+		if len(sa) != len(sb) {
+			t.Fatalf("core %d segment counts differ", i)
+		}
+		for q := range sa {
+			if sa[q] != sb[q] {
+				t.Fatalf("core %d segment %d differs: %v vs %v", i, q, sa[q], sb[q])
+			}
+		}
+	}
+}

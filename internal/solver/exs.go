@@ -1,0 +1,212 @@
+package solver
+
+import (
+	"math"
+	"time"
+
+	"thermosc/internal/mat"
+	"thermosc/internal/power"
+	"thermosc/internal/schedule"
+)
+
+// EXSNaive is a faithful transcription of the paper's Algorithm 1: it
+// enumerates every constant per-core mode assignment (levels^N of them),
+// computes the steady-state temperature T∞ = −A⁻¹B for each, and keeps the
+// feasible assignment with the largest speed sum. Exponential in the core
+// count — this is the baseline whose running time Table V reports.
+func EXSNaive(p Problem) (*Result, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	start := now()
+	n := p.Model.NumCores()
+	tmax := p.tmaxRise()
+	volts := candidateVoltages(p)
+	hcc := coreResponseMatrix(p)
+	pm := p.Model.Power()
+	psi := make([]float64, len(volts))
+	for k, v := range volts {
+		psi[k] = pm.Static(power.NewMode(v))
+	}
+
+	idx := make([]int, n)
+	bestSum := math.Inf(-1)
+	var best []int
+	var evals int64
+	tempBuf := make([]float64, n)
+	for {
+		evals++
+		// T∞ at the cores for this assignment.
+		for i := range tempBuf {
+			tempBuf[i] = 0
+		}
+		var speedSum float64
+		for j, k := range idx {
+			w := psi[k]
+			col := hcc[j]
+			for i := range tempBuf {
+				tempBuf[i] += w * col[i]
+			}
+			speedSum += volts[k]
+		}
+		maxT, _ := mat.VecMax(tempBuf)
+		if maxT <= tmax && speedSum > bestSum {
+			bestSum = speedSum
+			best = append(best[:0], idx...)
+		}
+		// Odometer increment.
+		d := n - 1
+		for d >= 0 {
+			idx[d]++
+			if idx[d] < len(volts) {
+				break
+			}
+			idx[d] = 0
+			d--
+		}
+		if d < 0 {
+			break
+		}
+	}
+	return exsResult(p, "EXS-naive", best, bestSum, evals, start)
+}
+
+// EXS is the branch-and-bound variant: identical optimum to Algorithm 1,
+// but prunes subtrees whose best-case completion is already infeasible or
+// cannot beat the incumbent. It is the default EXS used by the comparison
+// experiments; EXPERIMENTS.md reports both running times.
+func EXS(p Problem) (*Result, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	start := now()
+	n := p.Model.NumCores()
+	tmax := p.tmaxRise()
+	volts := candidateVoltages(p) // ascending
+	hcc := coreResponseMatrix(p)
+	pm := p.Model.Power()
+	psi := make([]float64, len(volts))
+	for k, v := range volts {
+		psi[k] = pm.Static(power.NewMode(v))
+	}
+	psiMin := psi[0]
+
+	// minSuffix[j][i]: temperature contribution at core i if cores j..n−1
+	// all run at the minimum level — the least any completion can add.
+	minSuffix := make([][]float64, n+1)
+	minSuffix[n] = make([]float64, n)
+	for j := n - 1; j >= 0; j-- {
+		row := mat.VecClone(minSuffix[j+1])
+		mat.VecAXPY(row, psiMin, hcc[j])
+		minSuffix[j] = row
+	}
+	// maxSpeedSuffix[j]: speed sum if cores j..n−1 all run at max level.
+	maxSpeedSuffix := make([]float64, n+1)
+	for j := n - 1; j >= 0; j-- {
+		maxSpeedSuffix[j] = maxSpeedSuffix[j+1] + volts[len(volts)-1]
+	}
+
+	bestSum := math.Inf(-1)
+	best := make([]int, n)
+	found := false
+	idx := make([]int, n)
+	var evals int64
+
+	var dfs func(j int, temps []float64, speedSum float64)
+	dfs = func(j int, temps []float64, speedSum float64) {
+		evals++
+		if speedSum+maxSpeedSuffix[j] <= bestSum {
+			return // cannot beat the incumbent
+		}
+		// Feasibility bound: even the coldest completion overheats.
+		for i := 0; i < n; i++ {
+			if temps[i]+minSuffix[j][i] > tmax+feasTol {
+				return
+			}
+		}
+		if j == n {
+			if speedSum > bestSum {
+				bestSum = speedSum
+				copy(best, idx)
+				found = true
+			}
+			return
+		}
+		// Try levels from highest to lowest so good incumbents appear
+		// early and tighten the throughput bound.
+		child := make([]float64, n)
+		for k := len(volts) - 1; k >= 0; k-- {
+			idx[j] = k
+			copy(child, temps)
+			mat.VecAXPY(child, psi[k], hcc[j])
+			dfs(j+1, child, speedSum+volts[k])
+		}
+	}
+	dfs(0, make([]float64, n), 0)
+
+	if !found {
+		return exsResult(p, "EXS", nil, bestSum, evals, start)
+	}
+	return exsResult(p, "EXS", best, bestSum, evals, start)
+}
+
+// candidateVoltages returns the constant-mode search space: the discrete
+// levels, preceded by the inactive mode (0 V) unless shutdown is
+// disallowed.
+func candidateVoltages(p Problem) []float64 {
+	vs := p.Levels.Voltages()
+	if p.DisallowOff {
+		return vs
+	}
+	return append([]float64{0}, vs...)
+}
+
+// coreResponseMatrix returns per-core columns of the steady-state map:
+// hcc[j][i] is the temperature rise at core i per unit of REFERENCE
+// static power commanded at core j — i.e. the unit response scaled by
+// core j's heterogeneity factor, so enumeration code can keep a single
+// shared ψ(v) table.
+func coreResponseMatrix(p Problem) [][]float64 {
+	n := p.Model.NumCores()
+	ur := p.Model.UnitResponses()
+	cols := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		col := make([]float64, n)
+		s := p.Model.CoreScale(j)
+		for i := 0; i < n; i++ {
+			col[i] = s * ur.At(i, j)
+		}
+		cols[j] = col
+	}
+	return cols
+}
+
+func exsResult(p Problem, name string, best []int, bestSum float64, evals int64, start time.Time) (*Result, error) {
+	if best == nil {
+		return &Result{
+			Name:     name,
+			Feasible: false,
+			Elapsed:  since(start),
+			Evals:    evals,
+		}, nil
+	}
+	volts := candidateVoltages(p)
+	modes := make([]power.Mode, len(best))
+	for i, k := range best {
+		modes[i] = power.NewMode(volts[k])
+	}
+	sched := schedule.Constant(p.BasePeriod, modes)
+	peak, _ := mat.VecMax(p.Model.SteadyStateCores(modes))
+	return &Result{
+		Name:       name,
+		Schedule:   sched,
+		Throughput: bestSum / float64(len(best)),
+		PeakRise:   peak,
+		M:          1,
+		Feasible:   peak <= p.tmaxRise()+feasTol,
+		Elapsed:    since(start),
+		Evals:      evals,
+	}, nil
+}

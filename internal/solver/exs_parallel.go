@@ -1,0 +1,154 @@
+package solver
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"thermosc/internal/mat"
+	"thermosc/internal/power"
+)
+
+// EXSParallel is EXS with the branch-and-bound search fanned out across
+// worker goroutines: the top-level branches (core 0's candidate modes)
+// form the work queue, workers share the incumbent bound through a mutex-
+// guarded snapshot, and results merge deterministically. It returns the
+// identical optimum to EXS/EXSNaive.
+//
+// Parallel efficiency note: sharing the incumbent is what makes parallel
+// branch-and-bound worthwhile — a late worker inherits the best bound
+// found so far and prunes harder than a cold sequential run of its
+// subtree. Workers refresh the bound at every subtree root; finer sharing
+// is not worth the contention at these problem sizes.
+func EXSParallel(p Problem, workers int) (*Result, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := now()
+	n := p.Model.NumCores()
+	tmax := p.tmaxRise()
+	volts := candidateVoltages(p)
+	hcc := coreResponseMatrix(p)
+	pm := p.Model.Power()
+	psi := make([]float64, len(volts))
+	for k, v := range volts {
+		psi[k] = pm.Static(power.NewMode(v))
+	}
+	psiMin := psi[0]
+
+	// Suffix bounds, shared read-only across workers.
+	minSuffix := make([][]float64, n+1)
+	minSuffix[n] = make([]float64, n)
+	for j := n - 1; j >= 0; j-- {
+		row := mat.VecClone(minSuffix[j+1])
+		mat.VecAXPY(row, psiMin, hcc[j])
+		minSuffix[j] = row
+	}
+	maxSpeedSuffix := make([]float64, n+1)
+	for j := n - 1; j >= 0; j-- {
+		maxSpeedSuffix[j] = maxSpeedSuffix[j+1] + volts[len(volts)-1]
+	}
+
+	// Shared incumbent.
+	var mu sync.Mutex
+	bestSum := math.Inf(-1)
+	var best []int
+	var totalEvals int64
+
+	// Work queue: core-0 level indices, high levels first (better seeds).
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	worker := func() {
+		defer wg.Done()
+		idx := make([]int, n)
+		temps0 := make([]float64, n)
+		var evals int64
+		localBest := math.Inf(-1)
+		var localIdx []int
+
+		var dfs func(j int, temps []float64, speedSum float64, bound float64) float64
+		dfs = func(j int, temps []float64, speedSum float64, bound float64) float64 {
+			evals++
+			if speedSum+maxSpeedSuffix[j] <= bound {
+				return bound
+			}
+			for i := 0; i < n; i++ {
+				if temps[i]+minSuffix[j][i] > tmax+feasTol {
+					return bound
+				}
+			}
+			if j == n {
+				if speedSum > bound {
+					bound = speedSum
+					if speedSum > localBest {
+						localBest = speedSum
+						localIdx = append(localIdx[:0], idx...)
+					}
+				}
+				return bound
+			}
+			local := make([]float64, n)
+			for k := len(volts) - 1; k >= 0; k-- {
+				idx[j] = k
+				copy(local, temps)
+				mat.VecAXPY(local, psi[k], hcc[j])
+				bound = dfs(j+1, local, speedSum+volts[k], bound)
+			}
+			return bound
+		}
+
+		for k0 := range jobs {
+			// Inherit the freshest global bound for this subtree.
+			mu.Lock()
+			bound := bestSum
+			mu.Unlock()
+
+			idx[0] = k0
+			for i := range temps0 {
+				temps0[i] = psi[k0] * hcc[0][i]
+			}
+			bound = dfs(1, temps0, volts[k0], bound)
+
+			if localIdx != nil && localBest > math.Inf(-1) {
+				mu.Lock()
+				if localBest > bestSum {
+					bestSum = localBest
+					best = append(best[:0], localIdx...)
+				}
+				mu.Unlock()
+			}
+		}
+		mu.Lock()
+		totalEvals += evals
+		mu.Unlock()
+	}
+
+	if n == 1 {
+		// Degenerate: no parallelism to extract; fall back.
+		res, err := EXS(p)
+		if err != nil {
+			return nil, err
+		}
+		res.Name = "EXS-parallel"
+		return res, nil
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	for k := len(volts) - 1; k >= 0; k-- {
+		jobs <- k
+	}
+	close(jobs)
+	wg.Wait()
+
+	if best == nil {
+		return exsResult(p, "EXS-parallel", nil, bestSum, totalEvals, start)
+	}
+	return exsResult(p, "EXS-parallel", best, bestSum, totalEvals, start)
+}

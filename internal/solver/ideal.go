@@ -1,0 +1,110 @@
+package solver
+
+import (
+	"fmt"
+
+	"thermosc/internal/mat"
+	"thermosc/internal/power"
+	"thermosc/internal/schedule"
+	"thermosc/internal/thermal"
+)
+
+// IdealVoltages computes the continuous per-core supply voltages that pin
+// every core's steady-state temperature exactly at tmaxRise (Kelvin above
+// ambient) — the paper's §V starting point, T∞(v_const) = Tmax·1.
+//
+// For the layered model the non-core node temperatures are first resolved
+// from the core temperatures (they carry no power injection), then the
+// required static power per core follows from the core rows of (G−βE)·T =
+// Ψ, and the voltage from inverting ψ(v). Cores whose required power falls
+// below the leakage floor are switched off; voltages are capped at vcap
+// (pass the platform's maximum DVFS voltage).
+func IdealVoltages(md *thermal.Model, tmaxRise, vcap float64) ([]float64, error) {
+	if tmaxRise <= 0 {
+		return nil, fmt.Errorf("solver: non-positive temperature budget %v K", tmaxRise)
+	}
+	n := md.NumCores()
+	dim := md.NumNodes()
+	g := md.Conductance()
+	beta := md.Power().Beta
+
+	// Full temperature vector with core temps pinned at tmaxRise.
+	temps := make([]float64, dim)
+	for i := 0; i < n; i++ {
+		temps[i] = tmaxRise
+	}
+	if rest := dim - n; rest > 0 {
+		// Solve G_rr·T_rest = −G_rc·T_core for the unpowered nodes.
+		grr := mat.NewDense(rest, rest)
+		rhs := make([]float64, rest)
+		for i := 0; i < rest; i++ {
+			for j := 0; j < rest; j++ {
+				grr.Set(i, j, g.At(n+i, n+j))
+			}
+			var s float64
+			for j := 0; j < n; j++ {
+				s += g.At(n+i, j) * tmaxRise
+			}
+			rhs[i] = -s
+		}
+		trest, err := mat.Solve(grr, rhs)
+		if err != nil {
+			return nil, fmt.Errorf("solver: resolving package node temperatures: %w", err)
+		}
+		copy(temps[n:], trest)
+	}
+
+	// Required static power at each core: ψ_i = (G·T)_i − β_i·T_i, with
+	// the leakage slope and the ψ(v) inversion scaled per core on
+	// heterogeneous platforms.
+	gt := g.MulVec(temps)
+	volts := make([]float64, n)
+	pm := md.Power()
+	for i := 0; i < n; i++ {
+		scale := md.CoreScale(i)
+		psi := gt[i] - beta*scale*temps[i]
+		v, err := pm.VoltageForStatic(psi / scale)
+		if err != nil {
+			// Even an idle core would overheat its budget share: turn it
+			// off (v = 0). With sane calibrations this does not happen at
+			// the paper's thresholds.
+			v = 0
+		}
+		if v > vcap {
+			v = vcap
+		}
+		volts[i] = v
+	}
+	return volts, nil
+}
+
+// Ideal solves the continuous relaxation and returns it as a constant
+// schedule result (the unachievable upper bound the paper's motivation
+// example quotes, e.g. 1.1972 for the 3×1 platform at 65 °C).
+func Ideal(p Problem) (*Result, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	start := now()
+	volts, err := IdealVoltages(p.Model, p.tmaxRise(), p.Levels.Max())
+	if err != nil {
+		return nil, err
+	}
+	modes := make([]power.Mode, len(volts))
+	for i, v := range volts {
+		modes[i] = power.NewMode(v)
+	}
+	sched := schedule.Constant(p.BasePeriod, modes)
+	peak, _ := mat.VecMax(p.Model.SteadyStateCores(modes))
+	return &Result{
+		Name:       "Ideal",
+		Schedule:   sched,
+		Throughput: sched.Throughput(),
+		PeakRise:   peak,
+		M:          1,
+		Feasible:   peak <= p.tmaxRise()+feasTol,
+		Elapsed:    since(start),
+		Evals:      1,
+	}, nil
+}

@@ -1,0 +1,55 @@
+package solver
+
+import (
+	"time"
+
+	"thermosc/internal/mat"
+	"thermosc/internal/power"
+	"thermosc/internal/schedule"
+)
+
+func now() time.Time                  { return time.Now() }
+func since(t time.Time) time.Duration { return time.Since(t) }
+
+// LNS implements the lower-neighboring-speed baseline (§III): compute the
+// ideal continuous voltages, round each down to the nearest available
+// discrete level, and run every core at that constant mode.
+func LNS(p Problem) (*Result, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	start := now()
+	volts, err := IdealVoltages(p.Model, p.tmaxRise(), p.Levels.Max())
+	if err != nil {
+		return nil, err
+	}
+	modes := make([]power.Mode, len(volts))
+	for i, v := range volts {
+		if v < p.Levels.Min() {
+			// Rounding DOWN below the lowest level means shutting the
+			// core off — unless shutdown is disallowed, in which case the
+			// nearest (lowest) level is used even though it may violate
+			// the threshold (reported through Feasible).
+			if p.DisallowOff {
+				modes[i] = power.NewMode(p.Levels.Min())
+			} else {
+				modes[i] = power.ModeOff
+			}
+			continue
+		}
+		modes[i] = power.NewMode(p.Levels.LowerNeighbor(v))
+	}
+	sched := schedule.Constant(p.BasePeriod, modes)
+	peak, _ := mat.VecMax(p.Model.SteadyStateCores(modes))
+	return &Result{
+		Name:       "LNS",
+		Schedule:   sched,
+		Throughput: sched.Throughput(),
+		PeakRise:   peak,
+		M:          1,
+		Feasible:   peak <= p.tmaxRise()+feasTol,
+		Elapsed:    since(start),
+		Evals:      2,
+	}, nil
+}

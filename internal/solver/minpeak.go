@@ -1,0 +1,84 @@
+package solver
+
+import (
+	"fmt"
+	"math"
+)
+
+// MinPeak solves the dual problem: the lowest peak-temperature threshold
+// at which AO still achieves the target chip-wide throughput, found by
+// bisection on Tmax (AO's achieved throughput is monotone in the
+// threshold). It returns the schedule at the minimal threshold and that
+// threshold in °C, within tolK kelvins.
+//
+// This is the "peak temperature minimization" direction the paper's
+// title pairs with throughput maximization: a designer with a fixed
+// performance contract asks how cool the part can run (fan policy,
+// reliability budget) rather than how fast it can go.
+func MinPeak(p Problem, targetThroughput, tolK float64) (*Result, float64, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, 0, err
+	}
+	if targetThroughput <= 0 {
+		return nil, 0, fmt.Errorf("solver: non-positive target throughput %v", targetThroughput)
+	}
+	if targetThroughput > p.Levels.Max() {
+		return nil, 0, fmt.Errorf("solver: target throughput %v exceeds the top speed %v",
+			targetThroughput, p.Levels.Max())
+	}
+	if tolK <= 0 {
+		tolK = 0.05
+	}
+	ambient := p.Model.Package().AmbientC
+
+	achieves := func(tmaxC float64) (*Result, bool, error) {
+		pp := p
+		pp.TmaxC = tmaxC
+		res, err := AO(pp)
+		if err != nil {
+			return nil, false, err
+		}
+		return res, res.Feasible && res.Throughput >= targetThroughput-1e-9, nil
+	}
+
+	// Find a feasible upper bracket by doubling the rise above ambient.
+	lo := ambient + 0.5
+	rise := 8.0
+	var hiRes *Result
+	hi := ambient + rise
+	for {
+		res, ok, err := achieves(hi)
+		if err != nil {
+			return nil, 0, err
+		}
+		if ok {
+			hiRes = res
+			break
+		}
+		rise *= 2
+		hi = ambient + rise
+		if rise > 400 {
+			return nil, 0, fmt.Errorf("solver: target throughput %v unreachable below %.0f °C",
+				targetThroughput, hi)
+		}
+	}
+
+	// Bisect the minimal achievable threshold.
+	for hi-lo > tolK {
+		mid := 0.5 * (lo + hi)
+		res, ok, err := achieves(mid)
+		if err != nil {
+			return nil, 0, err
+		}
+		if ok {
+			hi, hiRes = mid, res
+		} else {
+			lo = mid
+		}
+	}
+	if hiRes == nil || math.IsNaN(hi) {
+		return nil, 0, fmt.Errorf("solver: bisection failed")
+	}
+	return hiRes, hi, nil
+}

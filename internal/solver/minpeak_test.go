@@ -1,0 +1,76 @@
+package solver
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMinPeakInvertsMaximize(t *testing.T) {
+	p := problem(t, 3, 1, 2, 65)
+	// What AO achieves at 60 °C should be recoverable near 60 °C by the
+	// dual solve.
+	p60 := p
+	p60.TmaxC = 60
+	fwd, err := AO(p60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, tmin, err := MinPeak(p, fwd.Throughput, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.Throughput < fwd.Throughput-1e-9 {
+		t.Fatalf("dual result does not meet the target: %+v", res)
+	}
+	if tmin > 60+0.2 {
+		t.Fatalf("minimal threshold %.3f should not exceed the forward threshold 60", tmin)
+	}
+	if tmin < p.Model.Package().AmbientC {
+		t.Fatalf("threshold %.3f below ambient", tmin)
+	}
+	// Verified peak at the minimal threshold respects it.
+	if res.PeakC(p.Model) > tmin+1e-3 {
+		t.Fatalf("peak %.3f above minimal threshold %.3f", res.PeakC(p.Model), tmin)
+	}
+}
+
+func TestMinPeakMonotoneInTarget(t *testing.T) {
+	p := problem(t, 2, 1, 2, 65)
+	_, tEasy, err := MinPeak(p, 0.7, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tHard, err := MinPeak(p, 1.1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tHard <= tEasy {
+		t.Fatalf("higher target must need a hotter threshold: %.2f vs %.2f", tHard, tEasy)
+	}
+}
+
+func TestMinPeakValidation(t *testing.T) {
+	p := problem(t, 2, 1, 2, 65)
+	if _, _, err := MinPeak(p, 0, 0.1); err == nil {
+		t.Fatal("zero target must error")
+	}
+	if _, _, err := MinPeak(p, 2.0, 0.1); err == nil {
+		t.Fatal("target above top speed must error")
+	}
+}
+
+func TestMinPeakTopSpeedTarget(t *testing.T) {
+	p := problem(t, 2, 1, 2, 90)
+	res, tmin, err := MinPeak(p, 1.3, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Throughput-1.3) > 1e-9 {
+		t.Fatalf("throughput %v at full-speed target", res.Throughput)
+	}
+	// Full speed needs the temperature the full-throttle steady state
+	// reaches — well above 65 °C on this calibration.
+	if tmin < 65 {
+		t.Fatalf("full speed cannot be this cool: %.2f", tmin)
+	}
+}

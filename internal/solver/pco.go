@@ -1,0 +1,181 @@
+package solver
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"thermosc/internal/power"
+	"thermosc/internal/schedule"
+	"thermosc/internal/sim"
+)
+
+// PCO implements phase-conscious oscillation (§VI): it runs AO, then
+// shifts each core's oscillation phase to spatially interleave high- and
+// low-voltage intervals, and finally refills the freed temperature
+// headroom by raising high-mode ratios while the (densely verified) peak
+// stays within the threshold.
+//
+// Shifted schedules are no longer step-up, so PCO verifies peaks by dense
+// sampling (Problem.PeakSamples per state interval) instead of Theorem 1's
+// end-of-period shortcut — which is exactly why PCO costs more CPU time
+// than AO in Table V.
+func PCO(p Problem) (*Result, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	start := now()
+	st, err := runAO(p)
+	if err != nil {
+		return nil, err
+	}
+	md := p.Model
+	tmax := p.tmaxRise()
+	n := len(st.specs)
+	offsets := make([]float64, n)
+
+	// densePeak evaluates the stable-status peak of the specs with the
+	// given per-core phase offsets.
+	densePeak := func(specs []coreSpec, offs []float64) (float64, *schedule.Schedule, error) {
+		cyc, err := buildCycle(st.tc, specs, p.Overhead, cycleThermal)
+		if err != nil {
+			return math.Inf(1), nil, err
+		}
+		for i, off := range offs {
+			if off != 0 {
+				cyc = cyc.Shift(i, off)
+			}
+		}
+		stable, err := sim.NewStableCached(md, cyc, st.cache)
+		if err != nil {
+			return math.Inf(1), nil, err
+		}
+		st.evals++
+		peak, _, _ := stable.PeakDense(p.PeakSamples)
+		return peak, cyc, nil
+	}
+
+	peak, cyc, err := densePeak(st.specs, offsets)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase search: greedily, core by core, pick the offset that minimizes
+	// the dense peak (offset 0 — the AO alignment — is always a candidate,
+	// so the phase search never hurts). Candidate offsets for one core are
+	// independent, so they are evaluated concurrently; the winner is
+	// chosen deterministically (lowest peak, ties to the smallest offset).
+	for i := 1; i < n; i++ {
+		if !st.specs[i].oscillating() {
+			continue
+		}
+		peaks := make([]float64, p.PCOPhaseSteps)
+		var wg sync.WaitGroup
+		var extraEvals int64
+		wg.Add(p.PCOPhaseSteps)
+		for k := 0; k < p.PCOPhaseSteps; k++ {
+			go func(k int) {
+				defer wg.Done()
+				offs := append([]float64(nil), offsets...)
+				offs[i] = float64(k) / float64(p.PCOPhaseSteps) * st.tc
+				cycK, err := buildCycle(st.tc, st.specs, p.Overhead, cycleThermal)
+				if err != nil {
+					peaks[k] = math.Inf(1)
+					return
+				}
+				for ci, off := range offs {
+					if off != 0 {
+						cycK = cycK.Shift(ci, off)
+					}
+				}
+				stable, err := sim.NewStableCached(md, cycK, st.cache)
+				if err != nil {
+					peaks[k] = math.Inf(1)
+					return
+				}
+				atomic.AddInt64(&extraEvals, 1)
+				pk, _, _ := stable.PeakDense(p.PeakSamples)
+				peaks[k] = pk
+			}(k)
+		}
+		wg.Wait()
+		st.evals += extraEvals
+		bestOff, bestPeak := 0.0, math.Inf(1)
+		for k, pk := range peaks {
+			if pk < bestPeak {
+				bestPeak = pk
+				bestOff = float64(k) / float64(p.PCOPhaseSteps) * st.tc
+			}
+		}
+		offsets[i] = bestOff
+	}
+	peak, cyc, err = densePeak(st.specs, offsets)
+	if err != nil {
+		return nil, err
+	}
+
+	// Headroom refill: raise the most valuable high-ratio while the peak
+	// stays under the threshold.
+	dr := p.TUnitFrac
+	specs := append([]coreSpec(nil), st.specs...)
+	trial := make([]coreSpec, n)
+	const refillCap = 2000
+	for iter := 0; iter < refillCap && peak <= tmax+feasTol; iter++ {
+		bestJ := -1
+		var bestGain, bestPeakAfter float64
+		var bestCyc *schedule.Schedule
+		for j, c := range specs {
+			if c.High.Voltage <= c.Low.Voltage || c.RH >= 1 {
+				continue
+			}
+			copy(trial, specs)
+			trial[j].RH = math.Min(1, c.RH+dr)
+			pk, tc2, err := densePeak(trial, offsets)
+			if err != nil || pk > tmax+feasTol {
+				continue
+			}
+			gain := (c.High.Voltage - c.Low.Voltage)
+			if bestJ == -1 || gain > bestGain || (gain == bestGain && pk < bestPeakAfter) {
+				bestJ, bestGain, bestPeakAfter, bestCyc = j, gain, pk, tc2
+			}
+		}
+		if bestJ == -1 {
+			break
+		}
+		specs[bestJ].RH = math.Min(1, specs[bestJ].RH+dr)
+		peak, cyc = bestPeakAfter, bestCyc
+	}
+	_ = cyc // the thermal view certified `peak`; emit the driver view below
+
+	emit, err := buildCycle(st.tc, specs, p.Overhead, cycleEmit)
+	if err != nil {
+		return nil, err
+	}
+	for i, off := range offsets {
+		if off != 0 {
+			emit = emit.Shift(i, off)
+		}
+	}
+
+	return &Result{
+		Name:       "PCO",
+		Schedule:   emit,
+		Throughput: nominalThroughput(specs),
+		PeakRise:   peak,
+		M:          st.m,
+		Feasible:   peak <= tmax+feasTol,
+		Elapsed:    since(start),
+		Evals:      st.evals,
+	}, nil
+}
+
+// modesOf extracts the constant modes of a constant schedule (helper for
+// tests and experiment reporting).
+func modesOf(s *schedule.Schedule) []power.Mode {
+	modes := make([]power.Mode, s.NumCores())
+	for i := range modes {
+		modes[i] = s.ModeAt(i, 0)
+	}
+	return modes
+}

@@ -1,0 +1,130 @@
+// Package solver implements the paper's throughput-maximization
+// algorithms for temperature-constrained multi-core platforms:
+//
+//   - Ideal: the continuous-voltage upper-bound assignment obtained by
+//     pinning every core's steady-state temperature at Tmax (§V, following
+//     Hanumaiah et al.).
+//   - LNS: lower-neighboring-speed rounding of the ideal voltages (§III).
+//   - EXS: exhaustive search over constant per-core discrete modes
+//     (Algorithm 1), plus a pruned branch-and-bound variant that returns
+//     the identical optimum orders of magnitude faster.
+//   - AO: aligned frequency oscillation (Algorithm 2) — the paper's main
+//     contribution.
+//   - PCO: phase-conscious oscillation — AO followed by per-core phase
+//     interleaving and headroom refill (§VI).
+package solver
+
+import (
+	"fmt"
+	"time"
+
+	"thermosc/internal/power"
+	"thermosc/internal/schedule"
+	"thermosc/internal/thermal"
+)
+
+// Problem is one throughput-maximization instance.
+type Problem struct {
+	Model  *thermal.Model
+	Levels *power.LevelSet
+	// TmaxC is the absolute peak temperature threshold in °C.
+	TmaxC float64
+	// Overhead is the DVFS transition cost (τ). Zero τ means transitions
+	// are free and the m-search is capped only by MaxM.
+	Overhead power.TransitionOverhead
+	// BasePeriod is t_p, the period of the m=1 schedule. Defaults to 20 ms
+	// (the paper's motivation-example period).
+	BasePeriod float64
+	// MaxM caps the oscillation search regardless of the overhead-derived
+	// bound. Defaults to 4096.
+	MaxM int
+	// TUnitFrac sets the TPT adjustment quantum t_unit as a fraction of
+	// the oscillation cycle. Defaults to 1/200.
+	TUnitFrac float64
+	// PCOPhaseSteps is the number of phase offsets tried per core by PCO.
+	// Defaults to 8.
+	PCOPhaseSteps int
+	// PeakSamples is the per-interval dense-sampling resolution used when
+	// evaluating non-step-up schedules (PCO). Defaults to 24.
+	PeakSamples int
+	// DisallowOff removes the inactive mode (v = f = 0) from the search
+	// space. The paper's system model allows inactive cores, so the
+	// default (false) permits shutting cores down — which is what makes
+	// tight thresholds (e.g. the 9-core platform at Tmax = 50 °C in
+	// Fig. 7) feasible at all.
+	DisallowOff bool
+}
+
+// withDefaults returns a copy of p with zero fields replaced by defaults.
+func (p Problem) withDefaults() (Problem, error) {
+	if p.Model == nil {
+		return p, fmt.Errorf("solver: Problem.Model is nil")
+	}
+	if p.Levels == nil {
+		return p, fmt.Errorf("solver: Problem.Levels is nil")
+	}
+	if p.TmaxC <= p.Model.Package().AmbientC {
+		return p, fmt.Errorf("solver: Tmax %.1f °C not above ambient %.1f °C",
+			p.TmaxC, p.Model.Package().AmbientC)
+	}
+	if p.BasePeriod == 0 {
+		p.BasePeriod = 20e-3
+	}
+	if p.BasePeriod < 0 {
+		return p, fmt.Errorf("solver: negative base period %v", p.BasePeriod)
+	}
+	if p.MaxM == 0 {
+		p.MaxM = 4096
+	}
+	if p.TUnitFrac == 0 {
+		p.TUnitFrac = 1.0 / 200
+	}
+	if p.TUnitFrac < 0 || p.TUnitFrac > 0.5 {
+		return p, fmt.Errorf("solver: TUnitFrac %v outside (0, 0.5]", p.TUnitFrac)
+	}
+	if p.PCOPhaseSteps == 0 {
+		p.PCOPhaseSteps = 8
+	}
+	if p.PeakSamples == 0 {
+		p.PeakSamples = 24
+	}
+	return p, nil
+}
+
+// tmaxRise converts the absolute threshold to a rise above ambient.
+func (p Problem) tmaxRise() float64 { return p.Model.Rise(p.TmaxC) }
+
+// Result is the outcome of one solver run.
+type Result struct {
+	Name string
+	// Schedule is the thermally-accurate periodic schedule to execute
+	// (for AO/PCO this is one oscillation cycle, including the
+	// overhead-extended high intervals; repeat it indefinitely).
+	Schedule *schedule.Schedule
+	// Throughput is the chip-wide useful throughput (eq. (5)); for AO/PCO
+	// it excludes the transition-stall padding, i.e. it counts the work
+	// actually completed.
+	Throughput float64
+	// PeakRise is the verified stable-status peak temperature rise (K).
+	// For AO/PCO it certifies the EXECUTED timeline — the emitted
+	// schedule plus the τ-long high-voltage transition windows a real
+	// DVFS rail produces (see internal/actuator) — so it can exceed the
+	// peak of the bare Schedule by a small margin.
+	PeakRise float64
+	// M is the chosen oscillation count (1 for constant-mode solutions).
+	M int
+	// Feasible reports whether PeakRise respects the threshold.
+	Feasible bool
+	// Elapsed is the solver wall-clock time.
+	Elapsed time.Duration
+	// Evals counts steady-state/peak evaluations, a machine-independent
+	// cost measure alongside Elapsed.
+	Evals int64
+}
+
+// PeakC returns the verified peak in absolute °C for the given model.
+func (r *Result) PeakC(md *thermal.Model) float64 { return md.Absolute(r.PeakRise) }
+
+// feasTol is the slack (in Kelvin) allowed when classifying a result as
+// feasible, absorbing the round-off of long propagation chains.
+const feasTol = 1e-6

@@ -1,0 +1,93 @@
+package thermal
+
+import (
+	"errors"
+	"fmt"
+
+	"thermosc/internal/floorplan"
+	"thermosc/internal/mat"
+	"thermosc/internal/power"
+)
+
+// CoreLevelParams parameterize the simplified single-layer thermal model
+// (one node per core, as in Wang & Ranka's "simple thermal model" that the
+// paper cites [27]): each core couples to ambient through RSelf and to each
+// adjacent core through RLateral.
+type CoreLevelParams struct {
+	RSelf    float64 // K/W, core node to ambient
+	RLateral float64 // K/W, between adjacent core nodes
+	CCore    float64 // J/K, per-core lumped capacitance
+	// GEdge adds ambient conductance proportional to a core's exposed die
+	// boundary (W/(K·m)), so edge and corner cores run slightly cooler
+	// than interior ones — the heat-interference asymmetry the layered
+	// model produces through its shared spreader and sink.
+	GEdge    float64
+	AmbientC float64 // °C
+}
+
+// DefaultCoreLevel returns single-layer parameters producing time constants
+// and steady temperatures comparable to the layered default — used by the
+// model-ablation benchmarks.
+func DefaultCoreLevel() CoreLevelParams {
+	return CoreLevelParams{
+		RSelf:    2.0,
+		RLateral: 2.5,
+		CCore:    4.0,
+		GEdge:    20,
+		AmbientC: 35,
+	}
+}
+
+// NewCoreLevelModel assembles the single-layer model. The returned Model
+// supports the full API; NumNodes == NumCores.
+func NewCoreLevelModel(fp *floorplan.Floorplan, cp CoreLevelParams, pm power.Model) (*Model, error) {
+	if cp.RSelf <= 0 || cp.RLateral <= 0 || cp.CCore <= 0 {
+		return nil, errors.New("thermal: core-level parameters must be positive")
+	}
+	n := fp.NumCores()
+	g := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		g.Add(i, i, 1/cp.RSelf+cp.GEdge*fp.BoundaryEdges(i))
+		for _, j := range fp.Neighbors(i) {
+			if j <= i {
+				continue
+			}
+			c := 1 / cp.RLateral
+			g.Add(i, i, c)
+			g.Add(j, j, c)
+			g.Add(i, j, -c)
+			g.Add(j, i, -c)
+		}
+	}
+	cDiag := mat.VecFill(n, cp.CCore)
+
+	mm := g.Clone().Scale(-1)
+	for i := 0; i < n; i++ {
+		mm.Add(i, i, pm.Beta)
+	}
+	eig, err := mat.DecomposeSymmetrizable(cDiag, mm)
+	if err != nil {
+		return nil, fmt.Errorf("thermal: core-level eigendecomposition failed: %w", err)
+	}
+	if !eig.Stable() {
+		return nil, errors.New("thermal: core-level model unstable")
+	}
+	// G − βE is symmetric positive definite for any physical calibration;
+	// Cholesky halves the solve cost and doubles as the SPD sanity check.
+	hFull, err := mat.InverseSPD(mm.Clone().Scale(-1))
+	if err != nil {
+		return nil, fmt.Errorf("thermal: core-level steady-state matrix singular: %w", err)
+	}
+	for _, v := range hFull.RawData() {
+		if v < -1e-12 {
+			return nil, errors.New("thermal: core-level inverse positivity violated")
+		}
+	}
+	pp := PackageParams{AmbientC: cp.AmbientC}
+	return &Model{
+		fp: fp, pp: pp, pm: pm,
+		n: n, dim: n,
+		cDiag: cDiag, g: g, m: mm,
+		eig: eig, hFull: hFull,
+	}, nil
+}

@@ -1,0 +1,76 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"thermosc/internal/floorplan"
+	"thermosc/internal/mat"
+	"thermosc/internal/power"
+)
+
+func TestHeteroValidation(t *testing.T) {
+	fp := floorplan.MustGrid(3, 1, 4e-3)
+	pm := power.DefaultModel()
+	if _, err := NewHeteroModel(fp, HotSpot65nm(), pm, []float64{1, 1}); err == nil {
+		t.Fatal("wrong scale count must error")
+	}
+	if _, err := NewHeteroModel(fp, HotSpot65nm(), pm, []float64{1, 0, 1}); err == nil {
+		t.Fatal("zero scale must error")
+	}
+}
+
+func TestHeteroAllOnesMatchesHomogeneous(t *testing.T) {
+	fp := floorplan.MustGrid(3, 1, 4e-3)
+	pm := power.DefaultModel()
+	homo, err := NewModel(fp, HotSpot65nm(), pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	het, err := NewHeteroModel(fp, HotSpot65nm(), pm, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := uniformModes(3, 1.1)
+	if !mat.VecEqual(homo.SteadyStateCores(modes), het.SteadyStateCores(modes), 1e-12) {
+		t.Fatal("unit scales deviate from the homogeneous model")
+	}
+	if het.CoreScale(0) != 1 || homo.CoreScale(2) != 1 {
+		t.Fatal("CoreScale default wrong")
+	}
+}
+
+func TestHeteroBigCoreRunsHotter(t *testing.T) {
+	fp := floorplan.MustGrid(3, 1, 4e-3)
+	pm := power.DefaultModel()
+	// A "big" core at an end position vs its mirror-image LITTLE core.
+	md, err := NewHeteroModel(fp, HotSpot65nm(), pm, []float64{1.8, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps := md.SteadyStateCores(uniformModes(3, 1.0))
+	if temps[0] <= temps[2] {
+		t.Fatalf("big core should run hotter than its mirror: %v", temps)
+	}
+	if temps[0] <= temps[1] {
+		t.Fatalf("1.8× end core should out-heat the middle: %v", temps)
+	}
+	// Psi reflects the scale directly.
+	psi := md.Psi(uniformModes(3, 1.0))
+	if math.Abs(psi[0]/psi[2]-1.8) > 1e-12 {
+		t.Fatalf("psi scaling wrong: %v", psi)
+	}
+}
+
+func TestHeteroScaleIsolatedFromCaller(t *testing.T) {
+	fp := floorplan.MustGrid(2, 1, 4e-3)
+	scales := []float64{1, 2}
+	md, err := NewHeteroModel(fp, HotSpot65nm(), power.DefaultModel(), scales)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scales[1] = 99 // caller mutation must not leak in
+	if md.CoreScale(1) != 2 {
+		t.Fatalf("scale leaked: %v", md.CoreScale(1))
+	}
+}

@@ -1,0 +1,92 @@
+// Package thermal builds the compact RC thermal model of a multi-core
+// package and exposes the linear time-invariant system the paper's
+// analysis rests on:
+//
+//	dT/dt = A·T + B(v),   A = C⁻¹·(βE − G),   B(v) = C⁻¹·Ψ(v)     (eq. (2))
+//
+// where T is the vector of node temperature rises above ambient, G the
+// symmetric thermal conductance matrix, C the diagonal capacitance matrix,
+// E the diagonal indicator of core nodes (leakage/temperature dependency β
+// lives only at cores), and Ψ(v) the per-node temperature-independent
+// power injection.
+//
+// The network is HotSpot-5.02-flavoured (the paper's substrate): one node
+// per core in the silicon die, one spreader block under each core, and a
+// single heat-sink node coupled to ambient through a convection
+// resistance. Lateral conductances connect adjacent die nodes and adjacent
+// spreader blocks. The die boundary couples weakly to the package. This
+// preserves everything the paper's theorems need — A is symmetrizable with
+// real negative eigenvalues and (G−βE)⁻¹ ≥ 0 — while remaining a pure-Go,
+// dependency-free substrate.
+package thermal
+
+// PackageParams are the geometric and material constants of the thermal
+// package. Defaults follow HotSpot-5.02 at the 65 nm node with 4×4 mm²
+// cores, with the convection resistance calibrated so that the paper's
+// motivation example reproduces in shape (see EXPERIMENTS.md).
+type PackageParams struct {
+	// --- silicon die ---
+	DieThickness float64 // m
+	KSilicon     float64 // W/(m·K)
+	VolHeatSi    float64 // volumetric heat capacity, J/(m³·K)
+
+	// --- thermal interface material between die and spreader ---
+	TIMThickness float64 // m
+	KTIM         float64 // W/(m·K)
+
+	// --- copper heat spreader (one block per core) ---
+	SpreaderThickness float64 // m
+	KCopper           float64 // W/(m·K)
+	VolHeatCu         float64 // J/(m³·K)
+
+	// --- heat sink ---
+	SinkBaseR   float64 // K/W, spreading resistance from each spreader block into the sink
+	SinkCap     float64 // J/K, lumped sink heat capacity
+	ConvectionR float64 // K/W, sink to ambient
+
+	// SpreaderRingFactor scales the extra spreader-to-sink conductance a
+	// block gains per meter of die boundary it abuts: the copper spreader
+	// extends past the die, so border cores shed heat through the
+	// surrounding ring — the effect that makes interior cores run hotter
+	// than border cores in HotSpot (and drives the paper's asymmetric
+	// ideal voltages, 1.1748 V for the middle core vs 1.2085 V for the
+	// ends on the 3×1 platform).
+	SpreaderRingFactor float64
+
+	// --- die edge ---
+	// KEdge couples exposed die perimeter to ambient through the package
+	// casing (weak; W/(m·K) equivalent conductivity of the encapsulant).
+	KEdge float64
+
+	// AmbientC is the absolute ambient temperature in °C. All model
+	// temperatures are rises above this value.
+	AmbientC float64
+}
+
+// HotSpot65nm returns the default package parameters used by every
+// experiment in this repository (paper §VI: HotSpot-5.02 at 65 nm,
+// 4×4 mm² cores, ambient 35 °C).
+func HotSpot65nm() PackageParams {
+	return PackageParams{
+		DieThickness: 0.15e-3,
+		KSilicon:     100,
+		VolHeatSi:    1.75e6,
+
+		TIMThickness: 20e-6,
+		KTIM:         4,
+
+		SpreaderThickness: 2e-3,
+		KCopper:           400,
+		VolHeatCu:         3.55e6,
+
+		SinkBaseR:   0.30,
+		SinkCap:     60,
+		ConvectionR: 0.50,
+
+		SpreaderRingFactor: 0.5,
+
+		KEdge: 1.5,
+
+		AmbientC: 35,
+	}
+}

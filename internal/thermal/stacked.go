@@ -1,0 +1,159 @@
+package thermal
+
+import (
+	"errors"
+	"fmt"
+
+	"thermosc/internal/floorplan"
+	"thermosc/internal/mat"
+	"thermosc/internal/power"
+)
+
+// StackParams extends the planar package with the inter-die bond of a 3D
+// stack: each die layer couples to the next through a thin bond/underfill
+// film (with through-silicon vias), a much poorer path than bulk silicon —
+// the reason the paper's introduction calls 3D integration "substantially
+// more challenging" thermally.
+type StackParams struct {
+	PackageParams
+	// Layers is the number of stacked die layers (≥ 2 for an actual
+	// stack; 1 degenerates to the planar model).
+	Layers int
+	// BondThickness and KBond characterize the inter-die bond film.
+	BondThickness float64 // m
+	KBond         float64 // W/(m·K)
+}
+
+// DefaultStack returns a two-layer stack over the standard 65 nm package
+// with a 25 µm underfill bond at 1.5 W/(m·K) (TSV-enhanced).
+func DefaultStack(layers int) StackParams {
+	return StackParams{
+		PackageParams: HotSpot65nm(),
+		Layers:        layers,
+		BondThickness: 25e-6,
+		KBond:         1.5,
+	}
+}
+
+// NewStackedModel assembles the thermal model of a 3D stack: Layers die
+// layers with the same floorplan, layer 0 bonded to the spreader/sink
+// package, layer k+1 stacked on top of layer k. Core indices are
+// layer-major: core (L, i) has index L·fp.NumCores() + i, so NumCores =
+// Layers × fp.NumCores(). All cores are DVFS-independent, exactly as in
+// the planar model — every scheduler in this repository runs unmodified
+// on the stacked model.
+func NewStackedModel(fp *floorplan.Floorplan, sp StackParams, pm power.Model) (*Model, error) {
+	if sp.Layers < 1 {
+		return nil, errors.New("thermal: stack needs at least one layer")
+	}
+	if sp.BondThickness <= 0 || sp.KBond <= 0 {
+		return nil, errors.New("thermal: stack bond parameters must be positive")
+	}
+	nPer := fp.NumCores()
+	n := sp.Layers * nPer // total cores
+	dim := n + nPer + 1   // + spreader blocks + sink
+	sink := dim - 1
+	spreaderBase := n
+
+	pp := sp.PackageParams
+	area := fp.CoreArea()
+	g := mat.NewDense(dim, dim)
+	connect := func(a, b int, cond float64) {
+		if cond <= 0 {
+			return
+		}
+		g.Add(a, a, cond)
+		if b >= 0 {
+			g.Add(b, b, cond)
+			g.Add(a, b, -cond)
+			g.Add(b, a, -cond)
+		}
+	}
+
+	rDie := pp.DieThickness / (pp.KSilicon * area)
+	rTIM := pp.TIMThickness / (pp.KTIM * area)
+	rBond := sp.BondThickness / (sp.KBond * area)
+	gLayer0 := 1 / (rDie + rTIM) // bottom layer to its spreader block
+	gBond := 1 / (rDie + rBond)  // die k+1 to die k through the bond film
+	rSpread := pp.SpreaderThickness / (pp.KCopper * area)
+	gSpSink := 1 / (rSpread + pp.SinkBaseR)
+	gConv := 1 / pp.ConvectionR
+
+	for i := 0; i < nPer; i++ {
+		// Vertical chain: top layer → … → layer 0 → spreader → sink.
+		connect(i, spreaderBase+i, gLayer0)
+		for l := 1; l < sp.Layers; l++ {
+			connect(l*nPer+i, (l-1)*nPer+i, gBond)
+		}
+		connect(spreaderBase+i, sink, gSpSink)
+		if be := fp.BoundaryEdges(i); be > 0 && pp.SpreaderRingFactor > 0 {
+			gRing := pp.SpreaderRingFactor * pp.KCopper * pp.SpreaderThickness * be / fp.CoreEdge
+			connect(spreaderBase+i, sink, gRing)
+		}
+		// Die-edge escape exists on every layer.
+		if be := fp.BoundaryEdges(i); be > 0 && pp.KEdge > 0 {
+			gEdge := pp.KEdge * be * pp.DieThickness / (fp.CoreEdge / 2)
+			for l := 0; l < sp.Layers; l++ {
+				connect(l*nPer+i, -1, gEdge)
+			}
+		}
+	}
+	connect(sink, -1, gConv)
+
+	// Lateral conductances within every die layer and within the spreader.
+	for i := 0; i < nPer; i++ {
+		for _, j := range fp.Neighbors(i) {
+			if j <= i {
+				continue
+			}
+			shared := fp.SharedEdge(i, j)
+			dist := fp.CenterDistance(i, j)
+			gLatSi := pp.KSilicon * shared * pp.DieThickness / dist
+			gLatCu := pp.KCopper * shared * pp.SpreaderThickness / dist
+			for l := 0; l < sp.Layers; l++ {
+				connect(l*nPer+i, l*nPer+j, gLatSi)
+			}
+			connect(spreaderBase+i, spreaderBase+j, gLatCu)
+		}
+	}
+
+	cDiag := make([]float64, dim)
+	cDie := pp.VolHeatSi * area * pp.DieThickness
+	cSp := pp.VolHeatCu * area * pp.SpreaderThickness
+	for i := 0; i < n; i++ {
+		cDiag[i] = cDie
+	}
+	for i := 0; i < nPer; i++ {
+		cDiag[spreaderBase+i] = cSp
+	}
+	cDiag[sink] = pp.SinkCap
+
+	mm := g.Clone().Scale(-1)
+	for i := 0; i < n; i++ {
+		mm.Add(i, i, pm.Beta)
+	}
+	eig, err := mat.DecomposeSymmetrizable(cDiag, mm)
+	if err != nil {
+		return nil, fmt.Errorf("thermal: stacked eigendecomposition failed: %w", err)
+	}
+	if !eig.Stable() {
+		return nil, errors.New("thermal: stacked model unstable")
+	}
+	// G − βE is symmetric positive definite for any physical calibration;
+	// Cholesky halves the solve cost and doubles as the SPD sanity check.
+	hFull, err := mat.InverseSPD(mm.Clone().Scale(-1))
+	if err != nil {
+		return nil, fmt.Errorf("thermal: stacked steady-state matrix singular: %w", err)
+	}
+	for _, v := range hFull.RawData() {
+		if v < -1e-12 {
+			return nil, errors.New("thermal: stacked inverse positivity violated")
+		}
+	}
+	return &Model{
+		fp: fp, pp: pp, pm: pm,
+		n: n, dim: dim,
+		cDiag: cDiag, g: g, m: mm,
+		eig: eig, hFull: hFull,
+	}, nil
+}

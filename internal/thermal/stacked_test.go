@@ -1,0 +1,114 @@
+package thermal
+
+import (
+	"testing"
+
+	"thermosc/internal/floorplan"
+	"thermosc/internal/mat"
+	"thermosc/internal/power"
+)
+
+func TestStackedValidation(t *testing.T) {
+	fp := floorplan.MustGrid(3, 1, 4e-3)
+	pm := power.DefaultModel()
+	if _, err := NewStackedModel(fp, StackParams{PackageParams: HotSpot65nm()}, pm); err == nil {
+		t.Fatal("zero layers must error")
+	}
+	sp := DefaultStack(2)
+	sp.BondThickness = 0
+	if _, err := NewStackedModel(fp, sp, pm); err == nil {
+		t.Fatal("zero bond thickness must error")
+	}
+}
+
+func TestStackedShape(t *testing.T) {
+	fp := floorplan.MustGrid(3, 1, 4e-3)
+	md, err := NewStackedModel(fp, DefaultStack(2), power.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md.NumCores() != 6 {
+		t.Fatalf("NumCores = %d, want 6 (2 layers × 3)", md.NumCores())
+	}
+	if md.NumNodes() != 6+3+1 {
+		t.Fatalf("NumNodes = %d", md.NumNodes())
+	}
+	if !md.Eigen().Stable() {
+		t.Fatal("stacked model unstable")
+	}
+}
+
+func TestStackedSingleLayerMatchesPlanar(t *testing.T) {
+	fp := floorplan.MustGrid(3, 1, 4e-3)
+	pm := power.DefaultModel()
+	planar, err := NewModel(fp, HotSpot65nm(), pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack, err := NewStackedModel(fp, DefaultStack(1), pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := uniformModes(3, 1.1)
+	if !mat.VecEqual(planar.SteadyStateCores(modes), stack.SteadyStateCores(modes), 1e-9) {
+		t.Fatalf("1-layer stack deviates from planar:\n%v\n%v",
+			planar.SteadyStateCores(modes), stack.SteadyStateCores(modes))
+	}
+}
+
+func TestStackedUpperLayerRunsHotter(t *testing.T) {
+	fp := floorplan.MustGrid(3, 1, 4e-3)
+	md, err := NewStackedModel(fp, DefaultStack(2), power.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps := md.SteadyStateCores(uniformModes(6, 1.0))
+	for i := 0; i < 3; i++ {
+		bottom, top := temps[i], temps[3+i]
+		if top <= bottom {
+			t.Fatalf("top-layer core %d (%.2f K) should run hotter than bottom (%.2f K)", i, top, bottom)
+		}
+		// The bond film is a serious barrier: expect a multi-kelvin gap.
+		if top-bottom < 1 {
+			t.Fatalf("stack gap implausibly small: %.3f K", top-bottom)
+		}
+	}
+}
+
+func TestStackedTighterThanPlanarSameCoreCount(t *testing.T) {
+	pm := power.DefaultModel()
+	planar, err := Default(3, 2) // 6 cores side by side
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack, err := NewStackedModel(floorplan.MustGrid(3, 1, 4e-3), DefaultStack(2), pm) // 6 cores stacked
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := uniformModes(6, 1.0)
+	pMax, _ := mat.VecMax(planar.SteadyStateCores(modes))
+	sMax, _ := mat.VecMax(stack.SteadyStateCores(modes))
+	if sMax <= pMax {
+		t.Fatalf("stacking should be thermally tighter: stacked %.2f K vs planar %.2f K", sMax, pMax)
+	}
+}
+
+func TestStackedMonotoneCooling(t *testing.T) {
+	fp := floorplan.MustGrid(2, 1, 4e-3)
+	md, err := NewStackedModel(fp, DefaultStack(3), power.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := make([]power.Mode, md.NumCores())
+	state := md.Step(5, md.ZeroState(), uniformModes(md.NumCores(), 1.2))
+	prev := state
+	for k := 0; k < 10; k++ {
+		next := md.Step(1, prev, off)
+		for i := range next {
+			if next[i] > prev[i]+1e-9 {
+				t.Fatalf("cooling not monotone at node %d", i)
+			}
+		}
+		prev = next
+	}
+}

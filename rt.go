@@ -1,0 +1,189 @@
+package thermosc
+
+import (
+	"fmt"
+
+	"thermosc/internal/actuator"
+	"thermosc/internal/rt"
+)
+
+// Task is a periodic implicit-deadline hard real-time task: WCET seconds
+// of work at normalized speed 1.0, released every Period seconds.
+type Task struct {
+	Name   string
+	WCET   float64 // seconds at unit speed
+	Period float64 // seconds
+}
+
+// Utilization returns WCET/Period.
+func (t Task) Utilization() float64 { return t.WCET / t.Period }
+
+// AdmissionReport is the outcome of AdmitTasks.
+type AdmissionReport struct {
+	// Admissible is true when every core's sustained speed covers its
+	// assigned utilization and the fluid approximation holds.
+	Admissible bool
+	// Plan is the thermally-feasible schedule whose sustained speeds were
+	// tested.
+	Plan *Plan
+	// TaskCore[i] is the core index task i was assigned to.
+	TaskCore []int
+	// CoreUtil and CoreSpeed give the per-core demanded utilization and
+	// sustained speed; Margins their difference.
+	CoreUtil  []float64
+	CoreSpeed []float64
+	Margins   []float64
+	// FluidOK reports whether the plan's oscillation cycle is fast enough
+	// relative to the shortest task period for the uniform-speed (fluid)
+	// EDF argument to apply.
+	FluidOK bool
+}
+
+// AdmitTasks partitions the task set across the platform's cores
+// (worst-fit decreasing, balancing thermal load), derives the sustained
+// per-core speeds of the method's thermally-feasible schedule at tmaxC,
+// and tests EDF admissibility per core. A task set is reported admissible
+// only if the underlying plan is itself temperature-feasible.
+func (p *Platform) AdmitTasks(tasks []Task, method Method, tmaxC float64) (*AdmissionReport, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("thermosc: empty task set")
+	}
+	internal := make([]rt.Task, len(tasks))
+	for i, t := range tasks {
+		internal[i] = rt.Task{Name: t.Name, WCET: t.WCET, Period: t.Period}
+	}
+	// Reject sets with an individual task beyond the fastest mode before
+	// solving anything — no schedule can carry them.
+	for _, t := range internal {
+		if err := t.Validate(); err != nil {
+			return nil, err
+		}
+		if t.Utilization() > p.levels.Max()+1e-12 {
+			return nil, fmt.Errorf("thermosc: task %q utilization %.3f exceeds the top speed %.3f",
+				t.Name, t.Utilization(), p.levels.Max())
+		}
+	}
+	plan, err := p.Maximize(method, tmaxC)
+	if err != nil {
+		return nil, err
+	}
+	rep := &AdmissionReport{Plan: plan}
+	if !plan.Feasible || len(plan.Cores) == 0 {
+		// No thermally-feasible schedule: report against zero speeds.
+		part, err := rt.PartitionBySpeeds(internal, make([]float64, p.NumCores()))
+		if err != nil {
+			return nil, err
+		}
+		rep.TaskCore = part.TaskCore
+		rep.CoreUtil = part.CoreUtil
+		rep.Margins = make([]float64, p.NumCores())
+		for c := range rep.Margins {
+			rep.Margins[c] = -part.CoreUtil[c]
+		}
+		rep.CoreSpeed = make([]float64, p.NumCores())
+		return rep, nil
+	}
+	speeds := make([]float64, p.NumCores())
+	var mean float64
+	for c, slices := range plan.Cores {
+		var work float64
+		for _, sl := range slices {
+			work += sl.Voltage * sl.Seconds
+		}
+		speeds[c] = work / plan.PeriodS
+		mean += speeds[c]
+	}
+	mean /= float64(len(speeds))
+	// The plan's timeline includes the overhead-extended high intervals;
+	// part of that time is transition stall, not useful work. Rescale so
+	// the per-core speeds are consistent with the plan's USEFUL
+	// throughput (slightly conservative for the low-speed cores).
+	if mean > 0 && plan.Throughput < mean {
+		f := plan.Throughput / mean
+		for c := range speeds {
+			speeds[c] *= f
+		}
+	}
+	rep.CoreSpeed = speeds
+	// Partition against the plan's actual speed vector (slow or off cores
+	// only receive load they can carry).
+	part, err := rt.PartitionBySpeeds(internal, speeds)
+	if err != nil {
+		return nil, err
+	}
+	rep.TaskCore = part.TaskCore
+	rep.CoreUtil = part.CoreUtil
+	// Constant-mode plans have no oscillation cycle, so the fluid
+	// approximation is moot for them.
+	cycle := 0.0
+	for _, slices := range plan.Cores {
+		if len(slices) > 1 {
+			cycle = plan.PeriodS
+			break
+		}
+	}
+	adm, err := rt.Admissible(part, speeds, cycle, rt.MinPeriod(internal))
+	if err != nil {
+		return nil, err
+	}
+	rep.Admissible = adm.Admissible
+	rep.Margins = adm.Margins
+	rep.FluidOK = adm.FluidOK
+	return rep, nil
+}
+
+// EDFCheck is the job-level verdict of VerifyAdmissionByEDF.
+type EDFCheck struct {
+	// MissesPerCore[c] counts deadline misses simulated on core c.
+	MissesPerCore []int
+	// TotalMisses sums them; 0 confirms the admission verdict.
+	TotalMisses  int
+	JobsReleased int
+}
+
+// VerifyAdmissionByEDF re-checks an admission report with a job-level EDF
+// simulation: each core's assigned tasks run on the plan's EXECUTED speed
+// profile (DVFS transition windows deliver zero work) for the given
+// horizon in seconds. An admitted report simulating with zero misses is
+// end-to-end evidence; a rejected report often shows where the misses
+// land. tasks must be the same set passed to AdmitTasks.
+func (p *Platform) VerifyAdmissionByEDF(rep *AdmissionReport, tasks []Task, horizon float64) (*EDFCheck, error) {
+	if rep == nil || rep.Plan == nil || len(rep.Plan.Cores) == 0 {
+		return nil, fmt.Errorf("thermosc: report carries no executable plan")
+	}
+	if len(rep.TaskCore) != len(tasks) {
+		return nil, fmt.Errorf("thermosc: %d task assignments for %d tasks", len(rep.TaskCore), len(tasks))
+	}
+	s, err := rep.Plan.internalSchedule(p)
+	if err != nil {
+		return nil, err
+	}
+	profiles, err := actuator.ExecutedSpeedProfiles(s, p.overhead)
+	if err != nil {
+		return nil, err
+	}
+	check := &EDFCheck{MissesPerCore: make([]int, p.NumCores())}
+	for c := 0; c < p.NumCores(); c++ {
+		var coreTasks []rt.Task
+		for i, tc := range rep.TaskCore {
+			if tc == c {
+				coreTasks = append(coreTasks, rt.Task{
+					Name:   tasks[i].Name,
+					WCET:   tasks[i].WCET,
+					Period: tasks[i].Period,
+				})
+			}
+		}
+		if len(coreTasks) == 0 {
+			continue
+		}
+		res, err := rt.SimulateEDF(coreTasks, profiles[c], horizon)
+		if err != nil {
+			return nil, err
+		}
+		check.MissesPerCore[c] = res.DeadlineMiss
+		check.TotalMisses += res.DeadlineMiss
+		check.JobsReleased += res.JobsReleased
+	}
+	return check, nil
+}

@@ -1,0 +1,177 @@
+package thermosc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAdmitTasksAccepts(t *testing.T) {
+	p, err := New(3, 1, WithPaperLevels(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Comfortably schedulable: total utilization 1.8 across 3 cores whose
+	// AO plan sustains ≈3×1.07.
+	tasks := []Task{
+		{Name: "video", WCET: 30e-3, Period: 50e-3},  // 0.6
+		{Name: "radio", WCET: 20e-3, Period: 40e-3},  // 0.5
+		{Name: "ui", WCET: 21e-3, Period: 60e-3},     // 0.35
+		{Name: "sensor", WCET: 14e-3, Period: 40e-3}, // 0.35
+	}
+	rep, err := p.AdmitTasks(tasks, MethodAO, 65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Admissible {
+		t.Fatalf("expected admission: %+v", rep)
+	}
+	if !rep.FluidOK {
+		t.Fatal("fluid approximation should hold (ms cycles vs 40+ ms periods)")
+	}
+	for c, m := range rep.Margins {
+		if m < 0 {
+			t.Fatalf("core %d margin negative: %v", c, m)
+		}
+		if math.Abs(rep.CoreSpeed[c]-rep.CoreUtil[c]-m) > 1e-9 {
+			t.Fatal("margins inconsistent")
+		}
+	}
+	if len(rep.TaskCore) != len(tasks) {
+		t.Fatal("TaskCore length mismatch")
+	}
+}
+
+func TestAdmitTasksRejectsOverload(t *testing.T) {
+	p, err := New(3, 1, WithPaperLevels(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total utilization 3.6 > anything 3 cores can sustain below 65 °C.
+	tasks := []Task{
+		{Name: "a", WCET: 12, Period: 10},
+		{Name: "b", WCET: 12, Period: 10},
+		{Name: "c", WCET: 12, Period: 10},
+	}
+	rep, err := p.AdmitTasks(tasks, MethodAO, 65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Admissible {
+		t.Fatal("overload must be rejected")
+	}
+	neg := false
+	for _, m := range rep.Margins {
+		if m < 0 {
+			neg = true
+		}
+	}
+	if !neg {
+		t.Fatal("expected at least one negative margin")
+	}
+}
+
+func TestAdmitTasksRejectsUnpackable(t *testing.T) {
+	p, err := New(2, 1, WithPaperLevels(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single task above the top speed can never fit.
+	if _, err := p.AdmitTasks([]Task{{Name: "x", WCET: 15, Period: 10}}, MethodAO, 65); err == nil {
+		t.Fatal("unpackable task must error")
+	}
+	if _, err := p.AdmitTasks(nil, MethodAO, 65); err == nil {
+		t.Fatal("empty task set must error")
+	}
+}
+
+func TestAdmitTasksMethodComparison(t *testing.T) {
+	p, err := New(3, 1, WithPaperLevels(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A load LNS cannot carry (0.75/core > 0.6) but AO can.
+	tasks := []Task{
+		{Name: "a", WCET: 75e-3, Period: 100e-3},
+		{Name: "b", WCET: 75e-3, Period: 100e-3},
+		{Name: "c", WCET: 75e-3, Period: 100e-3},
+	}
+	lns, err := p.AdmitTasks(tasks, MethodLNS, 65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ao, err := p.AdmitTasks(tasks, MethodAO, 65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lns.Admissible {
+		t.Fatal("LNS should reject this load")
+	}
+	if !ao.Admissible {
+		t.Fatalf("AO should admit this load: %+v", ao)
+	}
+}
+
+func TestVerifyAdmissionByEDF(t *testing.T) {
+	p, err := New(3, 1, WithPaperLevels(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := []Task{
+		{Name: "video", WCET: 30e-3, Period: 50e-3},
+		{Name: "radio", WCET: 20e-3, Period: 40e-3},
+		{Name: "ui", WCET: 21e-3, Period: 60e-3},
+		{Name: "sensor", WCET: 14e-3, Period: 40e-3},
+	}
+	rep, err := p.AdmitTasks(tasks, MethodAO, 65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Admissible {
+		t.Fatal("expected admission")
+	}
+	check, err := p.VerifyAdmissionByEDF(rep, tasks, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if check.TotalMisses != 0 {
+		t.Fatalf("admitted set missed %d deadlines (per core %v)", check.TotalMisses, check.MissesPerCore)
+	}
+	if check.JobsReleased == 0 {
+		t.Fatal("no jobs simulated")
+	}
+
+	// A rejected overload should show misses at the job level too.
+	heavy := []Task{
+		{Name: "a", WCET: 120e-3, Period: 100e-3},
+		{Name: "b", WCET: 120e-3, Period: 100e-3},
+		{Name: "c", WCET: 120e-3, Period: 100e-3},
+	}
+	repH, err := p.AdmitTasks(heavy, MethodAO, 65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repH.Admissible {
+		t.Fatal("overload should be rejected")
+	}
+	checkH, err := p.VerifyAdmissionByEDF(repH, heavy, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checkH.TotalMisses == 0 {
+		t.Fatal("rejected overload should miss deadlines in simulation")
+	}
+
+	// Input validation.
+	if _, err := p.VerifyAdmissionByEDF(rep, tasks[:2], 1); err == nil {
+		t.Fatal("task-count mismatch must error")
+	}
+	if _, err := p.VerifyAdmissionByEDF(&AdmissionReport{}, tasks, 1); err == nil {
+		t.Fatal("plan-less report must error")
+	}
+}
+
+func TestTaskUtilization(t *testing.T) {
+	if u := (Task{WCET: 1, Period: 4}).Utilization(); u != 0.25 {
+		t.Fatalf("Utilization = %v", u)
+	}
+}

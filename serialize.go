@@ -1,0 +1,102 @@
+package thermosc
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+)
+
+// planJSON is the stable on-disk representation of a Plan. Durations are
+// seconds; temperatures absolute °C. The format is versioned so future
+// revisions can migrate old files.
+type planJSON struct {
+	Version    int       `json:"version"`
+	Method     Method    `json:"method"`
+	Throughput float64   `json:"throughput"`
+	PeakC      float64   `json:"peak_c"`
+	Feasible   bool      `json:"feasible"`
+	M          int       `json:"m"`
+	PeriodS    float64   `json:"period_s"`
+	Cores      [][]Slice `json:"cores,omitempty"`
+	ElapsedS   float64   `json:"solver_elapsed_s"`
+}
+
+const planFormatVersion = 1
+
+// MarshalJSON encodes the plan in the versioned interchange format.
+func (plan *Plan) MarshalJSON() ([]byte, error) {
+	return json.Marshal(planJSON{
+		Version:    planFormatVersion,
+		Method:     plan.Method,
+		Throughput: plan.Throughput,
+		PeakC:      plan.PeakC,
+		Feasible:   plan.Feasible,
+		M:          plan.M,
+		PeriodS:    plan.PeriodS,
+		Cores:      plan.Cores,
+		ElapsedS:   plan.Elapsed.Seconds(),
+	})
+}
+
+// UnmarshalJSON decodes and validates a plan from the interchange format.
+func (plan *Plan) UnmarshalJSON(data []byte) error {
+	var pj planJSON
+	if err := json.Unmarshal(data, &pj); err != nil {
+		return err
+	}
+	if pj.Version != planFormatVersion {
+		return fmt.Errorf("thermosc: unsupported plan format version %d", pj.Version)
+	}
+	out := Plan{
+		Method:     pj.Method,
+		Throughput: pj.Throughput,
+		PeakC:      pj.PeakC,
+		Feasible:   pj.Feasible,
+		M:          pj.M,
+		PeriodS:    pj.PeriodS,
+		Cores:      pj.Cores,
+	}
+	out.Elapsed = secondsToDuration(pj.ElapsedS)
+	if err := out.validate(); err != nil {
+		return err
+	}
+	*plan = out
+	return nil
+}
+
+// validate checks the structural invariants of a deserialized plan.
+func (plan *Plan) validate() error {
+	if len(plan.Cores) == 0 {
+		return nil // infeasible plans legitimately carry no schedule
+	}
+	if plan.PeriodS <= 0 || math.IsNaN(plan.PeriodS) || math.IsInf(plan.PeriodS, 0) {
+		return fmt.Errorf("thermosc: plan has invalid period %v", plan.PeriodS)
+	}
+	for i, slices := range plan.Cores {
+		if len(slices) == 0 {
+			return fmt.Errorf("thermosc: plan core %d has no slices", i)
+		}
+		var sum float64
+		for _, sl := range slices {
+			if sl.Seconds < 0 || math.IsNaN(sl.Seconds) || math.IsInf(sl.Seconds, 0) {
+				return fmt.Errorf("thermosc: plan core %d has invalid slice length %v", i, sl.Seconds)
+			}
+			if sl.Voltage < 0 || math.IsNaN(sl.Voltage) || math.IsInf(sl.Voltage, 0) {
+				return fmt.Errorf("thermosc: plan core %d has invalid voltage %v", i, sl.Voltage)
+			}
+			sum += sl.Seconds
+		}
+		if math.Abs(sum-plan.PeriodS) > 1e-9*math.Max(1, plan.PeriodS) {
+			return fmt.Errorf("thermosc: plan core %d slices sum to %v, period %v", i, sum, plan.PeriodS)
+		}
+	}
+	return nil
+}
+
+func secondsToDuration(s float64) time.Duration {
+	if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return 0
+	}
+	return time.Duration(s * float64(time.Second))
+}

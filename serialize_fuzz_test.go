@@ -1,0 +1,38 @@
+package thermosc
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzPlanUnmarshal drives the plan decoder with arbitrary bytes: it must
+// never panic, and every accepted plan must satisfy the structural
+// invariants and survive a re-encode round trip.
+func FuzzPlanUnmarshal(f *testing.F) {
+	f.Add([]byte(`{"version":1,"method":"AO","period_s":0.02,"feasible":true,"cores":[[{"Seconds":0.02,"Voltage":0.6}]]}`))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":2}`))
+	f.Add([]byte(`{"version":1,"period_s":-1}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"version":1,"period_s":1e308,"cores":[[{"Seconds":1e308,"Voltage":1e308}]]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var plan Plan
+		if err := json.Unmarshal(data, &plan); err != nil {
+			return // rejection is fine
+		}
+		if err := plan.validate(); err != nil {
+			t.Fatalf("accepted an invalid plan: %v", err)
+		}
+		re, err := json.Marshal(&plan)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		var back Plan
+		if err := json.Unmarshal(re, &back); err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if back.PeriodS != plan.PeriodS || len(back.Cores) != len(plan.Cores) {
+			t.Fatal("round trip changed the plan")
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package thermosc
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	p, err := New(3, 1, WithPaperLevels(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := p.Maximize(MethodAO, 65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"version":1`) {
+		t.Fatalf("missing version field: %s", data)
+	}
+	var back Plan
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Method != plan.Method || back.M != plan.M || back.Feasible != plan.Feasible {
+		t.Fatalf("metadata mismatch: %+v vs %+v", back, plan)
+	}
+	if math.Abs(back.Throughput-plan.Throughput) > 1e-12 ||
+		math.Abs(back.PeakC-plan.PeakC) > 1e-12 ||
+		math.Abs(back.PeriodS-plan.PeriodS) > 1e-12 {
+		t.Fatal("numeric fields drifted through JSON")
+	}
+	if len(back.Cores) != len(plan.Cores) {
+		t.Fatal("cores lost")
+	}
+	// The deserialized plan must remain usable: verify and trace it.
+	// The plan's PeakC certifies the executed timeline, so the bare
+	// schedule verifies at or slightly below it.
+	peak, err := p.VerifyPeakC(&back, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > plan.PeakC+0.05 || plan.PeakC-peak > 0.3 {
+		t.Fatalf("reloaded plan peak %.4f vs original %.4f", peak, plan.PeakC)
+	}
+}
+
+func TestPlanJSONRejectsBadData(t *testing.T) {
+	cases := []string{
+		`{"version":2}`, // unknown version
+		`{"version":1,"period_s":-1,"cores":[[{"Seconds":1,"Voltage":0.6}]]}`,
+		`{"version":1,"period_s":1,"cores":[[]]}`,
+		`{"version":1,"period_s":1,"cores":[[{"Seconds":-1,"Voltage":0.6}]]}`,
+		`{"version":1,"period_s":1,"cores":[[{"Seconds":1,"Voltage":-2}]]}`,
+		`{"version":1,"period_s":1,"cores":[[{"Seconds":0.5,"Voltage":0.6}]]}`, // slices don't tile period
+		`not json`,
+	}
+	for _, c := range cases {
+		var plan Plan
+		if err := json.Unmarshal([]byte(c), &plan); err == nil {
+			t.Fatalf("expected rejection of %s", c)
+		}
+	}
+	// Infeasible plan without schedule round-trips fine.
+	var plan Plan
+	if err := json.Unmarshal([]byte(`{"version":1,"method":"EXS","feasible":false}`), &plan); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Feasible || len(plan.Cores) != 0 {
+		t.Fatalf("unexpected plan: %+v", plan)
+	}
+}
+
+func TestSecondsToDuration(t *testing.T) {
+	if secondsToDuration(1.5).Seconds() != 1.5 {
+		t.Fatal("round trip failed")
+	}
+	if secondsToDuration(-1) != 0 || secondsToDuration(math.NaN()) != 0 {
+		t.Fatal("invalid inputs should clamp to zero")
+	}
+}
