@@ -2,8 +2,13 @@
 # no tools beyond the Go toolchain are required.
 
 GO ?= go
+# Per-target fuzzing time; CI's smoke job overrides this to 10s.
+FUZZTIME ?= 30s
+# Minimum total statement coverage (percent) enforced by cover-check.
+COVER_MIN ?= 83
 
-.PHONY: all build vet test test-race bench experiments figures fuzz cover clean
+.PHONY: all build vet test test-race bench bench-json experiments figures \
+        fuzz fuzz-smoke cover cover-check ci clean
 
 all: build vet test
 
@@ -22,6 +27,12 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Machine-readable benchmark report + regression gate against the
+# checked-in baseline (see docs/PERF.md). Regenerate the baseline with:
+#   go run ./cmd/thermosc-bench -out BENCH_ao.json
+bench-json:
+	$(GO) run ./cmd/thermosc-bench -out BENCH_ao.ci.json -baseline BENCH_ao.json
+
 # Regenerate every paper table/figure (text) and the SVG figures.
 experiments:
 	$(GO) run ./cmd/thermosc-experiments | tee docs/experiments_full_output.txt
@@ -31,14 +42,30 @@ figures:
 
 # Short fuzzing passes over the parsers and transforms.
 fuzz:
-	$(GO) test ./internal/schedule -fuzz FuzzShiftRotate -fuzztime 30s
-	$(GO) test ./internal/schedule -fuzz FuzzMOscillateInvariants -fuzztime 30s
-	$(GO) test ./internal/floorplan -fuzz FuzzParseFLP -fuzztime 30s
-	$(GO) test . -fuzz FuzzPlanUnmarshal -fuzztime 30s
+	$(GO) test ./internal/schedule -fuzz FuzzShiftRotate -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/schedule -fuzz FuzzMOscillateInvariants -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/floorplan -fuzz FuzzParseFLP -fuzztime $(FUZZTIME)
+	$(GO) test . -fuzz FuzzPlanUnmarshal -fuzztime $(FUZZTIME)
+
+# Quick CI smoke pass over the same fuzz targets.
+fuzz-smoke:
+	$(MAKE) fuzz FUZZTIME=10s
 
 cover:
 	$(GO) test ./... -coverprofile=cover.out
 	$(GO) tool cover -func=cover.out | tail -1
 
+# Fail if total statement coverage drops below COVER_MIN percent.
+cover-check: cover
+	@total=$$($(GO) tool cover -func=cover.out | tail -1 | awk '{print $$NF}' | tr -d '%'); \
+	pass=$$(awk -v t="$$total" -v m="$(COVER_MIN)" 'BEGIN{print (t >= m) ? 1 : 0}'); \
+	if [ "$$pass" -ne 1 ]; then \
+		echo "coverage $$total% is below the $(COVER_MIN)% gate"; exit 1; \
+	fi; \
+	echo "coverage $$total% >= $(COVER_MIN)% gate"
+
+# Everything CI runs, in one target, for local pre-push verification.
+ci: build vet test test-race fuzz-smoke cover-check bench-json
+
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt BENCH_ao.ci.json

@@ -13,6 +13,7 @@ package thermosc_test
 
 import (
 	"io"
+	"runtime"
 	"testing"
 
 	"thermosc"
@@ -235,6 +236,83 @@ func BenchmarkRK4Period3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sim.RK4(md, s, t0, 1, 1e-4)
 	}
+}
+
+// --- evaluation-engine benchmarks ---------------------------------------
+
+// BenchmarkAOSearch pits the sequential reference m-search (Workers=1)
+// against the worker-pool fan-out (Workers=GOMAXPROCS). Both produce
+// bit-identical plans (see internal/solver/determinism_test.go); the
+// ratio seq/par is the parallel speedup reported by cmd/thermosc-bench.
+// On a single-CPU machine the two coincide — the speedup only shows at
+// 4+ cores (the CI bench job).
+func BenchmarkAOSearch(b *testing.B) {
+	for name, workers := range map[string]int{
+		"seq": 1,
+		"par": runtime.GOMAXPROCS(0),
+	} {
+		b.Run(name, func(b *testing.B) {
+			p := benchProblem(b, 3, 3, 2, 55)
+			p.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.AO(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPeakEval compares the three stable-status peak evaluators on
+// the 9-core platform:
+//
+//	classic  — NewStableCached + PeakEndOfPeriod against a bare
+//	           PeriodCache (the pre-engine hot path),
+//	engine   — the same evaluation through sim.Engine, hitting the warmed
+//	           propagator cache (bit-identical result),
+//	composed — the eigenbasis semigroup evaluator StepUpPeakComposed
+//	           (agrees to ≲1e-8 K, not bit-identical).
+func BenchmarkPeakEval(b *testing.B) {
+	md, s := benchSchedule(b, 9)
+	b.Run("classic", func(b *testing.B) {
+		cache, err := sim.NewPeriodCache(md, s.Period())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st, err := sim.NewStableCached(md, s, cache)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st.PeakEndOfPeriod()
+		}
+	})
+	b.Run("engine", func(b *testing.B) {
+		eng := sim.NewEngine(md)
+		if _, _, err := eng.StepUpPeak(s); err != nil { // warm the caches
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eng.StepUpPeak(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("composed", func(b *testing.B) {
+		eng := sim.NewEngine(md)
+		if _, _, err := eng.StepUpPeakComposed(s); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eng.StepUpPeakComposed(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // --- closed-loop component benchmarks -----------------------------------

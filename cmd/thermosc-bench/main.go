@@ -1,0 +1,268 @@
+// Command thermosc-bench runs the evaluation-engine benchmark suite and
+// emits a machine-readable report (BENCH_ao.json) for the CI regression
+// gate.
+//
+// Usage:
+//
+//	thermosc-bench [-out BENCH_ao.json] [-baseline BENCH_ao.json] \
+//	               [-max-regression 2.0] [-benchtime 1s]
+//
+// The suite mirrors BenchmarkAOSearch and BenchmarkPeakEval in
+// bench_test.go: the AO solver with the sequential reference m-search
+// (workers=1) and the worker-pool fan-out (workers=GOMAXPROCS), plus the
+// three stable-status peak evaluators (classic, engine-cached, composed).
+//
+// With -baseline the report is compared entry-by-entry against a previous
+// run: any benchmark whose ns/op exceeds max-regression × its baseline
+// ns/op fails the gate and the process exits 1. The 2× default absorbs
+// cross-machine and CI-runner noise while still catching real
+// regressions. Baseline entries missing from the current run (or vice
+// versa) are reported but never fail the gate, so the suite can grow.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"thermosc/internal/power"
+	"thermosc/internal/schedule"
+	"thermosc/internal/sim"
+	"thermosc/internal/solver"
+	"thermosc/internal/thermal"
+)
+
+// Schema identifies the report layout; bump on incompatible changes.
+const Schema = "thermosc-bench/v1"
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is the full machine-readable output.
+type Report struct {
+	Schema     string            `json:"schema"`
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	CPUs       int               `json:"cpus"`
+	Benchmarks []Entry           `json:"benchmarks"`
+	Speedups   map[string]float64 `json:"speedups,omitempty"`
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_ao.json", "report output path ('-' for stdout only)")
+		basePth = flag.String("baseline", "", "baseline report to gate against (empty = no gate)")
+		maxReg  = flag.Float64("max-regression", 2.0, "fail if ns/op exceeds this multiple of the baseline")
+	)
+	flag.Parse()
+
+	rep, err := run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "thermosc-bench: %v\n", err)
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "thermosc-bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "thermosc-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d benchmarks, %d CPUs)\n", *out, len(rep.Benchmarks), rep.CPUs)
+	}
+	for _, e := range rep.Benchmarks {
+		fmt.Printf("  %-24s %14.0f ns/op  %8d B/op  %6d allocs/op\n",
+			e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	}
+	for k, v := range rep.Speedups {
+		fmt.Printf("  speedup %-16s %.2fx\n", k, v)
+	}
+
+	if *basePth != "" {
+		if err := gate(rep, *basePth, *maxReg); err != nil {
+			fmt.Fprintf(os.Stderr, "thermosc-bench: FAIL: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("gate passed: no benchmark regressed more than %.1fx vs %s\n", *maxReg, *basePth)
+	}
+}
+
+// run executes the suite. Benchmark bodies intentionally mirror
+// bench_test.go so `go test -bench` and CI measure the same code paths;
+// testing.Benchmark grows b.N until each measurement covers ~1 s.
+func run() (*Report, error) {
+	md, err := thermal.Default(3, 3)
+	if err != nil {
+		return nil, err
+	}
+	ls, err := power.PaperLevels(2)
+	if err != nil {
+		return nil, err
+	}
+	aoProblem := func(workers int) solver.Problem {
+		return solver.Problem{
+			Model: md, Levels: ls, TmaxC: 55,
+			Overhead: power.DefaultOverhead(), Workers: workers,
+		}
+	}
+	specs := make([]schedule.TwoModeSpec, md.NumCores())
+	for i := range specs {
+		specs[i] = schedule.TwoModeSpec{
+			Low:       power.NewMode(0.6),
+			High:      power.NewMode(1.3),
+			HighRatio: 0.3 + 0.05*float64(i%8),
+		}
+	}
+	sched, err := schedule.TwoMode(20e-3, specs)
+	if err != nil {
+		return nil, err
+	}
+	cache, err := sim.NewPeriodCache(md, sched.Period())
+	if err != nil {
+		return nil, err
+	}
+	engine := sim.NewEngine(md)
+	if _, _, err := engine.StepUpPeak(sched); err != nil {
+		return nil, err
+	}
+
+	suite := []struct {
+		name string
+		body func(b *testing.B)
+	}{
+		{"ao_search_seq", func(b *testing.B) {
+			p := aoProblem(1)
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.AO(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ao_search_par", func(b *testing.B) {
+			p := aoProblem(runtime.GOMAXPROCS(0))
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.AO(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"peak_eval_classic", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st, err := sim.NewStableCached(md, sched, cache)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st.PeakEndOfPeriod()
+			}
+		}},
+		{"peak_eval_engine", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := engine.StepUpPeak(sched); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"peak_eval_composed", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := engine.StepUpPeakComposed(sched); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+
+	rep := &Report{
+		Schema:    Schema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+	byName := make(map[string]Entry, len(suite))
+	for _, bm := range suite {
+		body := bm.body
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			body(b)
+		})
+		if r.N == 0 {
+			return nil, fmt.Errorf("benchmark %s failed (zero iterations)", bm.name)
+		}
+		e := Entry{
+			Name:        bm.name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+		byName[e.Name] = e
+	}
+
+	rep.Speedups = map[string]float64{}
+	if s, p := byName["ao_search_seq"], byName["ao_search_par"]; p.NsPerOp > 0 {
+		rep.Speedups["ao_search"] = s.NsPerOp / p.NsPerOp
+	}
+	if c, e := byName["peak_eval_classic"], byName["peak_eval_engine"]; e.NsPerOp > 0 {
+		rep.Speedups["peak_eval_engine"] = c.NsPerOp / e.NsPerOp
+	}
+	if c, co := byName["peak_eval_classic"], byName["peak_eval_composed"]; co.NsPerOp > 0 {
+		rep.Speedups["peak_eval_composed"] = c.NsPerOp / co.NsPerOp
+	}
+	return rep, nil
+}
+
+// gate compares the fresh report against a baseline file.
+func gate(cur *Report, baselinePath string, maxRegression float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline: %w", err)
+	}
+	if base.Schema != Schema {
+		return fmt.Errorf("baseline schema %q, want %q", base.Schema, Schema)
+	}
+	baseBy := make(map[string]Entry, len(base.Benchmarks))
+	for _, e := range base.Benchmarks {
+		baseBy[e.Name] = e
+	}
+	var failures []string
+	for _, e := range cur.Benchmarks {
+		b, ok := baseBy[e.Name]
+		if !ok {
+			fmt.Printf("  (no baseline for %s — skipping gate)\n", e.Name)
+			continue
+		}
+		ratio := e.NsPerOp / b.NsPerOp
+		fmt.Printf("  gate %-24s %.2fx of baseline (%0.f vs %.0f ns/op)\n",
+			e.Name, ratio, e.NsPerOp, b.NsPerOp)
+		if ratio > maxRegression {
+			failures = append(failures,
+				fmt.Sprintf("%s regressed %.2fx (limit %.1fx)", e.Name, ratio, maxRegression))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d regression(s): %v", len(failures), failures)
+	}
+	return nil
+}

@@ -83,6 +83,31 @@ func (e *Symmetrizable) ExpAtVec(t float64, x []float64) []float64 {
 	return e.W.MulVec(y)
 }
 
+// ExpLambda returns the diagonal propagator factors exp(λ_i·t) of e^{A·t}
+// in the eigenbasis. The thermal Propagator cache stores these per
+// interval length Δt; feeding them back through StepVecExp reproduces
+// StepVec bit for bit.
+func (e *Symmetrizable) ExpLambda(t float64) []float64 {
+	expL := make([]float64, e.n)
+	for i, l := range e.Lambda {
+		expL[i] = math.Exp(l * t)
+	}
+	return expL
+}
+
+// StepVecExp is StepVec with the exponential factors expL = exp(λ·t)
+// precomputed (see ExpLambda). The arithmetic — operand order included —
+// matches StepVec exactly, so cached factors yield bit-identical states.
+func (e *Symmetrizable) StepVecExp(expL, x, tInf []float64) []float64 {
+	diff := VecSub(x, tInf)
+	y := e.Winv.MulVec(diff)
+	for i := range y {
+		y[i] *= expL[i]
+	}
+	out := e.W.MulVec(y)
+	return VecAddInPlace(out, tInf)
+}
+
 // PhiVec returns (I − e^{A·t})·x in O(n²). This is the coefficient of the
 // steady-state target T∞ in the transient solution (paper eq. (3)).
 func (e *Symmetrizable) PhiVec(t float64, x []float64) []float64 {

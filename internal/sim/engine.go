@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"sync"
+
+	"thermosc/internal/mat"
+	"thermosc/internal/schedule"
+	"thermosc/internal/thermal"
+)
+
+// Engine is the shared peak-temperature evaluation context of the
+// solvers' inner loops. It bundles one thermal model with
+//
+//   - a thermal.Propagator memoizing the per-interval operators (T∞ per
+//     mode vector, eigenbasis exponential factors per interval length),
+//   - a pool of PeriodCache stable-status operators keyed by the exact
+//     period value, so the AO m-search builds each candidate period's
+//     O(dim³) operators once — across both AO seeds, the TPT adjustment,
+//     and PCO's continuation.
+//
+// All methods are safe for concurrent use; the parallel m-search and
+// trial scans in internal/solver share one Engine across their workers.
+// Everything the Engine returns is bit-identical to the uncached
+// NewStable/NewPeriodCache path, so adopting it never changes a plan.
+type Engine struct {
+	md   *thermal.Model
+	prop *thermal.Propagator
+
+	mu      sync.Mutex
+	periods map[float64]*periodEntry
+
+	coreW *mat.Dense // core-node rows of W, for composed core temps
+}
+
+// periodEntry builds its PeriodCache at most once; the sync.Once keeps
+// the O(dim³) construction outside the Engine lock so concurrent m-search
+// workers building different periods do not serialize.
+type periodEntry struct {
+	once sync.Once
+	pc   *PeriodCache
+	err  error
+}
+
+// NewEngine returns an evaluation engine with empty caches bound to md.
+func NewEngine(md *thermal.Model) *Engine {
+	eig := md.Eigen()
+	n, dim := md.NumCores(), md.NumNodes()
+	coreW := mat.NewDense(n, dim)
+	for i := 0; i < n; i++ {
+		for j := 0; j < dim; j++ {
+			coreW.Set(i, j, eig.W.At(i, j))
+		}
+	}
+	return &Engine{
+		md:      md,
+		prop:    thermal.NewPropagator(md),
+		periods: make(map[float64]*periodEntry, 64),
+		coreW:   coreW,
+	}
+}
+
+// Model returns the thermal model the engine evaluates against.
+func (e *Engine) Model() *thermal.Model { return e.md }
+
+// Propagator exposes the shared operator cache (for stats and direct
+// stepping).
+func (e *Engine) Propagator() *thermal.Propagator { return e.prop }
+
+// PeriodCache returns the stable-status operators for period tp, building
+// them on first use and memoizing by the exact float64 period value. The
+// returned cache carries the engine's propagator, so stable solves
+// through it hit the shared operator cache.
+func (e *Engine) PeriodCache(tp float64) (*PeriodCache, error) {
+	e.mu.Lock()
+	ent, ok := e.periods[tp]
+	if !ok {
+		ent = &periodEntry{}
+		e.periods[tp] = ent
+	}
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		ent.pc, ent.err = newPeriodCacheProp(e.md, tp, e.prop)
+	})
+	return ent.pc, ent.err
+}
+
+// Stable solves for the thermally stable status of sched with all caches
+// applied — the drop-in replacement for NewStable in repeated-evaluation
+// loops.
+func (e *Engine) Stable(sched *schedule.Schedule) (*Stable, error) {
+	cache, err := e.PeriodCache(sched.Period())
+	if err != nil {
+		return nil, err
+	}
+	return NewStableCached(e.md, sched, cache)
+}
+
+// StepUpPeak computes the Theorem-1 peak of a step-up schedule through
+// the engine's caches. Identical to the package-level StepUpPeak.
+func (e *Engine) StepUpPeak(sched *schedule.Schedule) (float64, int, error) {
+	st, err := e.Stable(sched)
+	if err != nil {
+		return 0, 0, err
+	}
+	p, c := st.PeakEndOfPeriod()
+	return p, c, nil
+}
+
+// StepUpPeakComposed evaluates the Theorem-1 peak of a step-up schedule
+// entirely in the eigenbasis of A. Each state interval is a diagonal
+// affine map
+//
+//	y ← E_q ⊙ y + (1 − E_q) ⊙ w_q,   E_q = exp(λ·l_q),  w_q = W⁻¹·T∞(v_q),
+//
+// the full-period propagator composes by the semigroup identity
+// E = ⊙_q E_q (thermal.Propagator.Compose), and the stable start is the
+// diagonal solve y*_i = c_i/(1 − E_i) — no dense LU, no O(dim²) steps.
+// One evaluation costs O(z·dim) plus one n×dim core-temperature
+// extraction, versus O(z·dim²) + an O(dim²) LU solve for the classic
+// path.
+//
+// The result agrees with StepUpPeak far below the solver's 1e-6 K
+// feasibility tolerance (≲1e-8 K; the diagonal solve of the slowest mode
+// is the conditioning bottleneck) but is
+// NOT bit-identical — the association order of the arithmetic differs.
+// AO/PCO therefore keep the classic path for reproducible plans; use this
+// evaluator for screening sweeps, dashboards, and throughput-oriented
+// services where last-ulp reproducibility is not required.
+func (e *Engine) StepUpPeakComposed(sched *schedule.Schedule) (float64, int, error) {
+	ivs := sched.Intervals()
+	dim := e.md.NumNodes()
+	etot := make([]float64, dim) // composed propagator ⊙_q E_q
+	c := make([]float64, dim)    // accumulated affine term in eigenbasis
+	for i := range etot {
+		etot[i] = 1
+	}
+	for _, iv := range ivs {
+		eq := e.prop.ExpFactors(iv.Length)
+		wq := e.prop.SteadyEigen(iv.Modes)
+		for i := 0; i < dim; i++ {
+			c[i] = eq[i]*c[i] + (1-eq[i])*wq[i]
+			etot[i] *= eq[i]
+		}
+	}
+	// Stable fixed point y* = E·y* + c. Stability (λ < 0) guarantees
+	// E_i < 1 for any positive period, so the diagonal solve is regular.
+	for i := 0; i < dim; i++ {
+		c[i] /= 1 - etot[i]
+	}
+	temps := e.coreW.MulVec(c)
+	peak, core := mat.VecMax(temps)
+	return peak, core, nil
+}

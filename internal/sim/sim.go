@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"thermosc/internal/mat"
+	"thermosc/internal/power"
 	"thermosc/internal/schedule"
 	"thermosc/internal/thermal"
 )
@@ -35,10 +36,20 @@ type PeriodCache struct {
 	md *thermal.Model
 	tp float64
 	lu *mat.LU
+	// prop, when set, memoizes the per-interval operators (T∞ per mode
+	// vector, exp(λ·Δt) per length) across every solve that shares this
+	// cache. Cached values are bit-identical to recomputation, so the
+	// stable status is unchanged — only cheaper. See thermal.Propagator
+	// and Engine.
+	prop *thermal.Propagator
 }
 
 // NewPeriodCache prepares the stable-status operators for period tp.
 func NewPeriodCache(md *thermal.Model, tp float64) (*PeriodCache, error) {
+	return newPeriodCacheProp(md, tp, nil)
+}
+
+func newPeriodCacheProp(md *thermal.Model, tp float64, prop *thermal.Propagator) (*PeriodCache, error) {
 	if tp <= 0 {
 		return nil, fmt.Errorf("sim: non-positive period %v", tp)
 	}
@@ -48,7 +59,17 @@ func NewPeriodCache(md *thermal.Model, tp float64) (*PeriodCache, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sim: (I−K) singular for period %v: %w", tp, err)
 	}
-	return &PeriodCache{md: md, tp: tp, lu: lu}, nil
+	return &PeriodCache{md: md, tp: tp, lu: lu, prop: prop}, nil
+}
+
+// steadyState resolves T∞(modes) through the propagator cache when one is
+// attached, and directly otherwise. Either way the result is the exact
+// Model.SteadyState output (cache hits are bit-identical).
+func (c *PeriodCache) steadyState(modes []power.Mode) []float64 {
+	if c.prop != nil {
+		return c.prop.SteadyState(modes)
+	}
+	return c.md.SteadyState(modes)
 }
 
 // StableStart maps the end-of-period state reached from the all-ambient
@@ -61,11 +82,21 @@ func (c *PeriodCache) StableStart(endFromZero []float64) ([]float64, error) {
 // Stable is the thermally-stable-status view of one periodic schedule.
 type Stable struct {
 	md    *thermal.Model
+	prop  *thermal.Propagator // optional operator cache (from PeriodCache)
 	sched *schedule.Schedule
 	ivs   []schedule.Interval
 	tinfs [][]float64 // per-interval steady-state targets T∞(v_q)
 	start []float64   // stable state at the start of the period
 	ends  [][]float64 // stable state at the end of every interval
+}
+
+// step advances by dt toward tInf, through the propagator cache when one
+// is attached. Both paths produce bit-identical states.
+func (s *Stable) step(dt float64, x, tInf []float64) []float64 {
+	if s.prop != nil {
+		return s.prop.Step(dt, x, tInf)
+	}
+	return s.md.StepToward(dt, x, tInf)
 }
 
 // NewStable solves for the stable status of sched on md.
@@ -86,24 +117,25 @@ func NewStableCached(md *thermal.Model, sched *schedule.Schedule, cache *PeriodC
 	if d := cache.tp - sched.Period(); d > 1e-9*sched.Period() || d < -1e-9*sched.Period() {
 		return nil, fmt.Errorf("sim: PeriodCache period %v != schedule period %v", cache.tp, sched.Period())
 	}
-	ivs := sched.Intervals()
-	tinfs := make([][]float64, len(ivs))
+	st := &Stable{md: md, prop: cache.prop, sched: sched, ivs: sched.Intervals()}
+	st.tinfs = make([][]float64, len(st.ivs))
 	state := md.ZeroState()
-	for q, iv := range ivs {
-		tinfs[q] = md.SteadyState(iv.Modes)
-		state = md.StepToward(iv.Length, state, tinfs[q])
+	for q, iv := range st.ivs {
+		st.tinfs[q] = cache.steadyState(iv.Modes)
+		state = st.step(iv.Length, state, st.tinfs[q])
 	}
 	start, err := cache.StableStart(state)
 	if err != nil {
 		return nil, err
 	}
-	ends := make([][]float64, len(ivs))
+	st.start = start
+	st.ends = make([][]float64, len(st.ivs))
 	cur := start
-	for q, iv := range ivs {
-		cur = md.StepToward(iv.Length, cur, tinfs[q])
-		ends[q] = cur
+	for q, iv := range st.ivs {
+		cur = st.step(iv.Length, cur, st.tinfs[q])
+		st.ends[q] = cur
 	}
-	return &Stable{md: md, sched: sched, ivs: ivs, tinfs: tinfs, start: start, ends: ends}, nil
+	return st, nil
 }
 
 // Start returns the stable state at the start of the period (copy).
@@ -124,7 +156,7 @@ func (s *Stable) At(t float64) []float64 {
 	cur := s.start
 	for q, iv := range s.ivs {
 		if t <= acc+iv.Length || q == len(s.ivs)-1 {
-			return s.md.StepToward(t-acc, cur, s.tinfs[q])
+			return s.step(t-acc, cur, s.tinfs[q])
 		}
 		cur = s.ends[q]
 		acc += iv.Length
@@ -179,7 +211,7 @@ func (s *Stable) PeakDense(samples int) (peak float64, core int, at float64) {
 	for q, iv := range s.ivs {
 		for k := 1; k <= samples; k++ {
 			frac := float64(k) / float64(samples)
-			st := s.md.StepToward(iv.Length*frac, cur, s.tinfs[q])
+			st := s.step(iv.Length*frac, cur, s.tinfs[q])
 			if p, c := mat.VecMax(s.md.CoreTemps(st)); p > peak {
 				peak, core, at = p, c, acc+iv.Length*frac
 			}

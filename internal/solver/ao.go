@@ -3,6 +3,7 @@ package solver
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"thermosc/internal/mat"
 	"thermosc/internal/power"
@@ -133,6 +134,7 @@ type aoState struct {
 	specs []coreSpec
 	m     int
 	tc    float64
+	eng   *sim.Engine
 	cache *sim.PeriodCache
 	peak  float64
 	hot   int
@@ -188,15 +190,19 @@ func runAO(p Problem) (*aoState, error) {
 	if err != nil {
 		return nil, err
 	}
+	// One evaluation engine per run: both seeds, the m-search, the TPT
+	// loops and PCO's continuation share its propagator cache and period
+	// operator pool (the two seeds scan the same tc = tp/m grid).
+	eng := sim.NewEngine(md)
 	idealSpecs := neighborSpecs(p.Levels, volts, !p.DisallowOff)
-	best, err := optimizeSpecs(p, idealSpecs, 0)
+	best, err := optimizeSpecs(p, eng, idealSpecs, 0)
 	if err != nil {
 		return nil, err
 	}
 
 	exsSpecs, exsEvals, ok := exsSeedSpecs(p)
 	if ok {
-		alt, altErr := optimizeSpecs(p, exsSpecs, best.m)
+		alt, altErr := optimizeSpecs(p, eng, exsSpecs, best.m)
 		if altErr == nil {
 			alt.evals += exsEvals
 			best = betterState(p, best, alt)
@@ -263,12 +269,16 @@ func exsSeedSpecs(p Problem) ([]coreSpec, int64, bool) {
 
 // optimizeSpecs runs phases 2 and 3 of Algorithm 2 on the given starting
 // specs: the m search (skipped when forceM > 0) followed by TPT-guided
-// ratio reduction, headroom refill, and dense verification.
-func optimizeSpecs(p Problem, specs []coreSpec, forceM int) (*aoState, error) {
+// ratio reduction, headroom refill, and dense verification. The candidate
+// scans — m values in phase 2, per-core ratio trials in phase 3 — fan out
+// across p.Workers goroutines sharing eng's caches; reductions scan
+// candidates in sequential order, so every worker count yields the same
+// plan bit for bit.
+func optimizeSpecs(p Problem, eng *sim.Engine, specs []coreSpec, forceM int) (*aoState, error) {
 	md := p.Model
 	tmax := p.tmaxRise()
 	tp := p.BasePeriod
-	var evals int64
+	workers := p.workers()
 	specs = append([]coreSpec(nil), specs...)
 
 	// Chip-wide oscillation bound M = min_i M_i (§V).
@@ -292,31 +302,16 @@ func optimizeSpecs(p Problem, specs []coreSpec, forceM int) (*aoState, error) {
 	}
 
 	// Phase 2: scan m ∈ [1, M] for the peak-minimizing oscillation count
-	// (with overhead, the peak is no longer monotone in m).
-	bestM, bestPeak := 0, math.Inf(1)
-	var bestCache *sim.PeriodCache
+	// (with overhead, the peak is no longer monotone in m). Candidates fan
+	// out across the worker pool; the reduction keeps the smallest m with
+	// the strictly lowest peak, exactly the sequential scan's choice.
 	startM := 1
 	if forceM > 0 {
 		startM = forceM
 	}
-	for mm := startM; mm <= m; mm++ {
-		tc := tp / float64(mm)
-		cyc, err := buildCycle(tc, specs, p.Overhead, cycleThermal)
-		if err != nil {
-			return nil, err
-		}
-		cache, err := sim.NewPeriodCache(md, tc)
-		if err != nil {
-			return nil, err
-		}
-		peak, _, err := sim.StepUpPeak(md, cyc, cache)
-		if err != nil {
-			return nil, err
-		}
-		evals++
-		if peak < bestPeak {
-			bestPeak, bestM, bestCache = peak, mm, cache
-		}
+	bestM, _, bestCache, evals, err := searchM(p, eng, specs, startM, m)
+	if err != nil {
+		return nil, err
 	}
 	if bestM == 0 {
 		return nil, fmt.Errorf("solver: no feasible oscillation cycle for period %v", tp)
@@ -328,15 +323,18 @@ func optimizeSpecs(p Problem, specs []coreSpec, forceM int) (*aoState, error) {
 	tUnit := p.TUnitFrac * tc
 	dr := tUnit / tc // ratio change per adjustment quantum
 
-	st := &aoState{specs: specs, m: bestM, tc: tc, cache: cache, evals: evals}
+	st := &aoState{specs: specs, m: bestM, tc: tc, eng: eng, cache: cache, evals: evals}
+	var cycleEvals atomic.Int64
 	// evalCycle returns the stable end-of-cycle core temperature rises —
-	// by Theorem 1 their maximum is the schedule's peak temperature.
+	// by Theorem 1 their maximum is the schedule's peak temperature. Safe
+	// for concurrent trials: the engine's caches synchronize internally
+	// and the eval count is atomic.
 	evalCycle := func(sp []coreSpec) ([]float64, error) {
 		cyc, err := buildCycle(tc, sp, p.Overhead, cycleThermal)
 		if err != nil {
 			return nil, err
 		}
-		st.evals++
+		cycleEvals.Add(1)
 		stable, err := sim.NewStableCached(md, cyc, cache)
 		if err != nil {
 			return nil, err
@@ -350,27 +348,37 @@ func optimizeSpecs(p Problem, specs []coreSpec, forceM int) (*aoState, error) {
 	}
 	peak, hot := mat.VecMax(temps)
 	maxIter := len(specs)*int(math.Ceil(1/dr)) + 10
-	trial := make([]coreSpec, len(specs))
+	trialTemps := make([][]float64, len(specs))
 	for iter := 0; peak > tmax+feasTol && iter < maxIter; iter++ {
 		// Algorithm 2 lines 15–20: pick the core whose slowdown most
 		// effectively cools the hottest core per unit of throughput lost.
+		// The per-core trial evaluations are independent; evaluate them
+		// across the worker pool and reduce in core order.
+		for j := range trialTemps {
+			trialTemps[j] = nil
+		}
+		parFor(workers, len(specs), func(j int) {
+			c := specs[j]
+			if c.High.Voltage <= c.Low.Voltage || c.RH <= 0 {
+				return
+			}
+			tt, err := evalCycle(withRH(specs, j, math.Max(0, c.RH-dr)))
+			if err != nil {
+				return // skipped, like the sequential continue-on-error
+			}
+			trialTemps[j] = tt
+		})
 		bestJ, bestTPT := -1, math.Inf(-1)
 		var bestTemps []float64
 		for j, c := range specs {
-			if c.High.Voltage <= c.Low.Voltage || c.RH <= 0 {
+			if trialTemps[j] == nil {
 				continue
 			}
-			copy(trial, specs)
-			trial[j].RH = math.Max(0, c.RH-dr)
-			trialTemps, err := evalCycle(trial)
-			if err != nil {
-				continue
-			}
-			deltaT := temps[hot] - trialTemps[hot]
+			deltaT := temps[hot] - trialTemps[j][hot]
 			tpt := deltaT / ((c.High.Voltage - c.Low.Voltage) * tUnit)
 			if tpt > bestTPT {
 				bestJ, bestTPT = j, tpt
-				bestTemps = trialTemps
+				bestTemps = trialTemps[j]
 			}
 		}
 		if bestJ == -1 {
@@ -392,27 +400,35 @@ func optimizeSpecs(p Problem, specs []coreSpec, forceM int) (*aoState, error) {
 	// overshoot documented on sim.Stable.PeakEndOfPeriod).
 	const refillGuard = 0.05
 	for iter := 0; peak < tmax-refillGuard && iter < maxIter; iter++ {
+		for j := range trialTemps {
+			trialTemps[j] = nil
+		}
+		parFor(workers, len(specs), func(j int) {
+			c := specs[j]
+			if c.High.Voltage <= c.Low.Voltage || c.RH >= 1 {
+				return
+			}
+			tt, err := evalCycle(withRH(specs, j, math.Min(1, c.RH+dr)))
+			if err != nil {
+				return
+			}
+			trialTemps[j] = tt
+		})
 		bestJ, bestScore := -1, 0.0
 		var bestTemps []float64
 		for j, c := range specs {
-			if c.High.Voltage <= c.Low.Voltage || c.RH >= 1 {
+			if trialTemps[j] == nil {
 				continue
 			}
-			copy(trial, specs)
-			trial[j].RH = math.Min(1, c.RH+dr)
-			trialTemps, err := evalCycle(trial)
-			if err != nil {
-				continue
-			}
-			trialPeak, _ := mat.VecMax(trialTemps)
+			trialPeak, _ := mat.VecMax(trialTemps[j])
 			if trialPeak > tmax-refillGuard+feasTol {
 				continue
 			}
-			gain := (c.High.Voltage - c.Low.Voltage) * (trial[j].RH - c.RH)
+			gain := (c.High.Voltage - c.Low.Voltage) * (math.Min(1, c.RH+dr) - c.RH)
 			score := gain / math.Max(trialPeak-peak, 1e-9)
 			if score > bestScore {
 				bestJ, bestScore = j, score
-				bestTemps = trialTemps
+				bestTemps = trialTemps[j]
 			}
 		}
 		if bestJ == -1 {
@@ -434,7 +450,7 @@ func optimizeSpecs(p Problem, specs []coreSpec, forceM int) (*aoState, error) {
 		if err != nil {
 			return math.Inf(1), err
 		}
-		st.evals++
+		cycleEvals.Add(1)
 		stable, err := sim.NewStableCached(md, cyc, cache)
 		if err != nil {
 			return math.Inf(1), err
@@ -446,18 +462,24 @@ func optimizeSpecs(p Problem, specs []coreSpec, forceM int) (*aoState, error) {
 	if err != nil {
 		return nil, err
 	}
+	densePeaks := make([]float64, len(specs))
 	for iter := 0; dense > tmax+feasTol && iter < maxIter; iter++ {
-		bestJ, bestPeak := -1, math.Inf(1)
-		for j, c := range specs {
+		for j := range densePeaks {
+			densePeaks[j] = math.Inf(1)
+		}
+		parFor(workers, len(specs), func(j int) {
+			c := specs[j]
 			if c.High.Voltage <= c.Low.Voltage || c.RH <= 0 {
-				continue
+				return
 			}
-			copy(trial, specs)
-			trial[j].RH = math.Max(0, c.RH-dr)
-			dp, err := densePeakOf(trial)
+			dp, err := densePeakOf(withRH(specs, j, math.Max(0, c.RH-dr)))
 			if err != nil {
-				continue
+				return
 			}
+			densePeaks[j] = dp
+		})
+		bestJ, bestPeak := -1, math.Inf(1)
+		for j, dp := range densePeaks {
 			if dp < bestPeak {
 				bestJ, bestPeak = j, dp
 			}
@@ -473,5 +495,6 @@ func optimizeSpecs(p Problem, specs []coreSpec, forceM int) (*aoState, error) {
 	st.specs = specs
 	st.peak = peak
 	st.hot = hot
+	st.evals += cycleEvals.Load()
 	return st, nil
 }

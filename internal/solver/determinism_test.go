@@ -43,6 +43,63 @@ func TestSolverDeterminism(t *testing.T) {
 	}
 }
 
+// The worker-pool width must be invisible in the output: AO and PCO with
+// Workers=4 (or any width) must emit bit-identical plans to the
+// sequential reference path (Workers=1) — same schedule segments,
+// throughput, peak, and chosen m. Evals is deliberately NOT compared for
+// EXSParallel-style solvers, but for AO/PCO even the evaluation counts
+// match because every candidate is evaluated exactly once regardless of
+// scheduling; we still only assert on the plan here to keep the contract
+// minimal. Covers the seed platforms exercised elsewhere in the suite.
+func TestAOPCOWorkersEquivalence(t *testing.T) {
+	type plat struct {
+		rows, cols, levels int
+		tmaxC              float64
+	}
+	for _, pl := range []plat{
+		{2, 1, 2, 65},
+		{3, 1, 2, 65},
+		{3, 1, 3, 55},
+		{3, 2, 2, 55},
+	} {
+		p := problem(t, pl.rows, pl.cols, pl.levels, pl.tmaxC)
+		for name, f := range map[string]func(Problem) (*Result, error){
+			"AO":  AO,
+			"PCO": PCO,
+		} {
+			pSeq := p
+			pSeq.Workers = 1
+			seq, err := f(pSeq)
+			if err != nil {
+				t.Fatalf("%s %+v sequential: %v", name, pl, err)
+			}
+			pPar := p
+			pPar.Workers = 4
+			par, err := f(pPar)
+			if err != nil {
+				t.Fatalf("%s %+v parallel: %v", name, pl, err)
+			}
+			if par.Throughput != seq.Throughput || par.PeakRise != seq.PeakRise || par.M != seq.M {
+				t.Fatalf("%s %+v: parallel plan diverged: thr %v vs %v, peak %v vs %v, m %d vs %d",
+					name, pl, par.Throughput, seq.Throughput, par.PeakRise, seq.PeakRise, par.M, seq.M)
+			}
+			for i := 0; i < par.Schedule.NumCores(); i++ {
+				sa, sb := seq.Schedule.CoreSegments(i), par.Schedule.CoreSegments(i)
+				if len(sa) != len(sb) {
+					t.Fatalf("%s %+v core %d: segment counts differ (%d vs %d)",
+						name, pl, i, len(sa), len(sb))
+				}
+				for q := range sa {
+					if sa[q] != sb[q] {
+						t.Fatalf("%s %+v core %d segment %d differs: %v vs %v",
+							name, pl, i, q, sa[q], sb[q])
+					}
+				}
+			}
+		}
+	}
+}
+
 // Schedules, not just summary numbers, must repeat exactly.
 func TestAOScheduleDeterminism(t *testing.T) {
 	p := problem(t, 3, 1, 2, 62)

@@ -1,0 +1,124 @@
+package solver
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"thermosc/internal/sim"
+)
+
+// This file is the parallel half of the AO/PCO evaluation engine: a
+// deterministic worker pool (parFor) and the fanned-out m-search
+// (searchM). The contract mirrors exs_parallel.go: any worker count —
+// including 1, the sequential reference path — produces bit-identical
+// results. That holds because every candidate (an oscillation count m, a
+// TPT/refill trial index j, a PCO phase offset k) is evaluated
+// independently with arithmetic untouched by scheduling, and the winner
+// is reduced by scanning candidates in their sequential order with the
+// sequential comparison operators.
+
+// parFor runs f(i) for every i in [0, n) across at most `workers`
+// goroutines. workers <= 1 (or n <= 1) degenerates to a plain loop on the
+// calling goroutine — no spawning, same call order as the pre-parallel
+// code. f must not panic across iterations it does not own; iteration
+// claiming is a single atomic counter, so the set of executed indices is
+// always exactly [0, n).
+func parFor(workers, n int, f func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// mCandidate is one evaluated oscillation count.
+type mCandidate struct {
+	peak  float64
+	cache *sim.PeriodCache
+	err   error
+}
+
+// searchM scans m ∈ [startM, maxM] for the peak-minimizing oscillation
+// count (Algorithm 2 phase 2; with transition overhead the peak is not
+// monotone in m, so every candidate is evaluated). Candidates are
+// independent — each builds its thermal-view cycle, fetches the period
+// operators from the shared engine pool, and evaluates the Theorem-1
+// peak — so they fan out across the worker pool; the winner is the
+// smallest m attaining the strictly lowest peak, exactly the sequential
+// scan's tie-break.
+//
+// Returns the chosen m (0 if none succeeded), its peak and period cache,
+// and the number of successful evaluations. A candidate error aborts the
+// search with the error of the smallest failing m, matching the
+// sequential loop's first-error abort.
+func searchM(p Problem, eng *sim.Engine, specs []coreSpec, startM, maxM int) (int, float64, *sim.PeriodCache, int64, error) {
+	tp := p.BasePeriod
+	n := maxM - startM + 1
+	if n <= 0 {
+		return 0, math.Inf(1), nil, 0, nil
+	}
+	cands := make([]mCandidate, n)
+	parFor(p.workers(), n, func(k int) {
+		mm := startM + k
+		tc := tp / float64(mm)
+		cyc, err := buildCycle(tc, specs, p.Overhead, cycleThermal)
+		if err != nil {
+			cands[k] = mCandidate{err: err}
+			return
+		}
+		cache, err := eng.PeriodCache(tc)
+		if err != nil {
+			cands[k] = mCandidate{err: err}
+			return
+		}
+		peak, _, err := sim.StepUpPeak(eng.Model(), cyc, cache)
+		if err != nil {
+			cands[k] = mCandidate{err: err}
+			return
+		}
+		cands[k] = mCandidate{peak: peak, cache: cache}
+	})
+
+	bestM, bestPeak := 0, math.Inf(1)
+	var bestCache *sim.PeriodCache
+	var evals int64
+	for k, c := range cands {
+		if c.err != nil {
+			return 0, math.Inf(1), nil, evals, c.err
+		}
+		evals++
+		if c.peak < bestPeak {
+			bestPeak, bestM, bestCache = c.peak, startM+k, c.cache
+		}
+	}
+	return bestM, bestPeak, bestCache, evals, nil
+}
+
+// withRH returns a copy of specs with core j's high-mode ratio replaced.
+// Trial evaluations run concurrently, so each gets its own copy.
+func withRH(specs []coreSpec, j int, rh float64) []coreSpec {
+	trial := append([]coreSpec(nil), specs...)
+	trial[j].RH = rh
+	return trial
+}

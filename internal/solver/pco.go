@@ -2,7 +2,6 @@ package solver
 
 import (
 	"math"
-	"sync"
 	"sync/atomic"
 
 	"thermosc/internal/power"
@@ -19,7 +18,12 @@ import (
 // Shifted schedules are no longer step-up, so PCO verifies peaks by dense
 // sampling (Problem.PeakSamples per state interval) instead of Theorem 1's
 // end-of-period shortcut — which is exactly why PCO costs more CPU time
-// than AO in Table V.
+// than AO in Table V. The dense evaluations run through the AO run's
+// shared sim.Engine, so the per-interval operators (including the
+// fractional sample offsets, which recur across every candidate) are
+// computed once; the phase search and the refill trial scan fan out
+// across p.Workers goroutines with deterministic reductions — any worker
+// count returns the identical plan.
 func PCO(p Problem) (*Result, error) {
 	p, err := p.withDefaults()
 	if err != nil {
@@ -32,11 +36,14 @@ func PCO(p Problem) (*Result, error) {
 	}
 	md := p.Model
 	tmax := p.tmaxRise()
+	workers := p.workers()
 	n := len(st.specs)
 	offsets := make([]float64, n)
+	var denseEvals atomic.Int64
 
 	// densePeak evaluates the stable-status peak of the specs with the
-	// given per-core phase offsets.
+	// given per-core phase offsets. Safe for concurrent candidates: the
+	// engine caches synchronize internally.
 	densePeak := func(specs []coreSpec, offs []float64) (float64, *schedule.Schedule, error) {
 		cyc, err := buildCycle(st.tc, specs, p.Overhead, cycleThermal)
 		if err != nil {
@@ -51,7 +58,7 @@ func PCO(p Problem) (*Result, error) {
 		if err != nil {
 			return math.Inf(1), nil, err
 		}
-		st.evals++
+		denseEvals.Add(1)
 		peak, _, _ := stable.PeakDense(p.PeakSamples)
 		return peak, cyc, nil
 	}
@@ -64,43 +71,23 @@ func PCO(p Problem) (*Result, error) {
 	// Phase search: greedily, core by core, pick the offset that minimizes
 	// the dense peak (offset 0 — the AO alignment — is always a candidate,
 	// so the phase search never hurts). Candidate offsets for one core are
-	// independent, so they are evaluated concurrently; the winner is
+	// independent, so they fan out across the worker pool; the winner is
 	// chosen deterministically (lowest peak, ties to the smallest offset).
 	for i := 1; i < n; i++ {
 		if !st.specs[i].oscillating() {
 			continue
 		}
 		peaks := make([]float64, p.PCOPhaseSteps)
-		var wg sync.WaitGroup
-		var extraEvals int64
-		wg.Add(p.PCOPhaseSteps)
-		for k := 0; k < p.PCOPhaseSteps; k++ {
-			go func(k int) {
-				defer wg.Done()
-				offs := append([]float64(nil), offsets...)
-				offs[i] = float64(k) / float64(p.PCOPhaseSteps) * st.tc
-				cycK, err := buildCycle(st.tc, st.specs, p.Overhead, cycleThermal)
-				if err != nil {
-					peaks[k] = math.Inf(1)
-					return
-				}
-				for ci, off := range offs {
-					if off != 0 {
-						cycK = cycK.Shift(ci, off)
-					}
-				}
-				stable, err := sim.NewStableCached(md, cycK, st.cache)
-				if err != nil {
-					peaks[k] = math.Inf(1)
-					return
-				}
-				atomic.AddInt64(&extraEvals, 1)
-				pk, _, _ := stable.PeakDense(p.PeakSamples)
-				peaks[k] = pk
-			}(k)
-		}
-		wg.Wait()
-		st.evals += extraEvals
+		parFor(workers, p.PCOPhaseSteps, func(k int) {
+			offs := append([]float64(nil), offsets...)
+			offs[i] = float64(k) / float64(p.PCOPhaseSteps) * st.tc
+			pk, _, err := densePeak(st.specs, offs)
+			if err != nil {
+				peaks[k] = math.Inf(1)
+				return
+			}
+			peaks[k] = pk
+		})
 		bestOff, bestPeak := 0.0, math.Inf(1)
 		for k, pk := range peaks {
 			if pk < bestPeak {
@@ -116,28 +103,43 @@ func PCO(p Problem) (*Result, error) {
 	}
 
 	// Headroom refill: raise the most valuable high-ratio while the peak
-	// stays under the threshold.
+	// stays under the threshold. Per-core trials are independent; the
+	// reduction keeps the sequential tie-break (highest gain, then lowest
+	// resulting peak, then the smallest core index).
 	dr := p.TUnitFrac
 	specs := append([]coreSpec(nil), st.specs...)
-	trial := make([]coreSpec, n)
+	type refillTrial struct {
+		ok   bool
+		peak float64
+		cyc  *schedule.Schedule
+	}
+	trials := make([]refillTrial, n)
 	const refillCap = 2000
 	for iter := 0; iter < refillCap && peak <= tmax+feasTol; iter++ {
+		for j := range trials {
+			trials[j] = refillTrial{}
+		}
+		parFor(workers, n, func(j int) {
+			c := specs[j]
+			if c.High.Voltage <= c.Low.Voltage || c.RH >= 1 {
+				return
+			}
+			pk, tc2, err := densePeak(withRH(specs, j, math.Min(1, c.RH+dr)), offsets)
+			if err != nil || pk > tmax+feasTol {
+				return
+			}
+			trials[j] = refillTrial{ok: true, peak: pk, cyc: tc2}
+		})
 		bestJ := -1
 		var bestGain, bestPeakAfter float64
 		var bestCyc *schedule.Schedule
 		for j, c := range specs {
-			if c.High.Voltage <= c.Low.Voltage || c.RH >= 1 {
-				continue
-			}
-			copy(trial, specs)
-			trial[j].RH = math.Min(1, c.RH+dr)
-			pk, tc2, err := densePeak(trial, offsets)
-			if err != nil || pk > tmax+feasTol {
+			if !trials[j].ok {
 				continue
 			}
 			gain := (c.High.Voltage - c.Low.Voltage)
-			if bestJ == -1 || gain > bestGain || (gain == bestGain && pk < bestPeakAfter) {
-				bestJ, bestGain, bestPeakAfter, bestCyc = j, gain, pk, tc2
+			if bestJ == -1 || gain > bestGain || (gain == bestGain && trials[j].peak < bestPeakAfter) {
+				bestJ, bestGain, bestPeakAfter, bestCyc = j, gain, trials[j].peak, trials[j].cyc
 			}
 		}
 		if bestJ == -1 {
@@ -158,6 +160,7 @@ func PCO(p Problem) (*Result, error) {
 		}
 	}
 
+	st.evals += denseEvals.Load()
 	return &Result{
 		Name:       "PCO",
 		Schedule:   emit,

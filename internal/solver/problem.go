@@ -16,6 +16,7 @@ package solver
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"thermosc/internal/power"
@@ -47,6 +48,14 @@ type Problem struct {
 	// PeakSamples is the per-interval dense-sampling resolution used when
 	// evaluating non-step-up schedules (PCO). Defaults to 24.
 	PeakSamples int
+	// Workers sets the worker-pool width of AO/PCO's parallel candidate
+	// scans: the m-search, the TPT reduction / headroom-refill / dense
+	// verification trial evaluations, and PCO's phase search. 0 (the
+	// default) uses GOMAXPROCS; 1 forces the fully sequential reference
+	// path. Every width produces bit-identical plans — candidates are
+	// evaluated independently and reduced in deterministic order (see
+	// determinism_test.go).
+	Workers int
 	// DisallowOff removes the inactive mode (v = f = 0) from the search
 	// space. The paper's system model allows inactive cores, so the
 	// default (false) permits shutting cores down — which is what makes
@@ -88,7 +97,18 @@ func (p Problem) withDefaults() (Problem, error) {
 	if p.PeakSamples == 0 {
 		p.PeakSamples = 24
 	}
+	if p.Workers < 0 {
+		return p, fmt.Errorf("solver: negative worker count %d", p.Workers)
+	}
 	return p, nil
+}
+
+// workers resolves the effective worker-pool width.
+func (p Problem) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // tmaxRise converts the absolute threshold to a rise above ambient.
