@@ -8,7 +8,7 @@ FUZZTIME ?= 30s
 COVER_MIN ?= 83
 
 .PHONY: all build vet test test-race bench bench-json experiments figures \
-        fuzz fuzz-smoke cover cover-check ci clean
+        fuzz fuzz-smoke serve-smoke cover cover-check ci clean
 
 all: build vet test
 
@@ -46,10 +46,18 @@ fuzz:
 	$(GO) test ./internal/schedule -fuzz FuzzMOscillateInvariants -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/floorplan -fuzz FuzzParseFLP -fuzztime $(FUZZTIME)
 	$(GO) test . -fuzz FuzzPlanUnmarshal -fuzztime $(FUZZTIME)
+	$(GO) test . -fuzz FuzzServeRequest -fuzztime $(FUZZTIME)
 
 # Quick CI smoke pass over the same fuzz targets.
 fuzz-smoke:
 	$(MAKE) fuzz FUZZTIME=10s
+
+# End-to-end smoke of the planning daemon: build thermosc-serve, run it
+# on an ephemeral port, solve once per method, and diff the plans against
+# testdata/serve_golden. Regenerate the goldens after an intentional
+# solver change by appending -update-serve-golden.
+serve-smoke:
+	THERMOSC_SERVE_E2E=1 $(GO) test -run TestServeE2EGolden -count=1 -v .
 
 cover:
 	$(GO) test ./... -coverprofile=cover.out
@@ -65,7 +73,7 @@ cover-check: cover
 	echo "coverage $$total% >= $(COVER_MIN)% gate"
 
 # Everything CI runs, in one target, for local pre-push verification.
-ci: build vet test test-race fuzz-smoke cover-check bench-json
+ci: build vet test test-race fuzz-smoke serve-smoke cover-check bench-json
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt BENCH_ao.ci.json

@@ -1,0 +1,93 @@
+// Command thermosc-serve runs the planning service: a long-lived HTTP
+// daemon answering throughput-maximization and simulation requests over
+// JSON, with plan caching, request deduplication, per-request timeouts,
+// and graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	thermosc-serve -addr :8080
+//
+// Endpoints (see docs/SERVE.md for the full schemas):
+//
+//	POST /v1/maximize  {"platform":{"rows":3,"cols":1},"tmax_c":65,"method":"AO"}
+//	POST /v1/simulate  {"platform":{...},"plan":{...},"periods":3}
+//	GET  /healthz
+//	GET  /v1/stats
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"thermosc"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		planCache     = flag.Int("plan-cache", 256, "LRU plan cache capacity")
+		platformCache = flag.Int("platform-cache", 32, "LRU platform/engine cache capacity")
+		maxCores      = flag.Int("max-cores", 16, "largest platform (total cores) accepted")
+		timeout       = flag.Duration("timeout", 30*time.Second, "default per-request solve timeout")
+		maxTimeout    = flag.Duration("max-timeout", 2*time.Minute, "cap on client-requested timeouts")
+		workers       = flag.Int("workers", 0, "solver fan-out width (0 = GOMAXPROCS)")
+		grace         = flag.Duration("grace", 30*time.Second, "shutdown drain grace period")
+	)
+	flag.Parse()
+
+	srv := thermosc.NewServer(thermosc.ServerConfig{
+		PlanCacheSize:     *planCache,
+		PlatformCacheSize: *platformCache,
+		MaxCores:          *maxCores,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		Workers:           *workers,
+	})
+	httpSrv := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("thermosc-serve: listen %s: %v", *addr, err)
+	}
+	// The resolved address goes to stdout so scripts and the e2e harness
+	// can discover an ephemeral port (-addr 127.0.0.1:0).
+	fmt.Printf("listening %s\n", ln.Addr())
+	log.Printf("thermosc-serve: listening on %s", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("thermosc-serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("thermosc-serve: draining (grace %s)", *grace)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	// Stop accepting and drain connections, then drain solver work; both
+	// share the grace deadline.
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		log.Printf("thermosc-serve: connection drain: %v", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("thermosc-serve: solve drain: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("thermosc-serve: drained, bye")
+}

@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"thermosc/internal/power"
+	"thermosc/internal/schedule"
+)
+
+// Property tests for the paper's Theorem 1 (peak of a step-up schedule
+// at the period end) and Theorem 5 (peak non-increasing in the
+// oscillation count m), plus the Fig. 2 single-core counterexample that
+// shows why Theorem 5 needs ALL cores to oscillate together.
+
+// randomStrictStepUp builds a schedule in which EVERY core's voltage
+// strictly increases across 2–4 segments — the class for which
+// Theorem 1 is exact (a constant-mode core may drift ≤ ~0.02 K past the
+// period wrap; see Stable.PeakEndOfPeriod).
+func randomStrictStepUp(r *rand.Rand, n int, period float64) *schedule.Schedule {
+	palette := []float64{0.6, 0.7, 0.8, 0.9, 1.0, 1.1, 1.2, 1.3}
+	cores := make([][]schedule.Segment, n)
+	for i := range cores {
+		k := 2 + r.Intn(3)
+		idx := r.Perm(len(palette))[:k]
+		for a := 0; a < len(idx); a++ {
+			for b := a + 1; b < len(idx); b++ {
+				if idx[b] < idx[a] {
+					idx[a], idx[b] = idx[b], idx[a]
+				}
+			}
+		}
+		rem := period
+		for a, vi := range idx {
+			var l float64
+			if a == len(idx)-1 {
+				l = rem
+			} else {
+				l = rem * (0.2 + 0.6*r.Float64()) / float64(len(idx)-a)
+				rem -= l
+			}
+			cores[i] = append(cores[i], seg(l, palette[vi]))
+		}
+	}
+	return schedule.Must(cores)
+}
+
+// Theorem 1: in the thermally stable status of a step-up schedule the
+// peak temperature occurs at the period end. Across randomized strictly
+// step-up schedules on the 2×1, 3×2 and 3×3 seed platforms, the O(z)
+// end-of-period evaluation must agree with a dense scan of the whole
+// period to 1e-9 K.
+func TestTheorem1PeakAtPeriodEndProperty(t *testing.T) {
+	grids := []struct {
+		rows, cols int
+		seed       int64
+	}{
+		{2, 1, 101},
+		{3, 2, 202},
+		{3, 3, 303},
+	}
+	const perGrid = 20 // 60 schedules total (≥ 50)
+	for _, g := range grids {
+		md := model(t, g.rows, g.cols)
+		r := rand.New(rand.NewSource(g.seed))
+		for it := 0; it < perGrid; it++ {
+			period := 0.02 + r.Float64()*0.5
+			s := randomStrictStepUp(r, md.NumCores(), period)
+			if !s.IsStepUp() {
+				t.Fatalf("%dx%d it=%d: generator produced a non-step-up schedule", g.rows, g.cols, it)
+			}
+			st, err := NewStable(md, s)
+			if err != nil {
+				t.Fatalf("%dx%d it=%d: %v", g.rows, g.cols, it, err)
+			}
+			endPeak, _ := st.PeakEndOfPeriod()
+			densePeak, _, at := st.PeakDense(200)
+			// The dense scan includes the period end, so densePeak ≥
+			// endPeak always; Theorem 1 says the difference is zero.
+			if diff := densePeak - endPeak; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("%dx%d it=%d: dense peak %.12f (at t=%.6f/%.6f) vs end-of-period %.12f, diff %.3e",
+					g.rows, g.cols, it, densePeak, at, s.Period(), endPeak, diff)
+			}
+		}
+	}
+}
+
+// randomAOSplit draws a per-core two-neighboring-mode oscillation spec:
+// every core genuinely oscillates (vH > vL, ratio in (0.05, 0.95)).
+func randomAOSplit(r *rand.Rand, n int) []schedule.TwoModeSpec {
+	specs := make([]schedule.TwoModeSpec, n)
+	for i := range specs {
+		vL := 0.6 + r.Float64()*0.5
+		vH := vL + 0.1 + r.Float64()*(1.3-vL-0.1)
+		specs[i] = schedule.TwoModeSpec{
+			Low:       power.NewMode(vL),
+			High:      power.NewMode(vH),
+			HighRatio: 0.05 + 0.9*r.Float64(),
+		}
+	}
+	return specs
+}
+
+// Theorem 5: when ALL cores oscillate together (aligned two-mode splits,
+// no transition overhead), the stable-status peak temperature is
+// non-increasing in the oscillation count m. Evaluating one cycle of the
+// m-oscillating schedule as its own periodic schedule is equivalent to
+// the full pattern (schedule.Cycle), and each cycle is strictly step-up,
+// so Theorem 1's end-of-period evaluation applies at every m.
+func TestTheorem5PeakNonIncreasingInM(t *testing.T) {
+	grids := []struct {
+		rows, cols int
+		seed       int64
+	}{
+		{2, 1, 11},
+		{3, 1, 22},
+		{2, 2, 33},
+	}
+	const perGrid = 17 // 51 splits total (≥ 50)
+	const maxM = 16
+	for _, g := range grids {
+		md := model(t, g.rows, g.cols)
+		r := rand.New(rand.NewSource(g.seed))
+		for it := 0; it < perGrid; it++ {
+			period := 0.05 + r.Float64()*0.95
+			specs := randomAOSplit(r, md.NumCores())
+			base, err := schedule.TwoMode(period, specs)
+			if err != nil {
+				t.Fatalf("%dx%d it=%d: %v", g.rows, g.cols, it, err)
+			}
+			prev := 0.0
+			for m := 1; m <= maxM; m++ {
+				st, err := NewStable(md, base.Cycle(m))
+				if err != nil {
+					t.Fatalf("%dx%d it=%d m=%d: %v", g.rows, g.cols, it, m, err)
+				}
+				peak, _ := st.PeakEndOfPeriod()
+				if m > 1 && peak > prev+1e-9 {
+					t.Fatalf("%dx%d it=%d: peak increased with m: T(m=%d)=%.12f > T(m=%d)=%.12f",
+						g.rows, g.cols, it, m, peak, m-1, prev)
+				}
+				prev = peak
+			}
+		}
+	}
+}
+
+// Pinned regression for the Fig. 2 counterexample (§IV-C): oscillating a
+// SINGLE core faster — the other core's schedule unchanged — RAISES the
+// stable-status peak, while doubling both cores together lowers it
+// (Theorem 5). This is the asymmetry that makes per-core frequency
+// tuning unsound and motivates the chip-wide m of AO.
+func TestTheorem5Fig2SingleCoreCounterexample(t *testing.T) {
+	md := model(t, 2, 1)
+	hi, lo := power.NewMode(1.3), power.NewMode(0.6)
+	mkseg := func(l float64, m power.Mode) schedule.Segment {
+		return schedule.Segment{Length: l, Mode: m}
+	}
+	base := schedule.Must([][]schedule.Segment{
+		{mkseg(50e-3, hi), mkseg(50e-3, lo)},
+		{mkseg(50e-3, lo), mkseg(50e-3, hi)},
+	})
+	oneCore := schedule.Must([][]schedule.Segment{
+		{mkseg(25e-3, hi), mkseg(25e-3, lo), mkseg(25e-3, hi), mkseg(25e-3, lo)},
+		{mkseg(50e-3, lo), mkseg(50e-3, hi)},
+	})
+	bothCores := base.Cycle(2)
+
+	peakOf := func(s *schedule.Schedule) float64 {
+		st, err := NewStable(md, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _, _ := st.PeakDense(96)
+		return p
+	}
+	basePeak := peakOf(base)
+	onePeak := peakOf(oneCore)
+	bothPeak := peakOf(bothCores)
+
+	if onePeak <= basePeak+1e-6 {
+		t.Fatalf("Fig. 2 counterexample lost: single-core oscillation should raise the peak (base %.6f, one-core %.6f)",
+			basePeak, onePeak)
+	}
+	// The paper reports ≈ +1.3 °C on its calibration; this repository's
+	// reproduction measures +0.067 K (docs/experiments_full_output.txt).
+	// Pin a floor just under that so the effect stays quantitatively
+	// visible, not merely nonzero.
+	if onePeak-basePeak < 0.05 {
+		t.Fatalf("Fig. 2 effect degraded below 0.05 K: base %.6f, one-core %.6f", basePeak, onePeak)
+	}
+	if bothPeak > basePeak+1e-9 {
+		t.Fatalf("Theorem 5 violated in Fig. 2 setting: both-cores ×2 raised the peak (base %.6f, both %.6f)",
+			basePeak, bothPeak)
+	}
+}

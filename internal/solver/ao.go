@@ -190,16 +190,22 @@ func runAO(p Problem) (*aoState, error) {
 	if err != nil {
 		return nil, err
 	}
-	// One evaluation engine per run: both seeds, the m-search, the TPT
-	// loops and PCO's continuation share its propagator cache and period
-	// operator pool (the two seeds scan the same tc = tp/m grid).
-	eng := sim.NewEngine(md)
+	// One evaluation engine per run — or the caller-shared one from
+	// Problem.Engine: both seeds, the m-search, the TPT loops and PCO's
+	// continuation share its propagator cache and period operator pool
+	// (the two seeds scan the same tc = tp/m grid). A server handling
+	// concurrent Maximize calls passes one engine per platform so all
+	// in-flight solves share a single pool.
+	eng := p.engine()
 	idealSpecs := neighborSpecs(p.Levels, volts, !p.DisallowOff)
 	best, err := optimizeSpecs(p, eng, idealSpecs, 0)
 	if err != nil {
 		return nil, err
 	}
 
+	if err := p.ctxErr(); err != nil {
+		return nil, err
+	}
 	exsSpecs, exsEvals, ok := exsSeedSpecs(p)
 	if ok {
 		alt, altErr := optimizeSpecs(p, eng, exsSpecs, best.m)
@@ -207,6 +213,13 @@ func runAO(p Problem) (*aoState, error) {
 			alt.evals += exsEvals
 			best = betterState(p, best, alt)
 		}
+	}
+	// A cancellation that lands inside either seed may have truncated the
+	// search (e.g. the alt path silently skipped); never return a partial
+	// plan from a canceled run — it would differ from an uncancelled solve
+	// and break the callers' determinism guarantees (plan caches).
+	if err := p.ctxErr(); err != nil {
+		return nil, err
 	}
 	return best, nil
 }
@@ -350,6 +363,9 @@ func optimizeSpecs(p Problem, eng *sim.Engine, specs []coreSpec, forceM int) (*a
 	maxIter := len(specs)*int(math.Ceil(1/dr)) + 10
 	trialTemps := make([][]float64, len(specs))
 	for iter := 0; peak > tmax+feasTol && iter < maxIter; iter++ {
+		if err := p.ctxErr(); err != nil {
+			return nil, err
+		}
 		// Algorithm 2 lines 15–20: pick the core whose slowdown most
 		// effectively cools the hottest core per unit of throughput lost.
 		// The per-core trial evaluations are independent; evaluate them
@@ -400,6 +416,9 @@ func optimizeSpecs(p Problem, eng *sim.Engine, specs []coreSpec, forceM int) (*a
 	// overshoot documented on sim.Stable.PeakEndOfPeriod).
 	const refillGuard = 0.05
 	for iter := 0; peak < tmax-refillGuard && iter < maxIter; iter++ {
+		if err := p.ctxErr(); err != nil {
+			return nil, err
+		}
 		for j := range trialTemps {
 			trialTemps[j] = nil
 		}
@@ -464,6 +483,9 @@ func optimizeSpecs(p Problem, eng *sim.Engine, specs []coreSpec, forceM int) (*a
 	}
 	densePeaks := make([]float64, len(specs))
 	for iter := 0; dense > tmax+feasTol && iter < maxIter; iter++ {
+		if err := p.ctxErr(); err != nil {
+			return nil, err
+		}
 		for j := range densePeaks {
 			densePeaks[j] = math.Inf(1)
 		}

@@ -37,6 +37,11 @@ func EXSNaive(p Problem) (*Result, error) {
 	tempBuf := make([]float64, n)
 	for {
 		evals++
+		if evals&1023 == 0 {
+			if err := p.ctxErr(); err != nil {
+				return nil, err
+			}
+		}
 		// T∞ at the cores for this assignment.
 		for i := range tempBuf {
 			tempBuf[i] = 0
@@ -113,10 +118,20 @@ func EXS(p Problem) (*Result, error) {
 	found := false
 	idx := make([]int, n)
 	var evals int64
+	var aborted error
 
 	var dfs func(j int, temps []float64, speedSum float64)
 	dfs = func(j int, temps []float64, speedSum float64) {
+		if aborted != nil {
+			return
+		}
 		evals++
+		if evals&1023 == 0 {
+			if err := p.ctxErr(); err != nil {
+				aborted = err
+				return
+			}
+		}
 		if speedSum+maxSpeedSuffix[j] <= bestSum {
 			return // cannot beat the incumbent
 		}
@@ -145,6 +160,9 @@ func EXS(p Problem) (*Result, error) {
 		}
 	}
 	dfs(0, make([]float64, n), 0)
+	if aborted != nil {
+		return nil, aborted
+	}
 
 	if !found {
 		return exsResult(p, "EXS", nil, bestSum, evals, start)

@@ -4,6 +4,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"thermosc/internal/mat"
 	"thermosc/internal/power"
@@ -58,6 +59,9 @@ func EXSParallel(p Problem, workers int) (*Result, error) {
 	bestSum := math.Inf(-1)
 	var best []int
 	var totalEvals int64
+	// Cooperative cancellation: any worker observing an expired context
+	// raises the flag; the others unwind their subtrees immediately.
+	var stop atomic.Bool
 
 	// Work queue: core-0 level indices, high levels first (better seeds).
 	jobs := make(chan int)
@@ -72,7 +76,14 @@ func EXSParallel(p Problem, workers int) (*Result, error) {
 
 		var dfs func(j int, temps []float64, speedSum float64, bound float64) float64
 		dfs = func(j int, temps []float64, speedSum float64, bound float64) float64 {
+			if stop.Load() {
+				return bound
+			}
 			evals++
+			if evals&1023 == 0 && p.ctxErr() != nil {
+				stop.Store(true)
+				return bound
+			}
 			if speedSum+maxSpeedSuffix[j] <= bound {
 				return bound
 			}
@@ -146,6 +157,9 @@ func EXSParallel(p Problem, workers int) (*Result, error) {
 	}
 	close(jobs)
 	wg.Wait()
+	if stop.Load() {
+		return nil, p.ctxErr()
+	}
 
 	if best == nil {
 		return exsResult(p, "EXS-parallel", nil, bestSum, totalEvals, start)

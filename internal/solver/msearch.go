@@ -80,6 +80,10 @@ func searchM(p Problem, eng *sim.Engine, specs []coreSpec, startM, maxM int) (in
 	}
 	cands := make([]mCandidate, n)
 	parFor(p.workers(), n, func(k int) {
+		if err := p.ctxErr(); err != nil {
+			cands[k] = mCandidate{err: err}
+			return
+		}
 		mm := startM + k
 		tc := tp / float64(mm)
 		cyc, err := buildCycle(tc, specs, p.Overhead, cycleThermal)

@@ -74,6 +74,9 @@ func PCO(p Problem) (*Result, error) {
 	// independent, so they fan out across the worker pool; the winner is
 	// chosen deterministically (lowest peak, ties to the smallest offset).
 	for i := 1; i < n; i++ {
+		if err := p.ctxErr(); err != nil {
+			return nil, err
+		}
 		if !st.specs[i].oscillating() {
 			continue
 		}
@@ -116,6 +119,9 @@ func PCO(p Problem) (*Result, error) {
 	trials := make([]refillTrial, n)
 	const refillCap = 2000
 	for iter := 0; iter < refillCap && peak <= tmax+feasTol; iter++ {
+		if err := p.ctxErr(); err != nil {
+			return nil, err
+		}
 		for j := range trials {
 			trials[j] = refillTrial{}
 		}

@@ -15,12 +15,14 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
 
 	"thermosc/internal/power"
 	"thermosc/internal/schedule"
+	"thermosc/internal/sim"
 	"thermosc/internal/thermal"
 )
 
@@ -62,6 +64,16 @@ type Problem struct {
 	// tight thresholds (e.g. the 9-core platform at Tmax = 50 °C in
 	// Fig. 7) feasible at all.
 	DisallowOff bool
+	// Ctx, when non-nil, cancels the long-running searches: the AO/PCO
+	// m-search, TPT/refill/dense adjustment loops, PCO's phase search, and
+	// the EXS branch-and-bound all observe it and abort with ctx.Err().
+	// A nil Ctx never cancels (context.Background semantics).
+	Ctx context.Context
+	// Engine, when non-nil, supplies a shared evaluation engine instead of
+	// a per-run one, so concurrent solves on the same model reuse one
+	// propagator/period-operator pool. Results are bit-identical either
+	// way (see sim.Engine); the engine's model must equal Model.
+	Engine *sim.Engine
 }
 
 // withDefaults returns a copy of p with zero fields replaced by defaults.
@@ -100,7 +112,29 @@ func (p Problem) withDefaults() (Problem, error) {
 	if p.Workers < 0 {
 		return p, fmt.Errorf("solver: negative worker count %d", p.Workers)
 	}
+	if p.Engine != nil && p.Engine.Model() != p.Model {
+		return p, fmt.Errorf("solver: Problem.Engine bound to a different model")
+	}
 	return p, nil
+}
+
+// ctxErr reports the cancellation state of the problem's context; a nil
+// context never cancels. The search loops call this between candidate
+// evaluations, so cancellation latency is one evaluation, not one solve.
+func (p Problem) ctxErr() error {
+	if p.Ctx == nil {
+		return nil
+	}
+	return p.Ctx.Err()
+}
+
+// engine returns the shared evaluation engine, or a fresh one for this
+// run when none was provided.
+func (p Problem) engine() *sim.Engine {
+	if p.Engine != nil {
+		return p.Engine
+	}
+	return sim.NewEngine(p.Model)
 }
 
 // workers resolves the effective worker-pool width.

@@ -1,0 +1,156 @@
+package thermosc_test
+
+// End-to-end smoke test for thermosc-serve: builds the real daemon,
+// starts it on an ephemeral port, issues one maximize request per method
+// and diffs the returned plan bytes against golden files. Because the
+// solvers are bit-reproducible and served plans carry
+// solver_elapsed_s = 0, the plan bytes are a stable function of the
+// request and can be pinned exactly.
+//
+// The test is opt-in (it binds a TCP port and takes a few seconds):
+//
+//	THERMOSC_SERVE_E2E=1 go test -run TestServeE2EGolden .
+//
+// Regenerate the goldens after an intentional solver change with:
+//
+//	THERMOSC_SERVE_E2E=1 go test -run TestServeE2EGolden . -update-serve-golden
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+var updateServeGolden = flag.Bool("update-serve-golden", false, "rewrite testdata/serve_golden files")
+
+func TestServeE2EGolden(t *testing.T) {
+	if os.Getenv("THERMOSC_SERVE_E2E") == "" {
+		t.Skip("set THERMOSC_SERVE_E2E=1 to run the serve e2e smoke")
+	}
+	bin := buildCmd(t, "thermosc-serve")
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-grace", "10s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	stopped := false
+	defer func() {
+		if !stopped {
+			_ = cmd.Process.Kill()
+			<-exited
+		}
+	}()
+
+	// The daemon prints "listening <addr>" once the socket is bound.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if a, ok := strings.CutPrefix(sc.Text(), "listening "); ok {
+				addrCh <- a
+				break
+			}
+		}
+		// Drain the rest so the child never blocks on a full pipe.
+		_, _ = io.Copy(io.Discard, stdout)
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-exited:
+		t.Fatalf("thermosc-serve exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for the listen address")
+	}
+	base := "http://" + addr
+
+	for _, method := range []string{"LNS", "EXS", "AO", "PCO"} {
+		t.Run(method, func(t *testing.T) {
+			body := fmt.Sprintf(`{"platform":{"rows":3,"cols":1,"paper_levels":3},"tmax_c":65,"method":%q}`, method)
+			resp, err := http.Post(base+"/v1/maximize", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			raw, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != 200 {
+				t.Fatalf("status %d: %s", resp.StatusCode, raw)
+			}
+			var mr struct {
+				Plan json.RawMessage `json:"plan"`
+			}
+			if err := json.Unmarshal(raw, &mr); err != nil {
+				t.Fatalf("decoding response: %v\n%s", err, raw)
+			}
+
+			golden := filepath.Join("testdata", "serve_golden", strings.ToLower(method)+".json")
+			if *updateServeGolden {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, append(bytes.Clone(mr.Plan), '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", golden, len(mr.Plan))
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update-serve-golden): %v", err)
+			}
+			if !bytes.Equal(mr.Plan, bytes.TrimRight(want, "\n")) {
+				t.Errorf("%s plan drifted from golden:\n got: %s\nwant: %s", method, mr.Plan, want)
+			}
+		})
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// /healthz and /v1/stats answer over the real socket.
+	for _, path := range []string{"/healthz", "/v1/stats"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+
+	// SIGTERM drains gracefully and exits cleanly.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-exited:
+		stopped = true
+		if err != nil {
+			t.Fatalf("thermosc-serve did not exit cleanly on SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("thermosc-serve did not exit within 15s of SIGTERM")
+	}
+}

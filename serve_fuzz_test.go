@@ -1,0 +1,84 @@
+package thermosc
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// FuzzServeRequest fuzzes the /v1/maximize request decoder: arbitrary
+// bytes must never panic, every rejection must be a 4xx requestError
+// (malformed JSON, non-finite Tmax, oversized grids, junk fields), and
+// any accepted request must canonicalize idempotently — re-encoding the
+// normalized request and parsing it again must reproduce the same cache
+// keys, or the plan cache would fragment.
+func FuzzServeRequest(f *testing.F) {
+	seeds := []string{
+		`{"platform":{"rows":3,"cols":1,"paper_levels":3},"tmax_c":65,"method":"AO"}`,
+		`{"platform":{"rows":2,"cols":2,"voltages":[0.6,0.9,1.3]},"tmax_c":70,"method":"pco","timeout_s":5}`,
+		`{"platform":{"rows":1,"cols":1,"core_level":true},"tmax_c":80,"method":"EXS"}`,
+		`{"platform":{"rows":2,"cols":1,"stack_layers":2},"tmax_c":65,"method":"LNS"}`,
+		`{"platform":{"rows":2,"cols":1,"core_scales":[1,2]},"tmax_c":65,"method":"Ideal"}`,
+		`{"platform":{"rows":2,"cols":1,"overhead_s":0},"tmax_c":65,"method":"AO"}`,
+		`{"platform":{"rows":99,"cols":99},"tmax_c":65,"method":"AO"}`,
+		`{"platform":{"rows":2,"cols":1},"tmax_c":1e999,"method":"AO"}`,
+		`{"platform":{"rows":2,"cols":1},"tmax_c":NaN,"method":"AO"}`,
+		`{"platform":{"rows":2,"cols":1},"tmax_c":65,"method":"AO","timeout_s":-1}`,
+		`{"platform":{"rows":-1,"cols":1},"tmax_c":65,"method":"AO"}`,
+		`{"platform":{"rows":2,"cols":1,"voltages":[0.6,1e308]},"tmax_c":65,"method":"AO"}`,
+		`{"platform":{"rows":2,"cols":1,"period_s":-3},"tmax_c":65,"method":"AO"}`,
+		`{"platform":{"rows":2,"cols":1,"ambient_c":-400},"tmax_c":65,"method":"AO"}`,
+		`{"unknown_field":1}`,
+		`{"platform":`,
+		`[]`,
+		`null`,
+		``,
+		"\x00\xff\xfe",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	lim := serveLimits{maxCores: 16, maxVoltages: 64, maxTraceSamples: 1 << 17}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, planKey, platKey, err := parseMaximizeRequest(data, lim)
+		if err != nil {
+			var reqErr *requestError
+			if !errors.As(err, &reqErr) {
+				t.Fatalf("rejection is not a requestError: %T %v", err, err)
+			}
+			if reqErr.status < 400 || reqErr.status > 499 {
+				t.Fatalf("rejection status %d is not a 4xx: %v", reqErr.status, err)
+			}
+			return
+		}
+		// Accepted: the canonical form must stay within the advertised caps…
+		cores := req.Platform.Rows * req.Platform.Cols * req.Platform.StackLayers
+		if cores < 1 || cores > lim.maxCores {
+			t.Fatalf("accepted request with %d cores (cap %d)", cores, lim.maxCores)
+		}
+		if len(req.Platform.Voltages) == 0 || len(req.Platform.Voltages) > lim.maxVoltages {
+			t.Fatalf("accepted request with %d canonical voltages", len(req.Platform.Voltages))
+		}
+		if planKey == "" || platKey == "" {
+			t.Fatal("accepted request with empty cache keys")
+		}
+		// …and canonicalization must be idempotent: round-tripping the
+		// normalized request reproduces the exact same keys.
+		rt, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("re-encoding canonical request: %v", err)
+		}
+		req2, planKey2, platKey2, err := parseMaximizeRequest(rt, lim)
+		if err != nil {
+			t.Fatalf("canonical request re-rejected: %v\n%s", err, rt)
+		}
+		if planKey2 != planKey || platKey2 != platKey {
+			t.Fatalf("canonicalization not idempotent:\n key  %q\n key' %q\n plat  %q\n plat' %q\n body %s",
+				planKey, planKey2, platKey, platKey2, rt)
+		}
+		if req2.Method != req.Method || req2.TmaxC != req.TmaxC {
+			t.Fatalf("round-trip changed the request: %+v vs %+v", req, req2)
+		}
+	})
+}

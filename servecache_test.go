@@ -1,0 +1,247 @@
+package thermosc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLRUCacheEvictsOldest(t *testing.T) {
+	c := newLRUCache[int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Get("a") // a is now most recently used
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted (least recently used)")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("a = %d, %v", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || v != 3 {
+		t.Fatalf("c = %d, %v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	// Overwriting refreshes recency without growing the cache.
+	c.Put("a", 10)
+	if v, _ := c.Get("a"); v != 10 {
+		t.Fatalf("a after overwrite = %d", v)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len after overwrite = %d", c.Len())
+	}
+	// A degenerate capacity clamps to 1.
+	one := newLRUCache[int](0)
+	one.Put("x", 1)
+	one.Put("y", 2)
+	if one.Len() != 1 {
+		t.Fatalf("capacity-0 cache holds %d entries", one.Len())
+	}
+}
+
+func TestLRUCacheGetOrCreate(t *testing.T) {
+	c := newLRUCache[string](4)
+	builds := 0
+	build := func() (string, error) { builds++; return "built", nil }
+	for i := 0; i < 3; i++ {
+		v, err := c.GetOrCreate("k", build)
+		if err != nil || v != "built" {
+			t.Fatalf("GetOrCreate: %q, %v", v, err)
+		}
+	}
+	if builds != 1 {
+		t.Fatalf("build ran %d times", builds)
+	}
+	// Errors are not cached.
+	boom := errors.New("boom")
+	if _, err := c.GetOrCreate("bad", func() (string, error) { return "", boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, ok := c.Get("bad"); ok {
+		t.Fatal("failed build was cached")
+	}
+	// Concurrent creators: every caller sees one winning value.
+	var wg sync.WaitGroup
+	vals := make([]string, 8)
+	for i := range vals {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.GetOrCreate("race", func() (string, error) { return fmt.Sprintf("v%d", i), nil })
+			if err != nil {
+				t.Error(err)
+			}
+			vals[i] = v
+		}(i)
+	}
+	wg.Wait()
+	winner, _ := c.Get("race")
+	for i, v := range vals {
+		if v != winner {
+			t.Fatalf("caller %d got %q, cache holds %q", i, v, winner)
+		}
+	}
+}
+
+func TestFlightGroupSharesLeaderResult(t *testing.T) {
+	g := newFlightGroup()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var calls int
+	var mu sync.Mutex
+
+	type result struct {
+		val    []byte
+		shared bool
+		err    error
+	}
+	results := make(chan result, 9)
+	go func() {
+		v, shared, err := g.Do(context.Background(), "k", func() ([]byte, error) {
+			close(started)
+			<-release
+			mu.Lock()
+			calls++
+			mu.Unlock()
+			return []byte("plan"), nil
+		})
+		results <- result{v, shared, err}
+	}()
+	<-started
+	for i := 0; i < 8; i++ {
+		go func() {
+			v, shared, err := g.Do(context.Background(), "k", func() ([]byte, error) {
+				mu.Lock()
+				calls++
+				mu.Unlock()
+				return []byte("should not run"), nil
+			})
+			results <- result{v, shared, err}
+		}()
+	}
+	// Joiners block on the leader; give them a moment to attach, then let
+	// the leader finish. (Attachment order does not matter for the
+	// assertions — a late joiner would just start its own flight and trip
+	// the calls counter.)
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	var sharedCount int
+	for i := 0; i < 9; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if string(r.val) != "plan" {
+			t.Fatalf("val = %q", r.val)
+		}
+		if r.shared {
+			sharedCount++
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times", calls)
+	}
+	if sharedCount != 8 {
+		t.Fatalf("%d joiners reported shared", sharedCount)
+	}
+}
+
+// A joiner whose context expires abandons the wait with its ctx error;
+// the flight keeps running and later callers still get the real result.
+func TestFlightGroupJoinerTimeoutDoesNotCancelFlight(t *testing.T) {
+	g := newFlightGroup()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(context.Background(), "k", func() ([]byte, error) {
+			close(started)
+			<-release
+			return []byte("plan"), nil
+		})
+		leaderDone <- err
+	}()
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, shared, err := g.Do(ctx, "k", func() ([]byte, error) { return nil, nil })
+	if !shared || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("impatient joiner: shared=%v err=%v", shared, err)
+	}
+
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader was disturbed by the joiner's timeout: %v", err)
+	}
+	// The key is free again: a new call runs fresh.
+	v, shared, err := g.Do(context.Background(), "k", func() ([]byte, error) { return []byte("fresh"), nil })
+	if err != nil || shared || string(v) != "fresh" {
+		t.Fatalf("post-flight call: %q shared=%v err=%v", v, shared, err)
+	}
+}
+
+func TestFlightGroupPropagatesError(t *testing.T) {
+	g := newFlightGroup()
+	boom := errors.New("boom")
+	if _, shared, err := g.Do(context.Background(), "k", func() ([]byte, error) { return nil, boom }); shared || !errors.Is(err, boom) {
+		t.Fatalf("shared=%v err=%v", shared, err)
+	}
+}
+
+func TestLatencyHistBuckets(t *testing.T) {
+	var h latencyHist
+	h.observe(0.0005) // first bucket (≤ 1 ms)
+	h.observe(0.02)   // le 0.025
+	h.observe(120)    // beyond the last bound → overflow
+	if h.counts[0] != 1 {
+		t.Fatalf("first bucket = %d", h.counts[0])
+	}
+	if h.counts[len(latencyBounds)] != 1 {
+		t.Fatalf("overflow bucket = %d", h.counts[len(latencyBounds)])
+	}
+	var total uint64
+	for _, c := range h.counts {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("total = %d", total)
+	}
+	if h.sumS != 0.0005+0.02+120 {
+		t.Fatalf("sum = %v", h.sumS)
+	}
+}
+
+func TestServerStatsSnapshot(t *testing.T) {
+	st := newServerStats()
+	st.observe("maximize", 2*time.Millisecond, false)
+	st.observe("maximize", 3*time.Second, true)
+	st.cacheHit()
+	st.cacheMiss()
+	st.sfShared()
+	snap := st.snapshot(5, 64)
+	if snap.Cache.Hits != 1 || snap.Cache.Misses != 1 || snap.Cache.SingleflightShared != 1 {
+		t.Fatalf("cache stats: %+v", snap.Cache)
+	}
+	if snap.Cache.Size != 5 || snap.Cache.Capacity != 64 {
+		t.Fatalf("cache size/cap: %+v", snap.Cache)
+	}
+	ep := snap.Requests["maximize"]
+	if ep.Count != 2 || ep.Errors != 1 || ep.Latency.Count != 2 {
+		t.Fatalf("endpoint stats: %+v", ep)
+	}
+	if ep.Latency.SumS < 3.0 || ep.Latency.SumS > 3.1 {
+		t.Fatalf("latency sum: %v", ep.Latency.SumS)
+	}
+	// The overflow bucket is the only one without an upper bound.
+	last := ep.Latency.Buckets[len(ep.Latency.Buckets)-1]
+	if last.LeS != 0 {
+		t.Fatalf("overflow bucket has a bound: %+v", last)
+	}
+}

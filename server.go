@@ -1,0 +1,365 @@
+package thermosc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Server is the concurrent planning service: an http.Handler exposing
+// the solvers over JSON.
+//
+//	POST /v1/maximize  platform spec + Tmax + method → serialized plan
+//	POST /v1/simulate  platform spec + plan → transient trace + verified peak
+//	GET  /healthz      liveness + drain state
+//	GET  /v1/stats     cache/latency/in-flight counters (also /metrics)
+//
+// Maximize requests are canonicalized (servereq.go), deduplicated by a
+// singleflight layer, and answered from an LRU plan cache. Plans are
+// deterministic functions of the canonical request — the solvers are
+// bit-reproducible at any worker count and served plans carry
+// solver_elapsed_s = 0 — so a cache or singleflight hit is byte-identical
+// to a cold solve. Platforms are cached too: all in-flight solves against
+// the same platform share one sim.Engine operator pool.
+type Server struct {
+	cfg       ServerConfig
+	mux       *http.ServeMux
+	stats     *serverStats
+	plans     *lruCache[[]byte]
+	platforms *lruCache[*Platform]
+	flights   *flightGroup
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	active int
+	closed bool
+}
+
+// ServerConfig tunes a Server; zero values select the defaults.
+type ServerConfig struct {
+	// PlanCacheSize caps the LRU plan cache (default 256 plans).
+	PlanCacheSize int
+	// PlatformCacheSize caps the platform/engine cache (default 32).
+	PlatformCacheSize int
+	// MaxCores rejects larger platform requests with 400 (default 16) —
+	// solve cost grows steeply with the core count, so the cap is the
+	// service's overload valve.
+	MaxCores int
+	// DefaultTimeout bounds solves whose request carries no timeout_s
+	// (default 30 s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps any requested timeout_s (default 2 min).
+	MaxTimeout time.Duration
+	// Workers is the per-solve parallel fan-out width passed to the
+	// solvers (0 = GOMAXPROCS). Plans are identical at any width.
+	Workers int
+	// MaxTraceSamples caps periods × samples_per_period in /v1/simulate
+	// (default 131072).
+	MaxTraceSamples int
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.PlanCacheSize == 0 {
+		c.PlanCacheSize = 256
+	}
+	if c.PlatformCacheSize == 0 {
+		c.PlatformCacheSize = 32
+	}
+	if c.MaxCores == 0 {
+		c.MaxCores = 16
+	}
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxTraceSamples == 0 {
+		c.MaxTraceSamples = 1 << 17
+	}
+	return c
+}
+
+func (c ServerConfig) limits() serveLimits {
+	return serveLimits{maxCores: c.MaxCores, maxVoltages: 64, maxTraceSamples: c.MaxTraceSamples}
+}
+
+// NewServer builds a planning service with the given configuration.
+func NewServer(cfg ServerConfig) *Server {
+	s := &Server{
+		cfg:       cfg.withDefaults(),
+		mux:       http.NewServeMux(),
+		stats:     newServerStats(),
+		flights:   newFlightGroup(),
+	}
+	s.plans = newLRUCache[[]byte](s.cfg.PlanCacheSize)
+	s.platforms = newLRUCache[*Platform](s.cfg.PlatformCacheSize)
+	s.cond = sync.NewCond(&s.mu)
+	s.mux.HandleFunc("POST /v1/maximize", s.handleMaximize)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleStats)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Server) Stats() ServerStats {
+	return s.stats.snapshot(s.plans.Len(), s.cfg.PlanCacheSize)
+}
+
+// Shutdown stops admitting new solve requests (they get 503) and blocks
+// until every in-flight request has drained or ctx expires. Safe to call
+// more than once. It does not close listeners — pair it with
+// http.Server.Shutdown, which drains connections while this drains the
+// solver work.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.mu.Lock()
+		for s.active > 0 {
+			s.cond.Wait()
+		}
+		s.mu.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// enter admits one request unless the server is draining.
+func (s *Server) enter() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.active++
+	return true
+}
+
+func (s *Server) leave() {
+	s.mu.Lock()
+	s.active--
+	if s.active == 0 {
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// maxBodyBytes bounds request bodies; a maximize/simulate request is a
+// few KB, so 1 MiB is generous headroom for big plans.
+const maxBodyBytes = 1 << 20
+
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		return nil, badRequestf("reading body: %v", err)
+	}
+	return body, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// writeError maps an error to its HTTP status: requestErrors keep their
+// 4xx, timeouts and cancellations become 504, everything else 500.
+func writeError(w http.ResponseWriter, err error) {
+	var reqErr *requestError
+	switch {
+	case errors.As(err, &reqErr):
+		writeJSON(w, reqErr.status, errorResponse{Error: reqErr.msg})
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: fmt.Sprintf("solve aborted: %v", err)})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	}
+}
+
+// timeoutFor resolves a request's solve deadline from its timeout_s.
+func (s *Server) timeoutFor(timeoutS float64) time.Duration {
+	if timeoutS <= 0 {
+		return s.cfg.DefaultTimeout
+	}
+	d := time.Duration(timeoutS * float64(time.Second))
+	if d > s.cfg.MaxTimeout {
+		return s.cfg.MaxTimeout
+	}
+	if d <= 0 { // sub-nanosecond timeouts round to an immediate deadline
+		d = time.Nanosecond
+	}
+	return d
+}
+
+// platformFor returns the shared Platform for a canonical spec, building
+// it at most once per cache residency. Sharing the Platform is what
+// shares its sim.Engine across all in-flight solves on that platform.
+func (s *Server) platformFor(platKey string, spec PlatformSpec) (*Platform, error) {
+	return s.platforms.GetOrCreate(platKey, spec.platform)
+}
+
+func (s *Server) handleMaximize(w http.ResponseWriter, r *http.Request) {
+	if !s.enter() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is shutting down"})
+		return
+	}
+	defer s.leave()
+	start := time.Now()
+	s.stats.inFlight.Add(1)
+	defer s.stats.inFlight.Add(-1)
+	failed := true
+	defer func() { s.stats.observe("maximize", time.Since(start), failed) }()
+
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	req, planKey, platKey, err := parseMaximizeRequest(body, s.cfg.limits())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+
+	if cached, ok := s.plans.Get(planKey); ok {
+		s.stats.cacheHit()
+		failed = false
+		writeJSON(w, http.StatusOK, MaximizeResponse{
+			Plan:     cached,
+			Cached:   true,
+			Key:      keyDigest(planKey),
+			ElapsedS: time.Since(start).Seconds(),
+		})
+		return
+	}
+	s.stats.cacheMiss()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutS))
+	defer cancel()
+	planBytes, shared, err := s.flights.Do(ctx, planKey, func() ([]byte, error) {
+		plat, err := s.platformFor(platKey, req.Platform)
+		if err != nil {
+			return nil, badRequestf("building platform: %v", err)
+		}
+		plan, err := plat.MaximizeContext(ctx, req.Method, req.TmaxC, s.cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		// Canonicalize the served plan: zero the wall-clock timing so the
+		// bytes are a pure function of the request (cache hits and golden
+		// replays compare byte-identical).
+		plan.Elapsed = 0
+		b, err := json.Marshal(plan)
+		if err != nil {
+			return nil, err
+		}
+		s.plans.Put(planKey, b)
+		return b, nil
+	})
+	if shared {
+		s.stats.sfShared()
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	failed = false
+	writeJSON(w, http.StatusOK, MaximizeResponse{
+		Plan:     planBytes,
+		Shared:   shared,
+		Key:      keyDigest(planKey),
+		ElapsedS: time.Since(start).Seconds(),
+	})
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	if !s.enter() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is shutting down"})
+		return
+	}
+	defer s.leave()
+	start := time.Now()
+	s.stats.inFlight.Add(1)
+	defer s.stats.inFlight.Add(-1)
+	failed := true
+	defer func() { s.stats.observe("simulate", time.Since(start), failed) }()
+
+	body, err := readBody(w, r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	spec, plan, periods, samples, platKey, err := parseSimulateRequest(body, s.cfg.limits())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	plat, err := s.platformFor(platKey, spec)
+	if err != nil {
+		writeError(w, badRequestf("building platform: %v", err))
+		return
+	}
+	trace, err := plat.Trace(plan, periods, samples)
+	if err != nil {
+		writeError(w, badRequestf("simulating plan: %v", err))
+		return
+	}
+	peak, err := plat.VerifyPeakC(plan, 32)
+	if err != nil {
+		writeError(w, badRequestf("verifying plan: %v", err))
+		return
+	}
+	failed = false
+	writeJSON(w, http.StatusOK, SimulateResponse{
+		TimeS:         trace.TimeS,
+		CoreTempC:     trace.CoreTempC,
+		MaxC:          trace.MaxC(),
+		VerifiedPeakC: peak,
+		ElapsedS:      time.Since(start).Seconds(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.closed
+	s.mu.Unlock()
+	status := http.StatusOK
+	state := "ok"
+	if draining {
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	writeJSON(w, status, map[string]any{
+		"status":   state,
+		"uptime_s": time.Since(s.stats.start).Seconds(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}

@@ -1,0 +1,134 @@
+package thermosc
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestServeConcurrentRequests hammers one Server with 100 concurrent
+// mixed maximize/simulate requests (run under -race in CI). Every
+// maximize response for a given method — whether it was the cold solve,
+// a singleflight joiner, or a cache hit — must carry byte-identical plan
+// bytes, and those bytes must equal a cold solve performed by a fresh
+// Server with an empty cache.
+func TestServeConcurrentRequests(t *testing.T) {
+	srv, ts := newTestServer(t)
+	methods := []string{"LNS", "EXS", "AO", "PCO"}
+
+	// Pre-solve one plan on a throwaway server so simulate requests can
+	// run from the first goroutine, concurrently with the cold maximizes.
+	_, tsPre := newTestServer(t)
+	status, b := postJSON(t, tsPre.URL+"/v1/maximize", maximizeBody("LNS"))
+	if status != 200 {
+		t.Fatalf("pre-solve: status %d: %s", status, b)
+	}
+	simBody := fmt.Sprintf(`{"platform":{"rows":2,"cols":1,"paper_levels":3},"plan":%s,"periods":2,"samples_per_period":8}`,
+		decodeMaximize(t, b).Plan)
+
+	const clients = 100
+	plans := make([][]byte, clients) // per-client plan bytes, nil for simulate clients
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%5 == 4 { // every fifth client simulates instead of solving
+				status, b := postJSON(t, ts.URL+"/v1/simulate", simBody)
+				if status != 200 {
+					t.Errorf("client %d simulate: status %d: %s", i, status, b)
+				}
+				return
+			}
+			method := methods[i%4]
+			status, b := postJSON(t, ts.URL+"/v1/maximize", maximizeBody(method))
+			if status != 200 {
+				t.Errorf("client %d %s: status %d: %s", i, method, status, b)
+				return
+			}
+			plans[i] = decodeMaximize(t, b).Plan
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Cold reference solves on a fresh server (empty cache, no sharing).
+	_, tsCold := newTestServer(t)
+	for mi, method := range methods {
+		status, b := postJSON(t, tsCold.URL+"/v1/maximize", maximizeBody(method))
+		if status != 200 {
+			t.Fatalf("cold %s: status %d: %s", method, status, b)
+		}
+		cold := decodeMaximize(t, b)
+		if cold.Cached {
+			t.Fatalf("cold %s reported cached=true", method)
+		}
+		for i := 0; i < clients; i++ {
+			if i%5 == 4 || i%4 != mi {
+				continue
+			}
+			if !bytes.Equal(plans[i], cold.Plan) {
+				t.Fatalf("%s: client %d plan differs from cold solve:\n%s\n%s", method, i, plans[i], cold.Plan)
+			}
+		}
+	}
+
+	// Sanity on the counters: every maximize was a hit, a shared join,
+	// or a miss that performed a solve; the cache ends holding all four.
+	st := srv.Stats()
+	if st.Cache.Size != len(methods) {
+		t.Fatalf("plan cache holds %d entries, want %d: %+v", st.Cache.Size, len(methods), st.Cache)
+	}
+	if st.Cache.Hits+st.Cache.Misses != 80 { // 80 maximize clients
+		t.Fatalf("hits+misses = %d, want 80: %+v", st.Cache.Hits+st.Cache.Misses, st.Cache)
+	}
+}
+
+// TestServeSingleflightShares drives many concurrent identical requests
+// at a slow method and asserts most of them joined the leader's flight
+// (shared=true) or hit the cache, i.e. the solve ran far fewer times
+// than it was asked for.
+func TestServeSingleflightShares(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := maximizeBody("PCO")
+	const clients = 16
+	responses := make([]MaximizeResponse, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, b := postJSON(t, ts.URL+"/v1/maximize", body)
+			if status != 200 {
+				t.Errorf("client %d: status %d: %s", i, status, b)
+				return
+			}
+			responses[i] = decodeMaximize(t, b)
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	var solved int
+	for i, r := range responses {
+		if !bytes.Equal(r.Plan, responses[0].Plan) {
+			t.Fatalf("client %d plan differs from client 0", i)
+		}
+		if !r.Cached && !r.Shared {
+			solved++
+		}
+	}
+	if solved == 0 {
+		t.Fatal("someone must have performed the cold solve")
+	}
+	// All identical concurrent requests collapse onto cache hits or
+	// shared flights; a few leaders can race past the cache check, but
+	// nothing near one solve per client.
+	if solved > clients/2 {
+		t.Fatalf("%d/%d clients performed a full solve; singleflight is not deduplicating", solved, clients)
+	}
+}

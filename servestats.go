@@ -1,0 +1,146 @@
+package thermosc
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// serverStats aggregates the service's operational counters: per-endpoint
+// request/error counts and latency histograms, plan-cache hit/miss and
+// singleflight sharing counters, and the in-flight gauge. Everything is
+// monotonic except the gauge; a snapshot is served as JSON by /v1/stats.
+type serverStats struct {
+	start    time.Time
+	inFlight atomic.Int64
+
+	mu        sync.Mutex
+	hits      uint64
+	misses    uint64
+	shared    uint64
+	endpoints map[string]*endpointStats
+}
+
+type endpointStats struct {
+	count   uint64
+	errors  uint64
+	latency latencyHist
+}
+
+// latencyBounds spans 1 ms (a cache hit) to 60 s (a big cold PCO solve).
+var latencyBounds = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// latencyHist is a fixed-bucket latency histogram (seconds). Bounds are
+// upper edges; the implicit last bucket is +Inf.
+type latencyHist struct {
+	counts [16]uint64 // len(latencyBounds) + 1 overflow bucket
+	sumS   float64
+}
+
+func (h *latencyHist) observe(seconds float64) {
+	i := 0
+	for i < len(latencyBounds) && seconds > latencyBounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sumS += seconds
+}
+
+func newServerStats() *serverStats {
+	return &serverStats{start: time.Now(), endpoints: make(map[string]*endpointStats)}
+}
+
+// observe records one finished request on an endpoint.
+func (s *serverStats) observe(endpoint string, d time.Duration, failed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ep, ok := s.endpoints[endpoint]
+	if !ok {
+		ep = &endpointStats{}
+		s.endpoints[endpoint] = ep
+	}
+	ep.count++
+	if failed {
+		ep.errors++
+	}
+	ep.latency.observe(d.Seconds())
+}
+
+func (s *serverStats) cacheHit()  { s.mu.Lock(); s.hits++; s.mu.Unlock() }
+func (s *serverStats) cacheMiss() { s.mu.Lock(); s.misses++; s.mu.Unlock() }
+func (s *serverStats) sfShared()  { s.mu.Lock(); s.shared++; s.mu.Unlock() }
+
+// ServerStats is the JSON schema of /v1/stats.
+type ServerStats struct {
+	UptimeS  float64                  `json:"uptime_s"`
+	InFlight int64                    `json:"in_flight"`
+	Cache    CacheStats               `json:"cache"`
+	Requests map[string]EndpointStats `json:"requests"`
+}
+
+// CacheStats reports the plan cache and request-deduplication counters.
+type CacheStats struct {
+	Hits               uint64 `json:"hits"`
+	Misses             uint64 `json:"misses"`
+	SingleflightShared uint64 `json:"singleflight_shared"`
+	Size               int    `json:"size"`
+	Capacity           int    `json:"capacity"`
+}
+
+// EndpointStats reports one endpoint's volume and latency distribution.
+type EndpointStats struct {
+	Count   uint64         `json:"count"`
+	Errors  uint64         `json:"errors"`
+	Latency HistogramStats `json:"latency"`
+}
+
+// HistogramStats is a bucketed latency distribution; bucket counts are
+// per-bucket (not cumulative), the last bucket having no upper bound.
+type HistogramStats struct {
+	Buckets []HistogramBucket `json:"buckets"`
+	SumS    float64           `json:"sum_s"`
+	Count   uint64            `json:"count"`
+}
+
+// HistogramBucket counts requests with latency in (prev bound, LeS];
+// LeS = 0 marks the overflow bucket.
+type HistogramBucket struct {
+	LeS   float64 `json:"le_s,omitempty"`
+	Count uint64  `json:"count"`
+}
+
+// snapshot renders the current counters (cacheSize/cacheCap come from
+// the plan cache, which keeps its own lock).
+func (s *serverStats) snapshot(cacheSize, cacheCap int) ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := ServerStats{
+		UptimeS:  time.Since(s.start).Seconds(),
+		InFlight: s.inFlight.Load(),
+		Cache: CacheStats{
+			Hits:               s.hits,
+			Misses:             s.misses,
+			SingleflightShared: s.shared,
+			Size:               cacheSize,
+			Capacity:           cacheCap,
+		},
+		Requests: make(map[string]EndpointStats, len(s.endpoints)),
+	}
+	for name, ep := range s.endpoints {
+		var total uint64
+		hs := HistogramStats{Buckets: make([]HistogramBucket, 0, len(ep.latency.counts)), SumS: ep.latency.sumS}
+		for i, c := range ep.latency.counts {
+			b := HistogramBucket{Count: c}
+			if i < len(latencyBounds) {
+				b.LeS = latencyBounds[i]
+			}
+			hs.Buckets = append(hs.Buckets, b)
+			total += c
+		}
+		hs.Count = total
+		out.Requests[name] = EndpointStats{Count: ep.count, Errors: ep.errors, Latency: hs}
+	}
+	return out
+}

@@ -33,7 +33,9 @@
 package thermosc
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"thermosc/internal/floorplan"
@@ -69,6 +71,20 @@ type Platform struct {
 	levels   *power.LevelSet
 	overhead power.TransitionOverhead
 	period   float64
+
+	// One evaluation engine per platform, built lazily and shared by
+	// every solve on this platform: concurrent Maximize calls reuse a
+	// single propagator / period-operator pool (bit-identical results,
+	// see sim.Engine). The Once makes Platform non-copyable by vet,
+	// which is the intent — pass *Platform around.
+	engOnce sync.Once
+	eng     *sim.Engine
+}
+
+// engine returns the platform's shared evaluation engine.
+func (p *Platform) engine() *sim.Engine {
+	p.engOnce.Do(func() { p.eng = sim.NewEngine(p.model) })
+	return p.eng
 }
 
 // New builds a rows×cols grid platform with the repository's calibrated
@@ -166,12 +182,27 @@ func (p *Platform) DominantTimeConstant() float64 {
 // Maximize runs the selected policy against the peak temperature
 // threshold tmaxC (absolute °C) and returns the resulting plan.
 func (p *Platform) Maximize(m Method, tmaxC float64) (*Plan, error) {
+	return p.MaximizeContext(context.Background(), m, tmaxC, 0)
+}
+
+// MaximizeContext is Maximize with cancellation and solver tuning: ctx
+// cancels or times out the search loops (the AO/PCO m-search, the
+// TPT/refill adjustment scans, and the EXS branch-and-bound all observe
+// it), and workers sets the parallel fan-out width of the candidate scans
+// (0 = GOMAXPROCS; every width returns the identical plan). All solves on
+// one Platform share a single evaluation-engine pool, so concurrent
+// requests against the same platform reuse each other's thermal
+// operators.
+func (p *Platform) MaximizeContext(ctx context.Context, m Method, tmaxC float64, workers int) (*Plan, error) {
 	prob := solver.Problem{
 		Model:      p.model,
 		Levels:     p.levels,
 		TmaxC:      tmaxC,
 		Overhead:   p.overhead,
 		BasePeriod: p.period,
+		Workers:    workers,
+		Ctx:        ctx,
+		Engine:     p.engine(),
 	}
 	var (
 		res *solver.Result
@@ -209,6 +240,7 @@ func (p *Platform) MinimizePeak(targetThroughput, tolK float64) (*Plan, float64,
 		TmaxC:      p.model.Package().AmbientC + 30, // placeholder; MinPeak brackets internally
 		Overhead:   p.overhead,
 		BasePeriod: p.period,
+		Engine:     p.engine(),
 	}
 	res, tmin, err := solver.MinPeak(prob, targetThroughput, tolK)
 	if err != nil {
