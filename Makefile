@@ -8,7 +8,7 @@ FUZZTIME ?= 30s
 COVER_MIN ?= 83
 
 .PHONY: all build vet test test-race bench bench-json experiments figures \
-        fuzz fuzz-smoke serve-smoke cover cover-check ci clean
+        fuzz fuzz-smoke serve-smoke rig-soak cover cover-check ci clean
 
 all: build vet test
 
@@ -45,6 +45,7 @@ fuzz:
 	$(GO) test ./internal/schedule -fuzz FuzzShiftRotate -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/schedule -fuzz FuzzMOscillateInvariants -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/floorplan -fuzz FuzzParseFLP -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/rig -fuzz FuzzRigScenario -fuzztime $(FUZZTIME)
 	$(GO) test . -fuzz FuzzPlanUnmarshal -fuzztime $(FUZZTIME)
 	$(GO) test . -fuzz FuzzServeRequest -fuzztime $(FUZZTIME)
 
@@ -58,6 +59,16 @@ fuzz-smoke:
 # solver change by appending -update-serve-golden.
 serve-smoke:
 	THERMOSC_SERVE_E2E=1 $(GO) test -run TestServeE2EGolden -count=1 -v .
+
+# Closed-loop soak: 20 seed-pinned fault scenarios under the guarded AO
+# plan, each replayed twice. Exits nonzero on ANY thermal violation
+# (true peak above Tmax + guard band) or nondeterministic trace; the JSON
+# report lands in rig_soak.json for inspection.
+RIG_SOAK_N ?= 20
+RIG_SOAK_SEED ?= 1
+rig-soak:
+	$(GO) run ./cmd/thermosc-rig soak -n $(RIG_SOAK_N) -seed $(RIG_SOAK_SEED) > rig_soak.json
+	@echo "rig-soak: $(RIG_SOAK_N) scenarios pass (report in rig_soak.json)"
 
 cover:
 	$(GO) test ./... -coverprofile=cover.out
@@ -73,7 +84,7 @@ cover-check: cover
 	echo "coverage $$total% >= $(COVER_MIN)% gate"
 
 # Everything CI runs, in one target, for local pre-push verification.
-ci: build vet test test-race fuzz-smoke serve-smoke cover-check bench-json
+ci: build vet test test-race fuzz-smoke serve-smoke rig-soak cover-check bench-json
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt BENCH_ao.ci.json
+	rm -f cover.out test_output.txt bench_output.txt BENCH_ao.ci.json rig_soak.json

@@ -1,0 +1,84 @@
+package actuator
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Timeline replays a compiled command stream against wall-clock time: it
+// answers "what voltage is core i programmed to at time t" for the
+// periodic stream Compile emits, including the wrap-around semantics of
+// periodic replay (before a core's first command of the period, the core
+// holds the voltage of its last command — the value that wrapped around
+// from the previous period). The fault-injection rig drives plan playback
+// through a Timeline so the plant sees exactly the command stream a
+// platform driver would program.
+type Timeline struct {
+	period  float64
+	perCore [][]Command // per core, sorted by At ascending
+}
+
+// NewTimeline indexes a command stream (as produced by Compile) for
+// point-in-time queries. Every core in [0, nCores) must receive at least
+// one command, every offset must lie in [0, period), and the period must
+// be positive and finite.
+func NewTimeline(cmds []Command, period float64, nCores int) (*Timeline, error) {
+	if period <= 0 || math.IsNaN(period) || math.IsInf(period, 0) {
+		return nil, fmt.Errorf("actuator: invalid timeline period %v", period)
+	}
+	if nCores < 1 {
+		return nil, fmt.Errorf("actuator: timeline needs at least one core, got %d", nCores)
+	}
+	perCore := make([][]Command, nCores)
+	for _, c := range cmds {
+		if c.Core < 0 || c.Core >= nCores {
+			return nil, fmt.Errorf("actuator: command for core %d outside [0,%d)", c.Core, nCores)
+		}
+		if c.At < 0 || c.At >= period || math.IsNaN(c.At) {
+			return nil, fmt.Errorf("actuator: command offset %v outside [0,%v)", c.At, period)
+		}
+		if c.Voltage < 0 || math.IsNaN(c.Voltage) || math.IsInf(c.Voltage, 0) {
+			return nil, fmt.Errorf("actuator: invalid command voltage %v", c.Voltage)
+		}
+		perCore[c.Core] = append(perCore[c.Core], c)
+	}
+	for i, cs := range perCore {
+		if len(cs) == 0 {
+			return nil, fmt.Errorf("actuator: core %d has no commands", i)
+		}
+		sort.Slice(cs, func(a, b int) bool { return cs[a].At < cs[b].At })
+	}
+	return &Timeline{period: period, perCore: perCore}, nil
+}
+
+// Period returns the replay period in seconds.
+func (tl *Timeline) Period() float64 { return tl.period }
+
+// NumCores returns the number of cores the timeline programs.
+func (tl *Timeline) NumCores() int { return len(tl.perCore) }
+
+// VoltageAt returns core i's programmed voltage at time t ≥ 0 (t is
+// wrapped into the period; a command takes effect exactly at its offset).
+func (tl *Timeline) VoltageAt(i int, t float64) float64 {
+	cs := tl.perCore[i]
+	w := math.Mod(t, tl.period)
+	if w < 0 {
+		w += tl.period
+	}
+	// Last command with At ≤ w; before the first command the core holds
+	// the last command of the previous period.
+	idx := sort.Search(len(cs), func(k int) bool { return cs[k].At > w }) - 1
+	if idx < 0 {
+		idx = len(cs) - 1
+	}
+	return cs[idx].Voltage
+}
+
+// Voltages fills out (length NumCores) with every core's programmed
+// voltage at time t.
+func (tl *Timeline) Voltages(t float64, out []float64) {
+	for i := range tl.perCore {
+		out[i] = tl.VoltageAt(i, t)
+	}
+}

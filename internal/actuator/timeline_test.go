@@ -1,0 +1,112 @@
+package actuator
+
+import (
+	"math"
+	"testing"
+
+	"thermosc/internal/schedule"
+)
+
+func TestTimelineReplaysCompiledStream(t *testing.T) {
+	s := schedule.Must([][]schedule.Segment{
+		{seg(1, 0.6), seg(1, 1.3)}, // switches at 0 and at 1
+		{seg(2, 0.8)},              // constant
+	})
+	tl, err := NewTimeline(Compile(s), s.Period(), s.NumCores())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Period() != 2 || tl.NumCores() != 2 {
+		t.Fatalf("period %v cores %d", tl.Period(), tl.NumCores())
+	}
+	cases := []struct {
+		core int
+		t    float64
+		want float64
+	}{
+		{0, 0, 0.6},     // command takes effect exactly at its offset
+		{0, 0.5, 0.6},   //
+		{0, 1, 1.3},     // mid-period switch
+		{0, 1.999, 1.3}, //
+		{0, 2, 0.6},     // wrapped into the next period
+		{0, 7.5, 1.3},   // many periods later
+		{1, 0, 0.8},     // boot command
+		{1, 1.7, 0.8},   // constant core never switches
+		{1, 123.4, 0.8}, //
+		{0, -0.5, 1.3},  // negative time wraps like the previous period
+	}
+	for _, tc := range cases {
+		if got := tl.VoltageAt(tc.core, tc.t); math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("VoltageAt(%d, %v) = %v, want %v", tc.core, tc.t, got, tc.want)
+		}
+	}
+	out := make([]float64, 2)
+	tl.Voltages(1.2, out)
+	if out[0] != 1.3 || out[1] != 0.8 {
+		t.Fatalf("Voltages(1.2) = %v", out)
+	}
+}
+
+// A core whose first command sits mid-period must hold the WRAPPED value
+// (its last command of the previous period) before that offset.
+func TestTimelineWrapBeforeFirstCommand(t *testing.T) {
+	cmds := []Command{{At: 0.5, Core: 0, Voltage: 1.0}, {At: 1.5, Core: 0, Voltage: 0.6}}
+	tl, err := NewTimeline(cmds, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tl.VoltageAt(0, 0.25); got != 0.6 {
+		t.Fatalf("before first command want wrap to 0.6, got %v", got)
+	}
+	if got := tl.VoltageAt(0, 0.5); got != 1.0 {
+		t.Fatalf("at first command want 1.0, got %v", got)
+	}
+}
+
+func TestTimelineValidation(t *testing.T) {
+	ok := []Command{{At: 0, Core: 0, Voltage: 1}}
+	cases := []struct {
+		name   string
+		cmds   []Command
+		period float64
+		nCores int
+	}{
+		{"zero period", ok, 0, 1},
+		{"negative period", ok, -1, 1},
+		{"NaN period", ok, math.NaN(), 1},
+		{"no cores", ok, 1, 0},
+		{"core out of range", []Command{{At: 0, Core: 2, Voltage: 1}}, 1, 2},
+		{"offset at period", []Command{{At: 1, Core: 0, Voltage: 1}}, 1, 1},
+		{"negative offset", []Command{{At: -0.1, Core: 0, Voltage: 1}}, 1, 1},
+		{"negative voltage", []Command{{At: 0, Core: 0, Voltage: -1}}, 1, 1},
+		{"core without commands", ok, 1, 2},
+		{"empty stream", nil, 1, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewTimeline(tc.cmds, tc.period, tc.nCores); err == nil {
+				t.Fatalf("want error, got nil")
+			}
+		})
+	}
+}
+
+// Unsorted command input must be indexed correctly regardless of order.
+func TestTimelineSortsCommands(t *testing.T) {
+	cmds := []Command{
+		{At: 1.5, Core: 0, Voltage: 0.6},
+		{At: 0, Core: 0, Voltage: 1.3},
+		{At: 0.5, Core: 0, Voltage: 1.0},
+	}
+	tl, err := NewTimeline(cmds, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ t, want float64 }{
+		{0, 1.3}, {0.4, 1.3}, {0.5, 1.0}, {1.4, 1.0}, {1.5, 0.6}, {1.9, 0.6},
+	} {
+		if got := tl.VoltageAt(0, tc.t); got != tc.want {
+			t.Fatalf("VoltageAt(0, %v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package rig
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzRigScenario drives the scenario decoder with arbitrary bytes. The
+// contract: never panic; reject malformed or out-of-range configs with an
+// error (never silently zero them); and canonicalize idempotently — the
+// encode→decode round trip of an accepted scenario reproduces it exactly.
+func FuzzRigScenario(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"seed": 42}`))
+	f.Add([]byte(`{"seed": 1, "rows": 2, "cols": 2, "paper_levels": 3}`))
+	f.Add([]byte(`{"sensor": {"noise_std_k": 0.5, "dropout_prob": 0.01}}`))
+	f.Add([]byte(`{"actuator": {"latency_s": 0.001, "fail_prob": 0.05}}`))
+	f.Add([]byte(`{"power": {"spike_prob": 0.01, "spike_w": 1}}`))
+	f.Add([]byte(`{"mismatch": {"conv_factor": 1.05, "ambient_offset_c": -1}}`))
+	f.Add([]byte(`{"tmax_c": 9000}`))
+	f.Add([]byte(`{"rows": -3}`))
+	f.Add([]byte(`{"step_s": 1e-9, "horizon_s": 3600}`))
+	f.Add([]byte(`{"seed": 1, "unknown_knob": true}`))
+	f.Add([]byte(`{"seed": 1} trailing`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"sensor": {"noise_std_k": 1e308}}`))
+	f.Add([]byte(`{"horizon_s": -1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := DecodeScenario(data)
+		if err != nil {
+			return // rejection with an error is the correct failure mode
+		}
+		// Accepted ⇒ canonical and in range: re-canonicalizing must be a
+		// no-op and must not error.
+		again := *sc
+		if err := again.Canon(); err != nil {
+			t.Fatalf("accepted scenario fails re-canonicalization: %v", err)
+		}
+		if !reflect.DeepEqual(*sc, again) {
+			t.Fatalf("Canon not idempotent:\n%+v\n%+v", *sc, again)
+		}
+		// Round trip: encode → decode reproduces the scenario exactly.
+		out, err := EncodeScenario(sc)
+		if err != nil {
+			t.Fatalf("encoding accepted scenario: %v", err)
+		}
+		back, err := DecodeScenario(out)
+		if err != nil {
+			t.Fatalf("re-decoding own encoding: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(sc, back) {
+			t.Fatalf("round trip drifted:\n%+v\n%+v", sc, back)
+		}
+		// Spot-check the invariants the rig relies on.
+		if sc.Rows*sc.Cols < 1 || sc.Rows*sc.Cols > 16 {
+			t.Fatalf("accepted core count %d", sc.Rows*sc.Cols)
+		}
+		if sc.StepS <= 0 || sc.HorizonS <= 0 || sc.SubSteps < 1 {
+			t.Fatalf("accepted degenerate resolution %+v", sc)
+		}
+	})
+}

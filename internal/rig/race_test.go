@@ -1,0 +1,138 @@
+package rig
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestRigConcurrentReaders steps a rig while goroutines hammer the
+// concurrent read surface. Run with -race (the repo's test-race target
+// does): the assertion here is freedom from data races plus an unchanged
+// deterministic trace — concurrent scraping must never perturb the run.
+func TestRigConcurrentReaders(t *testing.T) {
+	sc := faultySc(21)
+	sc.HorizonS = 1
+
+	run := func(readers int) *Report {
+		r, err := New(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := PlanAO(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		guard, err := GuardFor(r.Scenario(), plan, r.Levels())
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < readers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					st := r.Stats()
+					if st.Step < 0 || st.Step > 100 {
+						panic("stats snapshot out of range")
+					}
+					for _, c := range r.SensedC() {
+						_ = c
+					}
+					for _, c := range r.TrueTempsC() {
+						if c > 500 {
+							panic("implausible temperature snapshot")
+						}
+					}
+					if _, err := r.TraceJSON(); err != nil {
+						panic(err)
+					}
+				}
+			}()
+		}
+		rep, err := r.Run(guard)
+		close(stop)
+		wg.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	loud := run(4)  // scraped by 4 goroutines
+	quiet := run(0) // no readers at all
+	if loud.TraceSHA256 != quiet.TraceSHA256 {
+		t.Fatalf("concurrent readers perturbed the trace: %s vs %s",
+			loud.TraceSHA256, quiet.TraceSHA256)
+	}
+}
+
+// Concurrent independent rigs on the same scenario must not share state:
+// byte-identical traces from parallel runs.
+func TestRigParallelRunsDeterministic(t *testing.T) {
+	sc := faultySc(33)
+	sc.HorizonS = 1
+
+	const n = 4
+	traces := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			r, err := New(sc)
+			if err != nil {
+				panic(err)
+			}
+			plan, err := PlanAO(r)
+			if err != nil {
+				panic(err)
+			}
+			guard, err := GuardFor(r.Scenario(), plan, r.Levels())
+			if err != nil {
+				panic(err)
+			}
+			if _, err := r.Run(guard); err != nil {
+				panic(err)
+			}
+			tj, err := r.TraceJSON()
+			if err != nil {
+				panic(err)
+			}
+			traces[slot] = tj
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(traces[0], traces[i]) {
+			t.Fatalf("parallel run %d diverged from run 0", i)
+		}
+	}
+}
+
+// The soak worker pool itself must be race-free and order-stable.
+func TestSoakParallelWorkers(t *testing.T) {
+	base := &Scenario{HorizonS: 1}
+	one, err := Soak(base, 6, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Soak(base, 6, 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range one.Scenarios {
+		a, b := one.Scenarios[i].Report, many.Scenarios[i].Report
+		if a.TraceSHA256 != b.TraceSHA256 {
+			t.Fatalf("scenario %d: worker count changed the trace", i)
+		}
+	}
+}

@@ -1,0 +1,341 @@
+// Package rig is a deterministic closed-loop chip emulator with fault
+// injection: it wraps the exact LTI thermal model as a virtual plant —
+// quantized, noisy sensor readout; slow DVFS actuation; power-model
+// perturbation and leakage drift — and drives a controller (an AO plan
+// under a thermal watchdog, or one of the internal/governor policies)
+// against it while recording the TRUE temperature trajectory.
+//
+// The paper's guarantees (Theorems 1–5) hold for the idealized RC model
+// with free, instantaneous actuation and perfect knowledge. The rig
+// manufactures the regimes the paper abstracts away — sensor dropout and
+// stuck-at faults, transition failures, transient power spikes, and
+// planner/plant model mismatch — and turns them into repeatable,
+// seed-pinned tests: the same scenario seed always reproduces the same
+// fault sequence and therefore byte-identical trace JSON.
+package rig
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Scenario is the declarative description of one closed-loop run: the
+// platform, the thermal contract, the emulation resolution, and the fault
+// plan. Zero-valued knobs take the documented defaults when the scenario
+// is canonicalized; fault blocks left zero mean "no such faults".
+type Scenario struct {
+	// Name labels the scenario in reports.
+	Name string `json:"name,omitempty"`
+	// Seed pins every random draw of the run: plant perturbation, sensor
+	// noise, fault arrival. Same seed ⇒ identical trace bytes.
+	Seed int64 `json:"seed"`
+
+	// Rows×Cols selects the grid floorplan (defaults 3×1).
+	Rows int `json:"rows"`
+	Cols int `json:"cols"`
+	// PaperLevels selects the paper's Table IV level set (2..5, default 2).
+	PaperLevels int `json:"paper_levels"`
+
+	// TmaxC is the absolute thermal contract in °C (default 65). A
+	// violation is any TRUE core temperature above TmaxC + GuardK.
+	TmaxC float64 `json:"tmax_c"`
+	// GuardK is the guard band (K, default 2) the closed loop must keep
+	// the plant within despite the injected faults.
+	GuardK float64 `json:"guard_k"`
+	// PlanMarginK derates the planner's threshold: plans are solved for
+	// TmaxC − PlanMarginK (default 2) so the open-loop schedule does not
+	// start exactly on the constraint it must defend under perturbation.
+	// The default absorbs the soak fault envelope: a +6 % convection
+	// mismatch plus a warm ambient alone cost ≈2 K of true headroom.
+	PlanMarginK float64 `json:"plan_margin_k"`
+
+	// HorizonS is the emulated wall-clock length (default 20 s).
+	HorizonS float64 `json:"horizon_s"`
+	// StepS is the control/sensor period (default 10 ms).
+	StepS float64 `json:"step_s"`
+	// SubSteps is the plant integration resolution per control step
+	// (default 8): actuation latency and plan playback quantize to
+	// StepS/SubSteps.
+	SubSteps int `json:"substeps"`
+	// MaxM caps the AO oscillation count for plan-guided runs (default
+	// 16), keeping the plan's switching period resolvable by the
+	// emulation grid.
+	MaxM int `json:"max_m"`
+
+	Sensor   SensorFaults   `json:"sensor"`
+	Actuator ActuatorFaults `json:"actuator"`
+	Power    PowerFaults    `json:"power"`
+	Mismatch PlantMismatch  `json:"mismatch"`
+}
+
+// SensorFaults perturbs the temperature telemetry the controller sees.
+type SensorFaults struct {
+	// NoiseStdK is zero-mean Gaussian read noise (K, 1σ).
+	NoiseStdK float64 `json:"noise_std_k"`
+	// QuantStepK quantizes readings to multiples of this step (0 = off).
+	QuantStepK float64 `json:"quant_step_k"`
+	// DropoutProb is the per-core per-step probability that a sample is
+	// lost; the controller then sees the last delivered value.
+	DropoutProb float64 `json:"dropout_prob"`
+	// StuckProb is the per-core per-step probability that the sensor
+	// freezes at its current reading for StuckDurS seconds.
+	StuckProb float64 `json:"stuck_prob"`
+	// StuckDurS is the length of a stuck-at episode (default 0.2 s when
+	// StuckProb > 0).
+	StuckDurS float64 `json:"stuck_dur_s"`
+}
+
+// ActuatorFaults perturbs DVFS actuation.
+type ActuatorFaults struct {
+	// LatencyS delays every commanded level change: the core stalls
+	// (zero work, power at the higher of the two voltages — the
+	// conservative convention of internal/actuator) until the rail
+	// settles. Rounded up to the emulation substep.
+	LatencyS float64 `json:"latency_s"`
+	// FailProb is the probability that a commanded transition silently
+	// fails (the level does not change; the controller only learns by
+	// watching temperatures).
+	FailProb float64 `json:"fail_prob"`
+}
+
+// PowerFaults injects workload-side power disturbances.
+type PowerFaults struct {
+	// SpikeProb is the per-step probability that a transient power spike
+	// starts on a random core.
+	SpikeProb float64 `json:"spike_prob"`
+	// SpikeW is the spike magnitude in watts.
+	SpikeW float64 `json:"spike_w"`
+	// SpikeDurS is the spike duration (default 0.5 s when SpikeProb > 0).
+	SpikeDurS float64 `json:"spike_dur_s"`
+	// LeakDriftWPerS grows every core's leakage floor linearly with time
+	// (aging / electromigration drift), saturating at LeakDriftMaxW.
+	LeakDriftWPerS float64 `json:"leak_drift_w_per_s"`
+	// LeakDriftMaxW caps the accumulated drift (default 0.5 W when the
+	// rate is positive).
+	LeakDriftMaxW float64 `json:"leak_drift_max_w"`
+}
+
+// PlantMismatch separates the TRUE plant from the planner's model: the
+// controller plans and predicts on the nominal model; the rig integrates
+// the perturbed one.
+type PlantMismatch struct {
+	// CoreScaleSpread draws each plant core's power scale uniformly from
+	// [1−s, 1+s] (process variation the planner did not calibrate).
+	CoreScaleSpread float64 `json:"core_scale_spread"`
+	// ConvFactor multiplies the plant's convection resistance (≥ 1 models
+	// a dusty heatsink; default 1).
+	ConvFactor float64 `json:"conv_factor"`
+	// AmbientOffsetC shifts the plant's true ambient in °C (the planner
+	// still believes the nominal ambient).
+	AmbientOffsetC float64 `json:"ambient_offset_c"`
+}
+
+// Scenario limits: everything a decoded scenario must satisfy after
+// canonicalization. The caps bound soak cost, not physics.
+const (
+	maxCores     = 16
+	maxSteps     = 1 << 20
+	maxNoiseStdK = 10
+	maxSpikeW    = 20
+)
+
+// Canon fills defaults into zero-valued knobs and validates the result.
+// It is idempotent: Canon(Canon(s)) == Canon(s), and re-decoding the JSON
+// encoding of a canonical scenario reproduces it exactly — the property
+// FuzzRigScenario pins so scenario files never fragment across tools.
+func (s *Scenario) Canon() error {
+	if s.Rows == 0 {
+		s.Rows = 3
+	}
+	if s.Cols == 0 {
+		s.Cols = 1
+	}
+	if s.PaperLevels == 0 {
+		s.PaperLevels = 2
+	}
+	if s.TmaxC == 0 {
+		s.TmaxC = 65
+	}
+	if s.GuardK == 0 {
+		s.GuardK = 2
+	}
+	if s.PlanMarginK == 0 {
+		s.PlanMarginK = 2
+	}
+	if s.HorizonS == 0 {
+		s.HorizonS = 20
+	}
+	if s.StepS == 0 {
+		s.StepS = 10e-3
+	}
+	if s.SubSteps == 0 {
+		s.SubSteps = 8
+	}
+	if s.MaxM == 0 {
+		s.MaxM = 16
+	}
+	if s.Sensor.StuckProb > 0 && s.Sensor.StuckDurS == 0 {
+		s.Sensor.StuckDurS = 0.2
+	}
+	if s.Power.SpikeProb > 0 && s.Power.SpikeDurS == 0 {
+		s.Power.SpikeDurS = 0.5
+	}
+	if s.Power.LeakDriftWPerS > 0 && s.Power.LeakDriftMaxW == 0 {
+		s.Power.LeakDriftMaxW = 0.5
+	}
+	if s.Mismatch.ConvFactor == 0 {
+		s.Mismatch.ConvFactor = 1
+	}
+	return s.validate()
+}
+
+func (s *Scenario) validate() error {
+	if s.Rows < 1 || s.Cols < 1 || s.Rows*s.Cols > maxCores {
+		return fmt.Errorf("rig: grid %dx%d outside [1,%d] cores", s.Rows, s.Cols, maxCores)
+	}
+	if s.PaperLevels < 2 || s.PaperLevels > 5 {
+		return fmt.Errorf("rig: paper_levels %d outside 2..5", s.PaperLevels)
+	}
+	if !finite(s.TmaxC) || s.TmaxC < 40 || s.TmaxC > 150 {
+		return fmt.Errorf("rig: tmax_c %v outside [40,150]", s.TmaxC)
+	}
+	if !finite(s.GuardK) || s.GuardK < 0 || s.GuardK > 20 {
+		return fmt.Errorf("rig: guard_k %v outside [0,20]", s.GuardK)
+	}
+	if !finite(s.PlanMarginK) || s.PlanMarginK < 0 || s.PlanMarginK > 10 {
+		return fmt.Errorf("rig: plan_margin_k %v outside [0,10]", s.PlanMarginK)
+	}
+	if !finite(s.HorizonS) || s.HorizonS <= 0 || s.HorizonS > 3600 {
+		return fmt.Errorf("rig: horizon_s %v outside (0,3600]", s.HorizonS)
+	}
+	if !finite(s.StepS) || s.StepS <= 0 || s.StepS > 1 {
+		return fmt.Errorf("rig: step_s %v outside (0,1]", s.StepS)
+	}
+	if steps := s.HorizonS / s.StepS; steps > maxSteps {
+		return fmt.Errorf("rig: %d control steps exceed the %d cap", int(steps), maxSteps)
+	}
+	if s.SubSteps < 1 || s.SubSteps > 64 {
+		return fmt.Errorf("rig: substeps %d outside [1,64]", s.SubSteps)
+	}
+	if s.MaxM < 1 || s.MaxM > 4096 {
+		return fmt.Errorf("rig: max_m %d outside [1,4096]", s.MaxM)
+	}
+	if err := s.Sensor.validate(); err != nil {
+		return err
+	}
+	if err := s.Actuator.validate(s.StepS); err != nil {
+		return err
+	}
+	if err := s.Power.validate(); err != nil {
+		return err
+	}
+	return s.Mismatch.validate()
+}
+
+func (f *SensorFaults) validate() error {
+	if !finite(f.NoiseStdK) || f.NoiseStdK < 0 || f.NoiseStdK > maxNoiseStdK {
+		return fmt.Errorf("rig: sensor noise_std_k %v outside [0,%d]", f.NoiseStdK, maxNoiseStdK)
+	}
+	if !finite(f.QuantStepK) || f.QuantStepK < 0 || f.QuantStepK > 10 {
+		return fmt.Errorf("rig: sensor quant_step_k %v outside [0,10]", f.QuantStepK)
+	}
+	if err := prob("sensor dropout_prob", f.DropoutProb); err != nil {
+		return err
+	}
+	if err := prob("sensor stuck_prob", f.StuckProb); err != nil {
+		return err
+	}
+	if !finite(f.StuckDurS) || f.StuckDurS < 0 || f.StuckDurS > 10 {
+		return fmt.Errorf("rig: sensor stuck_dur_s %v outside [0,10]", f.StuckDurS)
+	}
+	if f.StuckProb > 0 && f.StuckDurS == 0 {
+		return fmt.Errorf("rig: stuck_prob %v with zero stuck_dur_s", f.StuckProb)
+	}
+	return nil
+}
+
+func (f *ActuatorFaults) validate(stepS float64) error {
+	if !finite(f.LatencyS) || f.LatencyS < 0 || f.LatencyS > 1 {
+		return fmt.Errorf("rig: actuator latency_s %v outside [0,1]", f.LatencyS)
+	}
+	if f.LatencyS > 100*stepS {
+		return fmt.Errorf("rig: actuator latency_s %v exceeds 100 control steps", f.LatencyS)
+	}
+	return prob("actuator fail_prob", f.FailProb)
+}
+
+func (f *PowerFaults) validate() error {
+	if err := prob("power spike_prob", f.SpikeProb); err != nil {
+		return err
+	}
+	if !finite(f.SpikeW) || f.SpikeW < 0 || f.SpikeW > maxSpikeW {
+		return fmt.Errorf("rig: power spike_w %v outside [0,%d]", f.SpikeW, maxSpikeW)
+	}
+	if !finite(f.SpikeDurS) || f.SpikeDurS < 0 || f.SpikeDurS > 30 {
+		return fmt.Errorf("rig: power spike_dur_s %v outside [0,30]", f.SpikeDurS)
+	}
+	if f.SpikeProb > 0 && (f.SpikeW == 0 || f.SpikeDurS == 0) {
+		return fmt.Errorf("rig: spike_prob %v with zero magnitude or duration", f.SpikeProb)
+	}
+	if !finite(f.LeakDriftWPerS) || f.LeakDriftWPerS < 0 || f.LeakDriftWPerS > 1 {
+		return fmt.Errorf("rig: power leak_drift_w_per_s %v outside [0,1]", f.LeakDriftWPerS)
+	}
+	if !finite(f.LeakDriftMaxW) || f.LeakDriftMaxW < 0 || f.LeakDriftMaxW > 5 {
+		return fmt.Errorf("rig: power leak_drift_max_w %v outside [0,5]", f.LeakDriftMaxW)
+	}
+	if f.LeakDriftWPerS > 0 && f.LeakDriftMaxW == 0 {
+		return fmt.Errorf("rig: leak drift rate %v with zero cap", f.LeakDriftWPerS)
+	}
+	return nil
+}
+
+func (m *PlantMismatch) validate() error {
+	if !finite(m.CoreScaleSpread) || m.CoreScaleSpread < 0 || m.CoreScaleSpread > 0.2 {
+		return fmt.Errorf("rig: mismatch core_scale_spread %v outside [0,0.2]", m.CoreScaleSpread)
+	}
+	if !finite(m.ConvFactor) || m.ConvFactor < 0.5 || m.ConvFactor > 1.5 {
+		return fmt.Errorf("rig: mismatch conv_factor %v outside [0.5,1.5]", m.ConvFactor)
+	}
+	if !finite(m.AmbientOffsetC) || m.AmbientOffsetC < -10 || m.AmbientOffsetC > 10 {
+		return fmt.Errorf("rig: mismatch ambient_offset_c %v outside [-10,10]", m.AmbientOffsetC)
+	}
+	return nil
+}
+
+func prob(name string, p float64) error {
+	if !finite(p) || p < 0 || p > 1 {
+		return fmt.Errorf("rig: %s %v outside [0,1]", name, p)
+	}
+	return nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// DecodeScenario parses and canonicalizes a scenario from strict JSON:
+// unknown fields, trailing garbage, and out-of-range knobs are rejected
+// with errors, never silently zeroed.
+func DecodeScenario(data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("rig: decoding scenario: %w", err)
+	}
+	// Reject trailing non-whitespace so concatenated/truncated configs
+	// fail loudly.
+	if dec.More() {
+		return nil, fmt.Errorf("rig: trailing data after scenario object")
+	}
+	if err := s.Canon(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// EncodeScenario renders the canonical JSON form (stable field order,
+// two-space indent) — the round-trip inverse of DecodeScenario.
+func EncodeScenario(s *Scenario) ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -1,0 +1,167 @@
+package rig
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCanonDefaults(t *testing.T) {
+	var s Scenario
+	if err := s.Canon(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows != 3 || s.Cols != 1 || s.PaperLevels != 2 {
+		t.Fatalf("platform defaults: %dx%d levels %d", s.Rows, s.Cols, s.PaperLevels)
+	}
+	if s.TmaxC != 65 || s.GuardK != 2 || s.PlanMarginK != 2 {
+		t.Fatalf("thermal defaults: tmax %v guard %v margin %v", s.TmaxC, s.GuardK, s.PlanMarginK)
+	}
+	if s.HorizonS != 20 || s.StepS != 10e-3 || s.SubSteps != 8 || s.MaxM != 16 {
+		t.Fatalf("resolution defaults: %v %v %d %d", s.HorizonS, s.StepS, s.SubSteps, s.MaxM)
+	}
+	if s.Mismatch.ConvFactor != 1 {
+		t.Fatalf("conv factor default %v", s.Mismatch.ConvFactor)
+	}
+}
+
+func TestCanonConditionalDefaults(t *testing.T) {
+	s := Scenario{
+		Sensor: SensorFaults{StuckProb: 0.01},
+		Power:  PowerFaults{SpikeProb: 0.01, SpikeW: 1, LeakDriftWPerS: 0.01},
+	}
+	if err := s.Canon(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Sensor.StuckDurS != 0.2 {
+		t.Fatalf("stuck duration default %v", s.Sensor.StuckDurS)
+	}
+	if s.Power.SpikeDurS != 0.5 {
+		t.Fatalf("spike duration default %v", s.Power.SpikeDurS)
+	}
+	if s.Power.LeakDriftMaxW != 0.5 {
+		t.Fatalf("drift cap default %v", s.Power.LeakDriftMaxW)
+	}
+}
+
+func TestCanonIdempotent(t *testing.T) {
+	s := Scenario{Seed: 7, Sensor: SensorFaults{NoiseStdK: 0.5, StuckProb: 0.01}}
+	if err := s.Canon(); err != nil {
+		t.Fatal(err)
+	}
+	again := s
+	if err := again.Canon(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, again) {
+		t.Fatalf("Canon not idempotent:\n%+v\n%+v", s, again)
+	}
+}
+
+func TestScenarioValidationRejects(t *testing.T) {
+	mk := func(mut func(*Scenario)) Scenario {
+		s := Scenario{}
+		mut(&s)
+		return s
+	}
+	cases := []struct {
+		name string
+		s    Scenario
+		frag string
+	}{
+		{"grid too large", mk(func(s *Scenario) { s.Rows = 5; s.Cols = 4 }), "grid"},
+		{"negative rows", mk(func(s *Scenario) { s.Rows = -1 }), "grid"},
+		{"paper levels", mk(func(s *Scenario) { s.PaperLevels = 9 }), "paper_levels"},
+		{"tmax low", mk(func(s *Scenario) { s.TmaxC = 10 }), "tmax_c"},
+		{"tmax NaN", mk(func(s *Scenario) { s.TmaxC = math.NaN() }), "tmax_c"},
+		{"guard negative", mk(func(s *Scenario) { s.GuardK = -1 }), "guard_k"},
+		{"horizon negative", mk(func(s *Scenario) { s.HorizonS = -5 }), "horizon_s"},
+		{"step too long", mk(func(s *Scenario) { s.StepS = 2 }), "step_s"},
+		{"too many steps", mk(func(s *Scenario) { s.HorizonS = 3600; s.StepS = 1e-6 }), "control steps"},
+		{"substeps", mk(func(s *Scenario) { s.SubSteps = 100 }), "substeps"},
+		{"max_m", mk(func(s *Scenario) { s.MaxM = 100000 }), "max_m"},
+		{"noise", mk(func(s *Scenario) { s.Sensor.NoiseStdK = 99 }), "noise_std_k"},
+		{"noise NaN", mk(func(s *Scenario) { s.Sensor.NoiseStdK = math.NaN() }), "noise_std_k"},
+		{"dropout prob", mk(func(s *Scenario) { s.Sensor.DropoutProb = 1.5 }), "dropout_prob"},
+		{"stuck duration", mk(func(s *Scenario) { s.Sensor.StuckProb = 0.1; s.Sensor.StuckDurS = -1 }), "stuck_dur_s"},
+		{"latency", mk(func(s *Scenario) { s.Actuator.LatencyS = 2 }), "latency_s"},
+		{"latency vs step", mk(func(s *Scenario) { s.StepS = 1e-3; s.Actuator.LatencyS = 0.5 }), "latency_s"},
+		{"fail prob", mk(func(s *Scenario) { s.Actuator.FailProb = -0.1 }), "fail_prob"},
+		{"spike watts", mk(func(s *Scenario) { s.Power.SpikeProb = 0.1; s.Power.SpikeW = 100 }), "spike_w"},
+		{"spike zero magnitude", mk(func(s *Scenario) { s.Power.SpikeProb = 0.1; s.Power.SpikeDurS = 1 }), "spike"},
+		{"drift", mk(func(s *Scenario) { s.Power.LeakDriftWPerS = 5 }), "leak_drift"},
+		{"spread", mk(func(s *Scenario) { s.Mismatch.CoreScaleSpread = 0.9 }), "core_scale_spread"},
+		{"conv", mk(func(s *Scenario) { s.Mismatch.ConvFactor = 3 }), "conv_factor"},
+		{"ambient", mk(func(s *Scenario) { s.Mismatch.AmbientOffsetC = 99 }), "ambient_offset_c"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.s.Canon()
+			if err == nil {
+				t.Fatalf("want error, got nil (scenario %+v)", tc.s)
+			}
+			if !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("error %q does not mention %q", err, tc.frag)
+			}
+		})
+	}
+}
+
+func TestDecodeScenarioStrict(t *testing.T) {
+	good := []byte(`{"seed": 42, "sensor": {"noise_std_k": 0.5}}`)
+	s, err := DecodeScenario(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 42 || s.Sensor.NoiseStdK != 0.5 || s.Rows != 3 {
+		t.Fatalf("decoded %+v", s)
+	}
+
+	bad := []struct {
+		name string
+		data string
+	}{
+		{"unknown field", `{"seed": 1, "turbo": true}`},
+		{"trailing garbage", `{"seed": 1} {"seed": 2}`},
+		{"not json", `seed=1`},
+		{"truncated", `{"seed": 1`},
+		{"wrong type", `{"seed": "one"}`},
+		{"out of range", `{"tmax_c": 9000}`},
+		{"array", `[1,2,3]`},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeScenario([]byte(tc.data)); err == nil {
+				t.Fatalf("want error for %q", tc.data)
+			}
+		})
+	}
+}
+
+// The encode→decode round trip of a canonical scenario must reproduce it
+// exactly — scenario files written by one tool never fragment in another.
+func TestScenarioRoundTrip(t *testing.T) {
+	s := Scenario{
+		Seed: 99,
+		Rows: 2, Cols: 2,
+		Sensor:   SensorFaults{NoiseStdK: 0.7, QuantStepK: 0.5, DropoutProb: 0.01, StuckProb: 0.001},
+		Actuator: ActuatorFaults{LatencyS: 1e-3, FailProb: 0.02},
+		Power:    PowerFaults{SpikeProb: 0.005, SpikeW: 1, LeakDriftWPerS: 0.01},
+		Mismatch: PlantMismatch{CoreScaleSpread: 0.02, ConvFactor: 1.03, AmbientOffsetC: -0.5},
+	}
+	if err := s.Canon(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeScenario(&s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, *back) {
+		t.Fatalf("round trip drifted:\n%+v\n%+v", s, *back)
+	}
+}

@@ -1,0 +1,312 @@
+package rig
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"thermosc/internal/governor"
+	"thermosc/internal/power"
+	"thermosc/internal/schedule"
+	"thermosc/internal/solver"
+)
+
+// PlanAO solves the AO plan a plan-guard run replays: the planner's
+// nominal model, the paper level set, and a threshold derated by the
+// scenario's plan margin. MaxM is capped by the scenario so the resulting
+// oscillation cycle stays resolvable on the emulation grid.
+func PlanAO(r *Rig) (*schedule.Schedule, error) {
+	sc := r.Scenario()
+	res, err := solver.AO(solver.Problem{
+		Model:    r.PlannerModel(),
+		Levels:   r.Levels(),
+		TmaxC:    sc.TmaxC - sc.PlanMarginK,
+		Overhead: power.DefaultOverhead(),
+		MaxM:     sc.MaxM,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rig: AO plan: %w", err)
+	}
+	if !res.Feasible || res.Schedule == nil {
+		return nil, fmt.Errorf("rig: AO found no feasible plan at %.1f °C", sc.TmaxC-sc.PlanMarginK)
+	}
+	return res.Schedule, nil
+}
+
+// GuardFor builds the default watchdog for a scenario's plan: trip three
+// quarters of a plan margin below Tmax — early enough that a spike
+// landing on an already-perturbed plant still leaves the guard band
+// intact — and recover one kelvin cooler.
+func GuardFor(sc Scenario, plan *schedule.Schedule, ls *power.LevelSet) (*PlanGuard, error) {
+	return NewPlanGuard(plan, ls, sc.TmaxC-0.75*sc.PlanMarginK, 1.0)
+}
+
+// planKey identifies scenarios that share one AO plan: everything the
+// solve depends on, nothing the fault injection touches.
+type planKey struct {
+	rows, cols, levels, maxM int
+	planTmaxC                float64
+}
+
+// planCache memoizes AO solves across a soak run; entries build at most
+// once even when workers race (the sync.Once pattern of sim.Engine).
+type planCache struct {
+	mu sync.Mutex
+	m  map[planKey]*planEntry
+}
+
+type planEntry struct {
+	once  sync.Once
+	sched *schedule.Schedule
+	err   error
+}
+
+func newPlanCache() *planCache { return &planCache{m: make(map[planKey]*planEntry)} }
+
+func (c *planCache) plan(r *Rig) (*schedule.Schedule, error) {
+	sc := r.Scenario()
+	key := planKey{sc.Rows, sc.Cols, sc.PaperLevels, sc.MaxM, sc.TmaxC - sc.PlanMarginK}
+	c.mu.Lock()
+	ent, ok := c.m[key]
+	if !ok {
+		ent = &planEntry{}
+		c.m[key] = ent
+	}
+	c.mu.Unlock()
+	ent.once.Do(func() { ent.sched, ent.err = PlanAO(r) })
+	return ent.sched, ent.err
+}
+
+// RandomScenarios derives n randomized fault scenarios from a base
+// template, seed-pinned: the same (base, n, seed) always yields the same
+// scenario list. Fault magnitudes are drawn inside the envelope the
+// plan-guard's guard band is calibrated to absorb — the soak then asserts
+// the closed loop actually absorbs them.
+func RandomScenarios(base *Scenario, n int, seed int64) ([]*Scenario, error) {
+	tmpl := Scenario{}
+	if base != nil {
+		tmpl = *base
+	}
+	if err := tmpl.Canon(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(seed))
+	out := make([]*Scenario, 0, n)
+	for i := 0; i < n; i++ {
+		sc := tmpl
+		sc.Name = fmt.Sprintf("soak-%03d", i)
+		sc.Seed = r.Int63()
+		sc.Sensor.NoiseStdK = 1.5 * r.Float64()
+		sc.Sensor.QuantStepK = []float64{0, 0.5, 1}[r.Intn(3)]
+		sc.Sensor.DropoutProb = 0.05 * r.Float64()
+		sc.Sensor.StuckProb = 0.002 * r.Float64()
+		sc.Sensor.StuckDurS = 0.1 + 0.2*r.Float64()
+		sc.Actuator.LatencyS = 2e-3 * r.Float64()
+		sc.Actuator.FailProb = 0.05 * r.Float64()
+		sc.Power.SpikeProb = 0.01 * r.Float64()
+		// A spike couples through the core's self thermal resistance
+		// faster than DVFS can shed it; 1.2 W is the largest transient
+		// the default plan margin + guard band can absorb on top of the
+		// worst-case model mismatch below.
+		sc.Power.SpikeW = 0.4 + 0.8*r.Float64()
+		sc.Power.SpikeDurS = 0.2 + 0.3*r.Float64()
+		sc.Power.LeakDriftWPerS = 0.01 * r.Float64()
+		sc.Power.LeakDriftMaxW = 0.3
+		sc.Mismatch.CoreScaleSpread = 0.03 * r.Float64()
+		sc.Mismatch.ConvFactor = 1 + 0.06*r.Float64()
+		sc.Mismatch.AmbientOffsetC = 2*r.Float64() - 1
+		if err := sc.Canon(); err != nil {
+			return nil, fmt.Errorf("rig: derived scenario %d invalid: %w", i, err)
+		}
+		out = append(out, &sc)
+	}
+	return out, nil
+}
+
+// ScenarioOutcome is one soak scenario's verdict.
+type ScenarioOutcome struct {
+	Scenario      *Scenario `json:"scenario"`
+	Report        *Report   `json:"report"`
+	Deterministic bool      `json:"deterministic"`
+}
+
+// SoakReport aggregates a soak run.
+type SoakReport struct {
+	N                int                `json:"n"`
+	Seed             int64              `json:"seed"`
+	Controller       string             `json:"controller"`
+	Violations       int                `json:"violations"`
+	NonDeterministic int                `json:"non_deterministic"`
+	WorstPeakC       float64            `json:"worst_peak_c"`
+	WorstExcessK     float64            `json:"worst_excess_k"`
+	MinThroughput    float64            `json:"min_throughput"`
+	Pass             bool               `json:"pass"`
+	Scenarios        []*ScenarioOutcome `json:"scenarios"`
+}
+
+// Soak runs n randomized fault scenarios (derived from base, seed-pinned)
+// under AO plans with plan-guard closed-loop correction. Every scenario
+// runs TWICE from a fresh rig; a byte-level mismatch between the two
+// trace hashes marks it non-deterministic. Pass requires zero violations
+// of Tmax + guard band and full determinism. Workers ≤ 0 uses
+// GOMAXPROCS; the outcome order is by scenario index regardless of
+// worker interleaving.
+func Soak(base *Scenario, n int, seed int64, workers int) (*SoakReport, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("rig: soak needs at least one scenario")
+	}
+	scens, err := RandomScenarios(base, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	plans := newPlanCache()
+	outcomes := make([]*ScenarioOutcome, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				outcomes[i], errs[i] = runGuardedTwice(scens[i], plans)
+			}
+		}()
+	}
+	for i := range scens {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("rig: scenario %d (%s): %w", i, scens[i].Name, err)
+		}
+	}
+
+	rep := &SoakReport{N: n, Seed: seed, Scenarios: outcomes, MinThroughput: 1e18}
+	for _, oc := range outcomes {
+		rep.Controller = oc.Report.Controller
+		if oc.Report.ViolationS > 0 {
+			rep.Violations++
+		}
+		if !oc.Deterministic {
+			rep.NonDeterministic++
+		}
+		if oc.Report.TruePeakC > rep.WorstPeakC {
+			rep.WorstPeakC = oc.Report.TruePeakC
+		}
+		if oc.Report.ExcessK > rep.WorstExcessK {
+			rep.WorstExcessK = oc.Report.ExcessK
+		}
+		if oc.Report.Throughput < rep.MinThroughput {
+			rep.MinThroughput = oc.Report.Throughput
+		}
+	}
+	rep.Pass = rep.Violations == 0 && rep.NonDeterministic == 0
+	return rep, nil
+}
+
+// runGuardedTwice executes one scenario under the guarded AO plan twice
+// and checks the runs agree byte-for-byte.
+func runGuardedTwice(sc *Scenario, plans *planCache) (*ScenarioOutcome, error) {
+	rep1, err := runGuarded(sc, plans)
+	if err != nil {
+		return nil, err
+	}
+	rep2, err := runGuarded(sc, plans)
+	if err != nil {
+		return nil, err
+	}
+	b1, err := json.Marshal(rep1)
+	if err != nil {
+		return nil, err
+	}
+	b2, err := json.Marshal(rep2)
+	if err != nil {
+		return nil, err
+	}
+	return &ScenarioOutcome{
+		Scenario:      sc,
+		Report:        rep1,
+		Deterministic: rep1.TraceSHA256 == rep2.TraceSHA256 && bytes.Equal(b1, b2),
+	}, nil
+}
+
+func runGuarded(sc *Scenario, plans *planCache) (*Report, error) {
+	r, err := New(sc)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := plans.plan(r)
+	if err != nil {
+		return nil, err
+	}
+	guard, err := GuardFor(r.Scenario(), plan, r.Levels())
+	if err != nil {
+		return nil, err
+	}
+	return r.Run(guard)
+}
+
+// CompareReport holds one scenario evaluated under several controllers.
+type CompareReport struct {
+	Scenario *Scenario `json:"scenario"`
+	Runs     []*Report `json:"runs"`
+}
+
+// Compare runs the guarded AO plan against the reactive and predictive
+// baselines on the SAME scenario. The per-family fault streams make the
+// comparison honest: every controller sees the identical sensor-noise
+// and power-spike sequences, and every controller warm-starts from the
+// plan's stable state — the hot regime a deployment sits in — so a
+// cold-start transient cannot flatter the baselines.
+func Compare(sc *Scenario) (*CompareReport, error) {
+	probe, err := New(sc)
+	if err != nil {
+		return nil, err
+	}
+	canon := probe.Scenario()
+	plan, err := PlanAO(probe)
+	if err != nil {
+		return nil, err
+	}
+	build := []func(r *Rig) (Controller, error){
+		func(r *Rig) (Controller, error) { return GuardFor(r.Scenario(), plan, r.Levels()) },
+		func(r *Rig) (Controller, error) {
+			sw := &governor.StepWise{TripC: canon.TmaxC, HystK: 2, Levels: r.Levels().Len()}
+			return WithPlanWarmStart(FromPolicy(sw), plan), nil
+		},
+		func(r *Rig) (Controller, error) {
+			pred := governor.NewPredictive(r.PlannerModel(), r.Levels(), canon.TmaxC, 1.0, canon.StepS)
+			pred.LatencyS = canon.Actuator.LatencyS
+			return WithPlanWarmStart(FromPolicy(pred), plan), nil
+		},
+	}
+	out := &CompareReport{Scenario: &canon}
+	for _, mk := range build {
+		r, err := New(sc)
+		if err != nil {
+			return nil, err
+		}
+		ctrl, err := mk(r)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := r.Run(ctrl)
+		if err != nil {
+			return nil, err
+		}
+		out.Runs = append(out.Runs, rep)
+	}
+	return out, nil
+}
