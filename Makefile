@@ -8,7 +8,8 @@ FUZZTIME ?= 30s
 COVER_MIN ?= 83
 
 .PHONY: all build vet test test-race bench bench-json experiments figures \
-        fuzz fuzz-smoke serve-smoke rig-soak cover cover-check ci clean
+        fuzz fuzz-smoke serve-smoke rig-soak verify-diff cover cover-check \
+        ci clean
 
 all: build vet test
 
@@ -70,6 +71,16 @@ rig-soak:
 	$(GO) run ./cmd/thermosc-rig soak -n $(RIG_SOAK_N) -seed $(RIG_SOAK_SEED) > rig_soak.json
 	@echo "rig-soak: $(RIG_SOAK_N) scenarios pass (report in rig_soak.json)"
 
+# Differential verification: solve N seeded random platforms with
+# AO/PCO/EXS, re-check every plan against the independent oracle
+# (internal/verify), then require K seeded mutations of verified plans to
+# all be flagged. Exits nonzero on any divergence or missed mutation.
+VERIFY_N ?= 50
+VERIFY_SEED ?= 1
+VERIFY_MUT ?= 20
+verify-diff:
+	$(GO) run ./cmd/thermosc-verify -sweep $(VERIFY_N) -seed $(VERIFY_SEED) -mutations $(VERIFY_MUT)
+
 cover:
 	$(GO) test ./... -coverprofile=cover.out
 	$(GO) tool cover -func=cover.out | tail -1
@@ -84,7 +95,7 @@ cover-check: cover
 	echo "coverage $$total% >= $(COVER_MIN)% gate"
 
 # Everything CI runs, in one target, for local pre-push verification.
-ci: build vet test test-race fuzz-smoke serve-smoke rig-soak cover-check bench-json
+ci: build vet test test-race fuzz-smoke serve-smoke rig-soak verify-diff cover-check bench-json
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt BENCH_ao.ci.json rig_soak.json

@@ -1,0 +1,99 @@
+package thermosc
+
+import (
+	"fmt"
+
+	"thermosc/internal/verify"
+)
+
+// This file is the public surface of the independent plan-verification
+// oracle (internal/verify): a slow, first-principles re-derivation of a
+// plan's stable-status peak (dense Padé-exponential orbit + fixed-step
+// RK4 cross-check, sharing no caches or eigen shortcuts with the fast
+// engine) plus the paper's structural invariants — Definition 1 step-up
+// ordering, Theorem 1 peak placement, work preservation across the
+// m-split, and the overhead bound m ≤ M. It backs cmd/thermosc-verify
+// and the server's sampled post-solve audit (ServerConfig.AuditEvery).
+
+// AuditViolation is one invariant a plan failed.
+type AuditViolation struct {
+	// Invariant identifies the failed check: "tmax", "step-up",
+	// "theorem-1", "work", "m-split", "m-bound", "peak-mismatch",
+	// "structure", "feasible-flag", or "oracle" (the oracle's own
+	// self-checks).
+	Invariant string `json:"invariant"`
+	Detail    string `json:"detail"`
+}
+
+// AuditReport is the oracle's verdict on one plan. Temperatures are
+// absolute °C, matching Plan.PeakC.
+type AuditReport struct {
+	Method Method `json:"method"`
+	M      int    `json:"m"`
+	// PlanPeakC is the plan's claimed peak; OraclePeakC the oracle's
+	// independent dense evaluation of the executed timeline on the
+	// solver-matching grid (their relative difference is the
+	// differential); OracleFinePeakC the finer-grid peak used for the
+	// Tmax audit; RK4PeakC the fixed-step RK4 cross-check.
+	PlanPeakC       float64 `json:"plan_peak_c"`
+	OraclePeakC     float64 `json:"oracle_peak_c"`
+	OracleFinePeakC float64 `json:"oracle_fine_peak_c"`
+	RK4PeakC        float64 `json:"rk4_peak_c"`
+	// ThroughputRecovered is the useful throughput reconstructed from
+	// the emitted interval lengths.
+	ThroughputRecovered float64          `json:"throughput_recovered"`
+	OK                  bool             `json:"ok"`
+	Violations          []AuditViolation `json:"violations,omitempty"`
+}
+
+// String renders a one-line verdict (with one indented line per
+// violation), mirroring internal/verify's divergence report.
+func (r *AuditReport) String() string {
+	s := fmt.Sprintf("audit %s m=%d: plan %.6f °C, oracle %.6f °C (fine %.6f, rk4 %.6f)",
+		r.Method, r.M, r.PlanPeakC, r.OraclePeakC, r.OracleFinePeakC, r.RK4PeakC)
+	if r.OK {
+		return s + " OK"
+	}
+	for _, v := range r.Violations {
+		s += fmt.Sprintf("\n  FAIL [%s] %s", v.Invariant, v.Detail)
+	}
+	return s
+}
+
+// Audit re-checks plan against tmaxC (absolute °C) with the independent
+// oracle and returns the full report. A plan failing its invariants is
+// not an error — inspect AuditReport.OK; an error means the plan carries
+// no schedule or the oracle could not run.
+func (p *Platform) Audit(plan *Plan, tmaxC float64) (*AuditReport, error) {
+	sched, err := plan.internalSchedule(p)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := verify.Check(p.model, sched, verify.Params{
+		Method:     string(plan.Method),
+		M:          plan.M,
+		TmaxRise:   p.model.Rise(tmaxC),
+		BasePeriod: p.period,
+		Overhead:   p.overhead,
+		PeakRise:   p.model.Rise(plan.PeakC),
+		Throughput: plan.Throughput,
+		Feasible:   plan.Feasible,
+	}, verify.Options{})
+	if err != nil {
+		return nil, err
+	}
+	out := &AuditReport{
+		Method:              plan.Method,
+		M:                   plan.M,
+		PlanPeakC:           plan.PeakC,
+		OraclePeakC:         p.model.Absolute(rep.PeakExecRise),
+		OracleFinePeakC:     p.model.Absolute(rep.PeakFineRise),
+		RK4PeakC:            p.model.Absolute(rep.RK4PeakRise),
+		ThroughputRecovered: rep.ThroughputRecovered,
+		OK:                  rep.OK(),
+	}
+	for _, v := range rep.Violations {
+		out.Violations = append(out.Violations, AuditViolation{Invariant: v.Invariant, Detail: v.Detail})
+	}
+	return out, nil
+}

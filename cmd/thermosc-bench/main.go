@@ -17,11 +17,15 @@
 // ns/op fails the gate and the process exits 1. The 2× default absorbs
 // cross-machine and CI-runner noise while still catching real
 // regressions. Baseline entries missing from the current run (or vice
-// versa) are reported but never fail the gate, so the suite can grow.
+// versa) are reported but never fail the gate, so the suite can grow. A
+// missing baseline file bootstraps the gate: the current report is
+// written there and the run exits 0, so a fresh checkout's first CI run
+// seeds the baseline instead of failing.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -49,12 +53,12 @@ type Entry struct {
 
 // Report is the full machine-readable output.
 type Report struct {
-	Schema     string            `json:"schema"`
-	GoVersion  string            `json:"go_version"`
-	GOOS       string            `json:"goos"`
-	GOARCH     string            `json:"goarch"`
-	CPUs       int               `json:"cpus"`
-	Benchmarks []Entry           `json:"benchmarks"`
+	Schema     string             `json:"schema"`
+	GoVersion  string             `json:"go_version"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	CPUs       int                `json:"cpus"`
+	Benchmarks []Entry            `json:"benchmarks"`
 	Speedups   map[string]float64 `json:"speedups,omitempty"`
 }
 
@@ -96,11 +100,16 @@ func main() {
 	}
 
 	if *basePth != "" {
-		if err := gate(rep, *basePth, *maxReg); err != nil {
+		bootstrapped, err := gate(rep, *basePth, *maxReg)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "thermosc-bench: FAIL: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("gate passed: no benchmark regressed more than %.1fx vs %s\n", *maxReg, *basePth)
+		if bootstrapped {
+			fmt.Printf("no baseline at %s: wrote the current report as the new baseline\n", *basePth)
+		} else {
+			fmt.Printf("gate passed: no benchmark regressed more than %.1fx vs %s\n", *maxReg, *basePth)
+		}
 	}
 }
 
@@ -229,18 +238,31 @@ func run() (*Report, error) {
 	return rep, nil
 }
 
-// gate compares the fresh report against a baseline file.
-func gate(cur *Report, baselinePath string, maxRegression float64) error {
+// gate compares cur against the baseline report at baselinePath. A
+// missing baseline is not a failure: the current report is written there
+// as the new baseline and gate returns bootstrapped = true, so a fresh
+// checkout's first CI run seeds the gate instead of breaking it.
+func gate(cur *Report, baselinePath string, maxRegression float64) (bootstrapped bool, err error) {
 	data, err := os.ReadFile(baselinePath)
+	if errors.Is(err, os.ErrNotExist) {
+		b, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			return false, err
+		}
+		if err := os.WriteFile(baselinePath, append(b, '\n'), 0o644); err != nil {
+			return false, fmt.Errorf("bootstrapping baseline: %w", err)
+		}
+		return true, nil
+	}
 	if err != nil {
-		return fmt.Errorf("reading baseline: %w", err)
+		return false, fmt.Errorf("reading baseline: %w", err)
 	}
 	var base Report
 	if err := json.Unmarshal(data, &base); err != nil {
-		return fmt.Errorf("parsing baseline: %w", err)
+		return false, fmt.Errorf("parsing baseline: %w", err)
 	}
 	if base.Schema != Schema {
-		return fmt.Errorf("baseline schema %q, want %q", base.Schema, Schema)
+		return false, fmt.Errorf("baseline schema %q, want %q", base.Schema, Schema)
 	}
 	baseBy := make(map[string]Entry, len(base.Benchmarks))
 	for _, e := range base.Benchmarks {
@@ -262,7 +284,7 @@ func gate(cur *Report, baselinePath string, maxRegression float64) error {
 		}
 	}
 	if len(failures) > 0 {
-		return fmt.Errorf("%d regression(s): %v", len(failures), failures)
+		return false, fmt.Errorf("%d regression(s): %v", len(failures), failures)
 	}
-	return nil
+	return false, nil
 }

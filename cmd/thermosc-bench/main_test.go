@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func syntheticReport(ns float64) *Report {
+	return &Report{
+		Schema: Schema,
+		Benchmarks: []Entry{
+			{Name: "ao_search_seq", N: 10, NsPerOp: 4 * ns},
+			{Name: "peak_eval_engine", N: 100, NsPerOp: ns},
+		},
+	}
+}
+
+// The first gated run has no baseline: it must write one and pass, and
+// the written baseline must gate the identical report cleanly.
+func TestGateBootstrapsMissingBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_ao.json")
+	cur := syntheticReport(1000)
+
+	bootstrapped, err := gate(cur, path, 2.0)
+	if err != nil {
+		t.Fatalf("missing baseline failed the gate: %v", err)
+	}
+	if !bootstrapped {
+		t.Fatal("missing baseline did not bootstrap")
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no baseline written: %v", err)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatalf("written baseline is not valid JSON: %v", err)
+	}
+	if base.Schema != Schema || len(base.Benchmarks) != len(cur.Benchmarks) {
+		t.Fatalf("written baseline does not match the report: %+v", base)
+	}
+
+	bootstrapped, err = gate(cur, path, 2.0)
+	if err != nil {
+		t.Fatalf("identical report failed its own baseline: %v", err)
+	}
+	if bootstrapped {
+		t.Fatal("existing baseline re-bootstrapped")
+	}
+}
+
+// Regressions beyond the limit must fail; within the limit must pass;
+// new/missing entries never fail the gate.
+func TestGateRegressionDetection(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_ao.json")
+	if _, err := gate(syntheticReport(1000), path, 2.0); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := gate(syntheticReport(1900), path, 2.0); err != nil {
+		t.Fatalf("1.9x inside a 2x limit failed: %v", err)
+	}
+	err := gate2(t, syntheticReport(2500), path, 2.0)
+	if err == nil {
+		t.Fatal("2.5x regression passed a 2x gate")
+	}
+	if !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("gate error does not name the regression: %v", err)
+	}
+
+	grown := syntheticReport(1000)
+	grown.Benchmarks = append(grown.Benchmarks, Entry{Name: "brand_new", N: 1, NsPerOp: 1})
+	if _, err := gate(grown, path, 2.0); err != nil {
+		t.Fatalf("new benchmark without a baseline entry failed the gate: %v", err)
+	}
+
+	// A corrupt baseline is a hard error, not a bootstrap.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gate(syntheticReport(1000), bad, 2.0); err == nil {
+		t.Fatal("corrupt baseline accepted")
+	}
+	wrongSchema := filepath.Join(t.TempDir(), "schema.json")
+	if err := os.WriteFile(wrongSchema, []byte(`{"schema":"other/v9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gate(syntheticReport(1000), wrongSchema, 2.0); err == nil {
+		t.Fatal("wrong-schema baseline accepted")
+	}
+}
+
+func gate2(t *testing.T, cur *Report, path string, maxReg float64) error {
+	t.Helper()
+	_, err := gate(cur, path, maxReg)
+	return err
+}

@@ -40,6 +40,7 @@ func main() {
 		maxTimeout    = flag.Duration("max-timeout", 2*time.Minute, "cap on client-requested timeouts")
 		workers       = flag.Int("workers", 0, "solver fan-out width (0 = GOMAXPROCS)")
 		grace         = flag.Duration("grace", 30*time.Second, "shutdown drain grace period")
+		auditEvery    = flag.Int("audit-every", 0, "audit every Nth cold solve with the verification oracle (0 disables)")
 	)
 	flag.Parse()
 
@@ -50,6 +51,7 @@ func main() {
 		DefaultTimeout:    *timeout,
 		MaxTimeout:        *maxTimeout,
 		Workers:           *workers,
+		AuditEvery:        *auditEvery,
 	})
 	httpSrv := &http.Server{
 		Handler:           srv,

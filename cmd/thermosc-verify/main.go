@@ -1,0 +1,275 @@
+// Command thermosc-verify re-checks plans with the independent
+// verification oracle (internal/verify): a dense first-principles
+// re-derivation of the stable-status peak plus the paper's structural
+// invariants (step-up ordering, Theorem-1 peak placement, work
+// preservation across the m-split, the overhead bound m ≤ M).
+//
+// Two modes:
+//
+//	thermosc-verify -plan plan.json -rows 2 -cols 1 -paper-levels 3 -tmax 65
+//
+// audits one serialized plan (the JSON served by /v1/maximize or written
+// by thermosc-opt) against the platform described by the flags, prints
+// the report, and exits 1 on any violation.
+//
+//	thermosc-verify -sweep 50 -seed 1 -mutations 20
+//
+// generates N seeded random platforms, solves each with AO, PCO and EXS,
+// audits every plan differentially against the oracle (exit 1 on any
+// divergence), then applies K seeded mutations — level swaps, interval
+// stretches, m inflation, peak/throughput tampering, feasibility flips —
+// to verified plans and requires the oracle to flag every one. This is
+// the CI differential job (`make verify-diff`).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"thermosc"
+)
+
+func main() {
+	var (
+		planPath    = flag.String("plan", "", "serialized plan (JSON) to audit; empty = sweep mode")
+		rows        = flag.Int("rows", 2, "platform rows (plan mode)")
+		cols        = flag.Int("cols", 1, "platform cols (plan mode)")
+		paperLevels = flag.Int("paper-levels", 3, "number of paper voltage levels (plan mode)")
+		tmax        = flag.Float64("tmax", 65, "temperature threshold, absolute °C (plan mode)")
+		sweep       = flag.Int("sweep", 50, "number of seeded random platforms to verify differentially")
+		seed        = flag.Int64("seed", 1, "sweep RNG seed")
+		mutations   = flag.Int("mutations", 20, "seeded mutations that must all be flagged")
+		jsonOut     = flag.Bool("json", false, "emit reports as JSON")
+	)
+	flag.Parse()
+
+	var err error
+	if *planPath != "" {
+		err = auditPlanFile(*planPath, *rows, *cols, *paperLevels, *tmax, *jsonOut)
+	} else {
+		err = runSweep(os.Stdout, *sweep, *seed, *mutations, *jsonOut)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "thermosc-verify: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// auditPlanFile verifies one serialized plan against a flag-described
+// platform.
+func auditPlanFile(path string, rows, cols, levels int, tmaxC float64, jsonOut bool) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var plan thermosc.Plan
+	if err := json.Unmarshal(b, &plan); err != nil {
+		return fmt.Errorf("decoding %s: %w", path, err)
+	}
+	plat, err := thermosc.New(rows, cols, thermosc.WithPaperLevels(levels))
+	if err != nil {
+		return err
+	}
+	rep, err := plat.Audit(&plan, tmaxC)
+	if err != nil {
+		return err
+	}
+	emit(os.Stdout, rep, jsonOut)
+	if !rep.OK {
+		return fmt.Errorf("%d invariant violation(s)", len(rep.Violations))
+	}
+	return nil
+}
+
+func emit(w *os.File, rep *thermosc.AuditReport, jsonOut bool) {
+	if jsonOut {
+		b, _ := json.Marshal(rep)
+		fmt.Fprintf(w, "%s\n", b)
+		return
+	}
+	fmt.Fprintln(w, rep)
+}
+
+// platformCase is one randomly drawn verification subject.
+type platformCase struct {
+	rows, cols, levels int
+	periodS            float64
+	tmaxC              float64
+}
+
+func (c platformCase) String() string {
+	return fmt.Sprintf("%dx%d levels=%d period=%gms tmax=%g°C",
+		c.rows, c.cols, c.levels, c.periodS*1e3, c.tmaxC)
+}
+
+// drawCase samples a small platform: 1–4 cores, 2–3 paper levels, a base
+// period spanning 10–40 ms, and a threshold spanning comfortably
+// feasible to borderline infeasible.
+func drawCase(rng *rand.Rand) platformCase {
+	shapes := [][2]int{{1, 1}, {2, 1}, {1, 3}, {2, 2}}
+	sh := shapes[rng.Intn(len(shapes))]
+	return platformCase{
+		rows:    sh[0],
+		cols:    sh[1],
+		levels:  2 + rng.Intn(2),
+		periodS: []float64{10e-3, 20e-3, 40e-3}[rng.Intn(3)],
+		tmaxC:   50 + 25*rng.Float64(),
+	}
+}
+
+func (c platformCase) build() (*thermosc.Platform, error) {
+	return thermosc.New(c.rows, c.cols,
+		thermosc.WithPaperLevels(c.levels),
+		thermosc.WithBasePeriod(c.periodS))
+}
+
+// runSweep is the differential CI job: every solver plan on every drawn
+// platform must pass the oracle, and every seeded mutation must fail it.
+func runSweep(w *os.File, n int, seed int64, mutations int, jsonOut bool) error {
+	rng := rand.New(rand.NewSource(seed))
+	methods := []thermosc.Method{thermosc.MethodAO, thermosc.MethodPCO, thermosc.MethodEXS}
+
+	var failures int
+	var audited int
+	// oscillating collects verified plans with a real two-mode timeline —
+	// the mutation pass needs plans whose structure can be corrupted.
+	type subject struct {
+		plat  *thermosc.Platform
+		plan  *thermosc.Plan
+		tmaxC float64
+	}
+	var oscillating []subject
+
+	for i := 0; i < n; i++ {
+		c := drawCase(rng)
+		plat, err := c.build()
+		if err != nil {
+			return fmt.Errorf("case %d (%s): %w", i, c, err)
+		}
+		for _, m := range methods {
+			plan, err := plat.Maximize(m, c.tmaxC)
+			if err != nil {
+				return fmt.Errorf("case %d (%s) %s: %w", i, c, m, err)
+			}
+			if len(plan.Cores) == 0 {
+				continue // nothing schedulable to verify
+			}
+			rep, err := plat.Audit(plan, c.tmaxC)
+			if err != nil {
+				return fmt.Errorf("case %d (%s) %s: audit: %w", i, c, m, err)
+			}
+			audited++
+			if !rep.OK {
+				failures++
+				fmt.Fprintf(w, "case %d (%s) %s DIVERGES:\n", i, c, m)
+				emit(w, rep, jsonOut)
+				continue
+			}
+			if plan.M >= 1 && hasOscillatingCore(plan) {
+				oscillating = append(oscillating, subject{plat, plan, c.tmaxC})
+			}
+		}
+	}
+	fmt.Fprintf(w, "sweep: %d platforms, %d plans audited, %d divergences, %d oscillating subjects\n",
+		n, audited, failures, len(oscillating))
+	if failures > 0 {
+		return fmt.Errorf("%d plan(s) diverged from the oracle", failures)
+	}
+	if audited == 0 {
+		return fmt.Errorf("sweep audited no plans")
+	}
+
+	if mutations > 0 {
+		if len(oscillating) == 0 {
+			return fmt.Errorf("no oscillating plans to mutate")
+		}
+		missed := 0
+		for k := 0; k < mutations; k++ {
+			s := oscillating[rng.Intn(len(oscillating))]
+			mut, name := mutate(rng, s.plan)
+			rep, err := s.plat.Audit(mut, s.tmaxC)
+			if err != nil {
+				// An audit refusing to run on a corrupted plan counts as
+				// detection (e.g. a structurally invalid timeline).
+				fmt.Fprintf(w, "mutation %2d %-18s detected (audit error: %v)\n", k, name, err)
+				continue
+			}
+			if rep.OK {
+				missed++
+				fmt.Fprintf(w, "mutation %2d %-18s MISSED:\n", k, name)
+				emit(w, rep, jsonOut)
+				continue
+			}
+			fmt.Fprintf(w, "mutation %2d %-18s detected [%s]\n", k, name, rep.Violations[0].Invariant)
+		}
+		if missed > 0 {
+			return fmt.Errorf("%d of %d mutations went undetected", missed, mutations)
+		}
+		fmt.Fprintf(w, "mutations: %d/%d detected\n", mutations, mutations)
+	}
+	return nil
+}
+
+func hasOscillatingCore(p *thermosc.Plan) bool {
+	for _, core := range p.Cores {
+		if len(core) >= 2 {
+			return true
+		}
+	}
+	return false
+}
+
+// clonePlan deep-copies a plan so mutations never corrupt the verified
+// subject.
+func clonePlan(p *thermosc.Plan) *thermosc.Plan {
+	out := *p
+	out.Cores = make([][]thermosc.Slice, len(p.Cores))
+	for i, core := range p.Cores {
+		out.Cores[i] = append([]thermosc.Slice(nil), core...)
+	}
+	return &out
+}
+
+// mutate applies one randomly chosen corruption that a sound oracle must
+// flag, and names it for the log.
+func mutate(rng *rand.Rand, p *thermosc.Plan) (*thermosc.Plan, string) {
+	mut := clonePlan(p)
+	osc := -1
+	for i, core := range mut.Cores {
+		if len(core) >= 2 {
+			osc = i
+			break
+		}
+	}
+	switch rng.Intn(6) {
+	case 0: // Definition-1 order broken: low and high slices swapped.
+		mut.Cores[osc][0], mut.Cores[osc][1] = mut.Cores[osc][1], mut.Cores[osc][0]
+		return mut, "level-swap"
+	case 1: // One high interval stretched at the low interval's expense.
+		grow := (0.1 + 0.3*rng.Float64()) * mut.Cores[osc][0].Seconds
+		mut.Cores[osc][1].Seconds += grow
+		mut.Cores[osc][0].Seconds -= grow
+		return mut, "interval-stretch"
+	case 2: // m inflated past the overhead bound M.
+		mut.M += 1 << 16
+		return mut, "m-inflation"
+	case 3: // Claimed peak no longer matches the timeline.
+		mut.PeakC += 0.5 + 2*rng.Float64()
+		return mut, "peak-tamper"
+	case 4: // Claimed throughput no longer matches the emitted work.
+		mut.Throughput *= 1.02 + 0.1*rng.Float64()
+		return mut, "throughput-tamper"
+	default: // Whole timeline stretched: m·tc no longer splits the base period.
+		scale := 1.05 + 0.2*rng.Float64()
+		mut.PeriodS *= scale
+		for i := range mut.Cores {
+			for j := range mut.Cores[i] {
+				mut.Cores[i][j].Seconds *= scale
+			}
+		}
+		return mut, "period-scale"
+	}
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"thermosc"
+)
+
+// A small seeded sweep must find zero divergences and detect every
+// mutation (this is the CI differential job in miniature).
+func TestSweepDifferential(t *testing.T) {
+	if err := runSweep(os.Stdout, 6, 7, 8, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Every mutation class must be flagged on a fixed verified subject.
+func TestMutationClassesAllDetected(t *testing.T) {
+	plat, err := thermosc.New(2, 1, thermosc.WithPaperLevels(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := plat.Maximize(thermosc.MethodAO, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasOscillatingCore(plan) {
+		t.Fatal("AO plan has no oscillating core to mutate")
+	}
+	rng := rand.New(rand.NewSource(3))
+	seen := map[string]bool{}
+	for i := 0; i < 60 && len(seen) < 6; i++ {
+		mut, name := mutate(rng, plan)
+		seen[name] = true
+		rep, err := plat.Audit(mut, 60)
+		if err != nil {
+			continue // refusal to audit a corrupted plan is detection
+		}
+		if rep.OK {
+			t.Fatalf("mutation %q (iteration %d) not flagged:\n%s", name, i, rep)
+		}
+	}
+	if len(seen) < 6 {
+		t.Fatalf("only %d mutation classes drawn: %v", len(seen), seen)
+	}
+	// The subject itself must still verify — mutate must not corrupt it.
+	rep, err := plat.Audit(plan, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK {
+		t.Fatalf("mutate corrupted the shared subject:\n%s", rep)
+	}
+}
+
+// Plan mode must pass a genuine serialized plan and fail a tampered one.
+func TestAuditPlanFile(t *testing.T) {
+	plat, err := thermosc.New(2, 1, thermosc.WithPaperLevels(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := plat.Maximize(thermosc.MethodAO, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	write := func(name string, p *thermosc.Plan) string {
+		b, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	if err := auditPlanFile(write("good.json", plan), 2, 1, 3, 60, true); err != nil {
+		t.Fatalf("genuine plan rejected: %v", err)
+	}
+	bad := clonePlan(plan)
+	bad.PeakC += 1
+	if err := auditPlanFile(write("bad.json", bad), 2, 1, 3, 60, false); err == nil {
+		t.Fatal("tampered plan accepted")
+	}
+	if err := auditPlanFile(filepath.Join(dir, "missing.json"), 2, 1, 3, 60, false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

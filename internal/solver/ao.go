@@ -129,6 +129,29 @@ func nominalThroughput(specs []coreSpec) float64 {
 	return s / float64(len(specs))
 }
 
+// maxAdjustIter caps the TPT/refill adjustment budget regardless of the
+// configured quantum: each iteration moves at least one core by one
+// ratio step, so a budget past cores × ⌈1/dr⌉ is unreachable, and a
+// quantum tiny enough to want more than this cap would stall the search
+// long before converging.
+const maxAdjustIter = 1 << 22
+
+// adjustmentBudget bounds the number of ratio-adjustment iterations for
+// n cores at quantum dr. The arithmetic stays in float space until the
+// clamp: with a subnormal (or accidentally zero/NaN) dr the old
+// `n*int(math.Ceil(1/dr))+10` overflowed int and could go negative,
+// silently skipping the adjustment loops entirely.
+func adjustmentBudget(n int, dr float64) (int, error) {
+	if math.IsNaN(dr) || dr <= 0 {
+		return 0, fmt.Errorf("solver: adjustment quantum %v is not positive", dr)
+	}
+	iters := float64(n) * math.Ceil(1/dr)
+	if iters >= maxAdjustIter {
+		return maxAdjustIter, nil
+	}
+	return int(iters) + 10, nil
+}
+
 // aoState carries the internals of an AO run so PCO can continue from it.
 type aoState struct {
 	specs []coreSpec
@@ -360,7 +383,10 @@ func optimizeSpecs(p Problem, eng *sim.Engine, specs []coreSpec, forceM int) (*a
 		return nil, err
 	}
 	peak, hot := mat.VecMax(temps)
-	maxIter := len(specs)*int(math.Ceil(1/dr)) + 10
+	maxIter, err := adjustmentBudget(len(specs), dr)
+	if err != nil {
+		return nil, err
+	}
 	trialTemps := make([][]float64, len(specs))
 	for iter := 0; peak > tmax+feasTol && iter < maxIter; iter++ {
 		if err := p.ctxErr(); err != nil {

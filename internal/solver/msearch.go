@@ -104,17 +104,28 @@ func searchM(p Problem, eng *sim.Engine, specs []coreSpec, startM, maxM int) (in
 		cands[k] = mCandidate{peak: peak, cache: cache}
 	})
 
+	// The reduction scans every candidate before deciding: evals must
+	// count all successful evaluations even when an earlier m failed
+	// (the pool really did run them), and the reported error is the
+	// smallest failing m's, matching the sequential loop's first abort.
 	bestM, bestPeak := 0, math.Inf(1)
 	var bestCache *sim.PeriodCache
 	var evals int64
+	var firstErr error
 	for k, c := range cands {
 		if c.err != nil {
-			return 0, math.Inf(1), nil, evals, c.err
+			if firstErr == nil {
+				firstErr = c.err
+			}
+			continue
 		}
 		evals++
 		if c.peak < bestPeak {
 			bestPeak, bestM, bestCache = c.peak, startM+k, c.cache
 		}
+	}
+	if firstErr != nil {
+		return 0, math.Inf(1), nil, evals, firstErr
 	}
 	return bestM, bestPeak, bestCache, evals, nil
 }

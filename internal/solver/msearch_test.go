@@ -1,0 +1,125 @@
+package solver
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"thermosc/internal/power"
+	"thermosc/internal/sim"
+	"thermosc/internal/thermal"
+)
+
+func msearchProblem(t *testing.T) (Problem, *sim.Engine, []coreSpec) {
+	t.Helper()
+	md, err := thermal.Default(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := power.PaperLevels(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Problem{Model: md, Levels: ls, TmaxC: 60, Overhead: power.DefaultOverhead()}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []coreSpec{
+		{Low: power.NewMode(0.8), High: power.NewMode(1.1), RH: 0.4},
+		{Low: power.NewMode(0.8), High: power.NewMode(1.1), RH: 0.6},
+	}
+	return p, sim.NewEngine(md), specs
+}
+
+// Every candidate the pool evaluated must be counted, and the count must
+// not depend on the worker width.
+func TestSearchMCountsEveryCandidate(t *testing.T) {
+	p, eng, specs := msearchProblem(t)
+	const maxM = 7
+	var ref int64 = -1
+	for _, workers := range []int{1, 4} {
+		p.Workers = workers
+		bestM, peak, cache, evals, err := searchM(p, eng, specs, 1, maxM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bestM < 1 || math.IsInf(peak, 1) || cache == nil {
+			t.Fatalf("workers=%d: degenerate result m=%d peak=%v", workers, bestM, peak)
+		}
+		if evals != maxM {
+			t.Fatalf("workers=%d: evals = %d, want %d (one per candidate)", workers, evals, maxM)
+		}
+		if ref < 0 {
+			ref = evals
+		} else if evals != ref {
+			t.Fatalf("evals depends on worker width: %d vs %d", evals, ref)
+		}
+	}
+}
+
+// A candidate error must abort with that error without losing the count
+// of candidates that did evaluate.
+func TestSearchMErrorKeepsCount(t *testing.T) {
+	p, eng, specs := msearchProblem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p.Ctx = ctx
+	bestM, _, cache, evals, err := searchM(p, eng, specs, 1, 5)
+	if err == nil {
+		t.Fatal("canceled search returned no error")
+	}
+	if bestM != 0 || cache != nil {
+		t.Fatalf("canceled search still picked m=%d", bestM)
+	}
+	if evals != 0 {
+		t.Fatalf("canceled search claims %d evaluations", evals)
+	}
+}
+
+// The winning period cache is pooled by the engine: the plan built from
+// searchM keeps referencing it, so the pool must keep returning the very
+// same cache (never a rebuilt or invalidated one) for the winning period.
+func TestSearchMBestCacheStaysPooled(t *testing.T) {
+	p, eng, specs := msearchProblem(t)
+	bestM, _, bestCache, _, err := searchM(p, eng, specs, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bestCache == nil {
+		t.Fatal("no winning cache")
+	}
+	tc := p.BasePeriod / float64(bestM)
+
+	// Churn the pool with every other candidate period, then with a burst
+	// of unrelated periods.
+	for m := 1; m <= 6; m++ {
+		if _, err := eng.PeriodCache(p.BasePeriod / float64(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 32; i++ {
+		if _, err := eng.PeriodCache(p.BasePeriod / float64(100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	again, err := eng.PeriodCache(tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != bestCache {
+		t.Fatal("engine pool rebuilt the winning plan's period cache while the plan still references it")
+	}
+
+	// The retained cache must still evaluate the winning cycle.
+	cyc, err := buildCycle(tc, specs, p.Overhead, cycleThermal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sim.NewStableCached(eng.Model(), cyc, bestCache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak, _ := st.PeakEndOfPeriod(); !(peak > 0) {
+		t.Fatalf("stale cache produced peak %v", peak)
+	}
+}

@@ -17,6 +17,7 @@ package solver
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"time"
 
@@ -91,8 +92,10 @@ func (p Problem) withDefaults() (Problem, error) {
 	if p.BasePeriod == 0 {
 		p.BasePeriod = 20e-3
 	}
-	if p.BasePeriod < 0 {
-		return p, fmt.Errorf("solver: negative base period %v", p.BasePeriod)
+	if math.IsNaN(p.BasePeriod) || p.BasePeriod < 1e-9 {
+		// A subnormal or otherwise absurd period would starve every
+		// downstream quantum (t_unit, δ, τ) of float precision.
+		return p, fmt.Errorf("solver: base period %v below 1 ns", p.BasePeriod)
 	}
 	if p.MaxM == 0 {
 		p.MaxM = 4096
@@ -100,8 +103,10 @@ func (p Problem) withDefaults() (Problem, error) {
 	if p.TUnitFrac == 0 {
 		p.TUnitFrac = 1.0 / 200
 	}
-	if p.TUnitFrac < 0 || p.TUnitFrac > 0.5 {
-		return p, fmt.Errorf("solver: TUnitFrac %v outside (0, 0.5]", p.TUnitFrac)
+	if math.IsNaN(p.TUnitFrac) || p.TUnitFrac < 1e-9 || p.TUnitFrac > 0.5 {
+		// The floor keeps ⌈1/TUnitFrac⌉ adjustment quanta representable:
+		// a subnormal fraction would overflow the AO/PCO iteration budget.
+		return p, fmt.Errorf("solver: TUnitFrac %v outside [1e-9, 0.5]", p.TUnitFrac)
 	}
 	if p.PCOPhaseSteps == 0 {
 		p.PCOPhaseSteps = 8

@@ -1,0 +1,210 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+
+	"thermosc/internal/mat"
+	"thermosc/internal/power"
+	"thermosc/internal/schedule"
+	"thermosc/internal/thermal"
+)
+
+// oracle holds the dense first-principles operators: the reconstructed
+// system matrix A = C⁻¹(βE−G) and its LU factorization (for per-mode
+// steady states via the exact linear solve −A·T∞ = B, sidestepping both
+// the model's Cholesky-based hFull path and the eigenbasis).
+type oracle struct {
+	md  *thermal.Model
+	a   *mat.Dense
+	alu *mat.LU
+}
+
+func newOracle(md *thermal.Model) (*oracle, error) {
+	a := md.A()
+	alu, err := mat.Factorize(a)
+	if err != nil {
+		return nil, fmt.Errorf("verify: system matrix singular: %w", err)
+	}
+	return &oracle{md: md, a: a, alu: alu}, nil
+}
+
+// tinf solves T∞(modes) = −A⁻¹·B directly.
+func (o *oracle) tinf(modes []power.Mode) ([]float64, error) {
+	b := o.md.BVec(modes)
+	nb := make([]float64, len(b))
+	for i := range b {
+		nb[i] = -b[i]
+	}
+	return o.alu.SolveVec(nb)
+}
+
+// orbit is the oracle's stable periodic solution of one schedule: the
+// merged intervals, their steady targets and full-length Padé
+// propagators, and the start-of-period fixed point.
+type orbit struct {
+	ivs   []schedule.Interval
+	tinfs [][]float64
+	phis  []*mat.Dense
+	start []float64
+}
+
+// solveOrbit derives the thermally stable status from first principles:
+// per-interval propagators Φ_q = e^{A·l_q} by the Padé scaling-and-
+// squaring exponential, steady targets by exact linear solves, and the
+// stable start as the fixed point x* of the affine period map,
+// (I − Φ_z···Φ_1)·x* = x(t_p | x(0)=0).
+func (o *oracle) solveOrbit(sched *schedule.Schedule) (*orbit, error) {
+	ivs := sched.Intervals()
+	dim := o.md.NumNodes()
+	ob := &orbit{ivs: ivs, tinfs: make([][]float64, len(ivs)), phis: make([]*mat.Dense, len(ivs))}
+	x := make([]float64, dim) // end-of-period state from the all-ambient start
+	mtot := mat.Eye(dim)
+	for q, iv := range ivs {
+		tinf, err := o.tinf(iv.Modes)
+		if err != nil {
+			return nil, fmt.Errorf("verify: steady state of interval %d: %w", q, err)
+		}
+		phi, err := mat.ExpmScaled(o.a, iv.Length)
+		if err != nil {
+			return nil, fmt.Errorf("verify: propagator of interval %d: %w", q, err)
+		}
+		ob.tinfs[q], ob.phis[q] = tinf, phi
+		x = affineStep(phi, x, tinf)
+		mtot = phi.Mul(mtot)
+	}
+	imk := mat.Eye(dim).SubInPlace(mtot)
+	lu, err := mat.Factorize(imk)
+	if err != nil {
+		return nil, fmt.Errorf("verify: period map has no unique fixed point: %w", err)
+	}
+	start, err := lu.SolveVec(x)
+	if err != nil {
+		return nil, err
+	}
+	ob.start = start
+	return ob, nil
+}
+
+// affineStep advances x by one interval: x' = T∞ + Φ·(x − T∞).
+func affineStep(phi *mat.Dense, x, tinf []float64) []float64 {
+	d := make([]float64, len(x))
+	for i := range x {
+		d[i] = x[i] - tinf[i]
+	}
+	out := phi.MulVec(d)
+	for i := range out {
+		out[i] += tinf[i]
+	}
+	return out
+}
+
+// densePeak samples every interval of the stable orbit at `samples`
+// uniform sub-steps (each its own Padé sub-propagator) plus the exact
+// interval boundaries, and returns the hottest core temperature rise.
+// When r is non-nil the orbit's periodicity residual is self-checked into
+// it. The sampling offsets match sim.Stable.PeakDense so the differential
+// against the fast engine isolates arithmetic, not grid placement.
+func (o *oracle) densePeak(ob *orbit, samples int, r *Report) (float64, error) {
+	if samples < 1 {
+		samples = 1
+	}
+	peak, _ := mat.VecMax(o.md.CoreTemps(ob.start))
+	cur := ob.start
+	for q, iv := range ob.ivs {
+		sub, err := mat.ExpmScaled(o.a, iv.Length/float64(samples))
+		if err != nil {
+			return 0, fmt.Errorf("verify: sub-propagator of interval %d: %w", q, err)
+		}
+		x := cur
+		for k := 0; k < samples; k++ {
+			x = affineStep(sub, x, ob.tinfs[q])
+			if p, _ := mat.VecMax(o.md.CoreTemps(x)); p > peak {
+				peak = p
+			}
+		}
+		// Advance by the exact full-length propagator so sub-step
+		// round-off does not accumulate across intervals.
+		cur = affineStep(ob.phis[q], cur, ob.tinfs[q])
+		if p, _ := mat.VecMax(o.md.CoreTemps(cur)); p > peak {
+			peak = p
+		}
+	}
+	if r != nil {
+		var resid float64
+		for i := range cur {
+			resid = math.Max(resid, math.Abs(cur[i]-ob.start[i]))
+		}
+		if resid > 1e-7*math.Max(1, peak) {
+			r.addf("oracle", "expm orbit not closed: periodicity residual %.3g K", resid)
+		}
+	}
+	return peak, nil
+}
+
+// rk4Peak integrates one period of the stable orbit with a classic
+// fixed-step fourth-order Runge–Kutta scheme on ẋ = A·x + B_q — a method
+// sharing nothing with the closed-form exponential path — and returns the
+// sampled peak rise, the periodicity residual ‖x(t_p) − x(0)‖∞, and the
+// step count. The step size targets h·‖A‖∞ ≤ 1/4 (well inside the RK4
+// stability region for this dissipative system) and is widened only if
+// the per-period budget would otherwise be exceeded.
+func (o *oracle) rk4Peak(ob *orbit, maxSteps int) (peak, endResid float64, steps int) {
+	h := 0.25 / math.Max(o.a.NormInf(), 1e-300)
+	var total int
+	for _, iv := range ob.ivs {
+		n := int(math.Ceil(iv.Length / h))
+		if n < 1 {
+			n = 1
+		}
+		total += n
+	}
+	if total > maxSteps {
+		h *= float64(total) / float64(maxSteps)
+	}
+	dim := len(ob.start)
+	x := mat.VecClone(ob.start)
+	peak, _ = mat.VecMax(o.md.CoreTemps(x))
+	k2buf := make([]float64, dim)
+	deriv := func(x, b []float64) []float64 {
+		d := o.a.MulVec(x)
+		for i := range d {
+			d[i] += b[i]
+		}
+		return d
+	}
+	for _, iv := range ob.ivs {
+		b := o.md.BVec(iv.Modes)
+		n := int(math.Ceil(iv.Length / h))
+		if n < 1 {
+			n = 1
+		}
+		dt := iv.Length / float64(n)
+		for s := 0; s < n; s++ {
+			k1 := deriv(x, b)
+			for i := range k2buf {
+				k2buf[i] = x[i] + 0.5*dt*k1[i]
+			}
+			k2 := deriv(k2buf, b)
+			for i := range k2buf {
+				k2buf[i] = x[i] + 0.5*dt*k2[i]
+			}
+			k3 := deriv(k2buf, b)
+			for i := range k2buf {
+				k2buf[i] = x[i] + dt*k3[i]
+			}
+			k4 := deriv(k2buf, b)
+			for i := range x {
+				x[i] += dt / 6 * (k1[i] + 2*k2[i] + 2*k3[i] + k4[i])
+			}
+			if p, _ := mat.VecMax(o.md.CoreTemps(x)); p > peak {
+				peak = p
+			}
+			steps++
+		}
+	}
+	for i := range x {
+		endResid = math.Max(endResid, math.Abs(x[i]-ob.start[i]))
+	}
+	return peak, endResid, steps
+}

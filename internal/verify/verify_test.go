@@ -1,0 +1,342 @@
+package verify
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"thermosc/internal/power"
+	"thermosc/internal/schedule"
+	"thermosc/internal/sim"
+	"thermosc/internal/solver"
+	"thermosc/internal/thermal"
+)
+
+func model(t testing.TB, rows, cols int) *thermal.Model {
+	t.Helper()
+	md, err := thermal.Default(rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return md
+}
+
+// The oracle's stable orbit and dense peak must agree with the fast
+// engine's (eigenbasis) path to near machine precision on identical
+// schedules — the two share no code beyond the model matrices.
+func TestOracleMatchesSimStable(t *testing.T) {
+	md := model(t, 2, 1)
+	for name, sched := range map[string]*schedule.Schedule{
+		"constant": schedule.Constant(20e-3, []power.Mode{power.NewMode(1.0), power.NewMode(1.1)}),
+		"two-mode": schedule.Must([][]schedule.Segment{
+			{{Length: 6e-3, Mode: power.NewMode(0.9)}, {Length: 14e-3, Mode: power.NewMode(1.2)}},
+			{{Length: 12e-3, Mode: power.NewMode(0.8)}, {Length: 8e-3, Mode: power.NewMode(1.1)}},
+		}),
+		"off-core": schedule.Must([][]schedule.Segment{
+			{{Length: 10e-3, Mode: power.ModeOff}, {Length: 10e-3, Mode: power.NewMode(1.0)}},
+			{{Length: 20e-3, Mode: power.NewMode(1.2)}},
+		}),
+	} {
+		orc, err := newOracle(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ob, err := orc.solveOrbit(sched)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		st, err := sim.NewStable(md, sched)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast := st.Start()
+		for i := range fast {
+			if d := math.Abs(fast[i] - ob.start[i]); d > 1e-8 {
+				t.Errorf("%s: stable start node %d differs by %.3g (oracle %v, sim %v)", name, i, d, ob.start[i], fast[i])
+			}
+		}
+		oraclePeak, err := orc.densePeak(ob, 24, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simPeak, _, _ := st.PeakDense(24)
+		if d := math.Abs(oraclePeak - simPeak); d > 1e-8 {
+			t.Errorf("%s: dense peak differs by %.3g (oracle %v, sim %v)", name, d, oraclePeak, simPeak)
+		}
+	}
+}
+
+// The RK4 cross-check must reproduce the expm peak and close the orbit.
+func TestOracleRK4Agreement(t *testing.T) {
+	md := model(t, 2, 1)
+	sched := schedule.Must([][]schedule.Segment{
+		{{Length: 4e-3, Mode: power.NewMode(0.8)}, {Length: 6e-3, Mode: power.NewMode(1.2)}},
+		{{Length: 10e-3, Mode: power.NewMode(1.0)}},
+	})
+	orc, err := newOracle(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob, err := orc.solveOrbit(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := orc.densePeak(ob, 96, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, resid, steps := orc.rk4Peak(ob, 1<<20)
+	if steps < 1 {
+		t.Fatal("RK4 took no steps")
+	}
+	if d := math.Abs(peak - exact); d > 1e-3 {
+		t.Fatalf("RK4 peak %v vs expm %v (Δ %.3g)", peak, exact, d)
+	}
+	if resid > 1e-3 {
+		t.Fatalf("RK4 periodicity residual %.3g", resid)
+	}
+}
+
+// The RK4 step budget must widen the step size, not blow the budget.
+func TestOracleRK4StepBudget(t *testing.T) {
+	md := model(t, 1, 1)
+	sched := schedule.Constant(20e-3, []power.Mode{power.NewMode(1.0)})
+	orc, err := newOracle(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob, err := orc.solveOrbit(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, steps := orc.rk4Peak(ob, 64)
+	if steps > 64+len(ob.ivs) {
+		t.Fatalf("RK4 used %d steps with a budget of 64", steps)
+	}
+}
+
+func aoPlanForVerify(t *testing.T) (solver.Problem, *solver.Result) {
+	t.Helper()
+	md := model(t, 2, 1)
+	ls, err := power.PaperLevels(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := solver.Problem{Model: md, Levels: ls, TmaxC: 60, Overhead: power.DefaultOverhead()}
+	res, err := solver.AO(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, res
+}
+
+func paramsFor(p solver.Problem, res *solver.Result) Params {
+	return Params{
+		Method:     res.Name,
+		M:          res.M,
+		TmaxRise:   p.Model.Rise(p.TmaxC),
+		BasePeriod: 20e-3,
+		Overhead:   p.Overhead,
+		PeakRise:   res.PeakRise,
+		Throughput: res.Throughput,
+		Feasible:   res.Feasible,
+	}
+}
+
+// A genuine AO plan must pass every invariant.
+func TestCheckPassesGenuineAOPlan(t *testing.T) {
+	p, res := aoPlanForVerify(t)
+	rep, err := Check(p.Model, res.Schedule, paramsFor(p, res), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("genuine AO plan flagged:\n%s", rep)
+	}
+	if rep.RK4Steps == 0 {
+		t.Fatal("RK4 cross-check did not run")
+	}
+}
+
+// Genuine EXS and PCO plans must pass too (constant and phase-rotated
+// timelines exercise different ExecView branches).
+func TestCheckPassesGenuineEXSAndPCO(t *testing.T) {
+	md := model(t, 2, 1)
+	ls, err := power.PaperLevels(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := solver.Problem{Model: md, Levels: ls, TmaxC: 62, Overhead: power.DefaultOverhead()}
+	for _, run := range []func(solver.Problem) (*solver.Result, error){solver.EXS, solver.PCO} {
+		res, err := run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Schedule == nil {
+			t.Fatal("no schedule to verify")
+		}
+		rep, err := Check(md, res.Schedule, paramsFor(p, res), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK() {
+			t.Fatalf("genuine %s plan flagged:\n%s", res.Name, rep)
+		}
+	}
+}
+
+// Mutations of a verified plan must be flagged, each by the matching
+// invariant.
+func TestCheckFlagsMutations(t *testing.T) {
+	p, res := aoPlanForVerify(t)
+	pr := paramsFor(p, res)
+	md := p.Model
+
+	check := func(t *testing.T, sched *schedule.Schedule, pr Params, wantInvariant string) {
+		t.Helper()
+		rep, err := Check(md, sched, pr, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.OK() {
+			t.Fatalf("mutation not flagged (wanted %q):\n%s", wantInvariant, rep)
+		}
+		for _, v := range rep.Violations {
+			if v.Invariant == wantInvariant {
+				return
+			}
+		}
+		t.Fatalf("no %q violation in:\n%s", wantInvariant, rep)
+	}
+
+	t.Run("level swap breaks step-up", func(t *testing.T) {
+		cores := make([][]schedule.Segment, res.Schedule.NumCores())
+		swapped := false
+		for i := range cores {
+			segs := res.Schedule.CoreSegments(i)
+			if !swapped && len(segs) == 2 {
+				segs[0], segs[1] = segs[1], segs[0]
+				swapped = true
+			}
+			cores[i] = segs
+		}
+		if !swapped {
+			t.Skip("plan has no oscillating core")
+		}
+		check(t, schedule.Must(cores), pr, "step-up")
+	})
+
+	t.Run("m beyond the overhead bound", func(t *testing.T) {
+		mut := pr
+		mut.M = 1 << 20
+		check(t, res.Schedule, mut, "m-bound")
+	})
+
+	t.Run("peak tampered", func(t *testing.T) {
+		mut := pr
+		mut.PeakRise += 1
+		check(t, res.Schedule, mut, "peak-mismatch")
+	})
+
+	t.Run("throughput tampered", func(t *testing.T) {
+		mut := pr
+		mut.Throughput *= 1.05
+		check(t, res.Schedule, mut, "work")
+	})
+
+	t.Run("interval stretched", func(t *testing.T) {
+		cores := make([][]schedule.Segment, res.Schedule.NumCores())
+		stretched := false
+		for i := range cores {
+			segs := res.Schedule.CoreSegments(i)
+			if !stretched && len(segs) == 2 {
+				segs[1].Length *= 1.25
+				segs[0].Length = res.Schedule.Period() - segs[1].Length
+				stretched = true
+			}
+			cores[i] = segs
+		}
+		if !stretched {
+			t.Skip("plan has no oscillating core")
+		}
+		check(t, schedule.Must(cores), pr, "work")
+	})
+
+	t.Run("infeasible verdict on a cool plan", func(t *testing.T) {
+		mut := pr
+		mut.Feasible = false
+		mut.TmaxRise += 10
+		check(t, res.Schedule, mut, "feasible-flag")
+	})
+
+	t.Run("feasible verdict on a hot plan", func(t *testing.T) {
+		mut := pr
+		mut.Feasible = true
+		mut.TmaxRise -= 10
+		check(t, res.Schedule, mut, "tmax")
+	})
+}
+
+// ExecView must move exactly τ across each oscillating core's high→low
+// boundary — including on phase-rotated timelines — and reject timelines
+// whose low run cannot absorb the stall.
+func TestExecView(t *testing.T) {
+	tau := power.TransitionOverhead{Tau: 5e-6}
+	base := schedule.Must([][]schedule.Segment{
+		{{Length: 6e-3, Mode: power.NewMode(0.9)}, {Length: 14e-3, Mode: power.NewMode(1.2)}},
+		{{Length: 20e-3, Mode: power.NewMode(1.0)}},
+	})
+	ev, err := ExecView(base, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := ev.CoreSegments(0)
+	if len(segs) != 2 || math.Abs(segs[0].Length-(6e-3-tau.Tau)) > 1e-15 || math.Abs(segs[1].Length-(14e-3+tau.Tau)) > 1e-15 {
+		t.Fatalf("exec view segments %+v", segs)
+	}
+	if got := ev.CoreSegments(1); len(got) != 1 || got[0].Length != 20e-3 {
+		t.Fatalf("constant core modified: %+v", got)
+	}
+
+	// A rotated core: the high run wraps, the unique boundary is interior.
+	rot := base.Shift(0, 3e-3)
+	ev2, err := ExecView(rot, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lowTotal float64
+	for _, s := range ev2.CoreSegments(0) {
+		if s.Mode.Voltage == 0.9 {
+			lowTotal += s.Length
+		}
+	}
+	if math.Abs(lowTotal-(6e-3-tau.Tau)) > 1e-15 {
+		t.Fatalf("rotated exec view low total %v", lowTotal)
+	}
+
+	// Low run shorter than τ: must refuse.
+	tight := schedule.Must([][]schedule.Segment{
+		{{Length: 2e-6, Mode: power.NewMode(0.9)}, {Length: 20e-3 - 2e-6, Mode: power.NewMode(1.2)}},
+	})
+	if _, err := ExecView(tight, tau); err == nil {
+		t.Fatal("ExecView accepted a low run shorter than the stall")
+	}
+
+	// τ = 0 is the identity.
+	same, err := ExecView(base, power.TransitionOverhead{})
+	if err != nil || same != base {
+		t.Fatalf("τ=0 should return the schedule unchanged (err %v)", err)
+	}
+}
+
+// The report must render violations for humans.
+func TestReportString(t *testing.T) {
+	r := &Report{Method: "AO", M: 3}
+	if !strings.Contains(r.String(), "OK") {
+		t.Fatalf("clean report should say OK: %s", r)
+	}
+	r.addf("tmax", "boom")
+	if s := r.String(); !strings.Contains(s, "FAIL [tmax] boom") {
+		t.Fatalf("violation not rendered: %s", s)
+	}
+}

@@ -28,6 +28,15 @@ func FuzzServeRequest(f *testing.F) {
 		`{"platform":{"rows":2,"cols":1,"voltages":[0.6,1e308]},"tmax_c":65,"method":"AO"}`,
 		`{"platform":{"rows":2,"cols":1,"period_s":-3},"tmax_c":65,"method":"AO"}`,
 		`{"platform":{"rows":2,"cols":1,"ambient_c":-400},"tmax_c":65,"method":"AO"}`,
+		`{"platform":{"rows":2,"cols":1,"period_s":5e-324},"tmax_c":65,"method":"AO"}`,
+		`{"platform":{"rows":2,"cols":1,"period_s":1e-310},"tmax_c":65,"method":"AO"}`,
+		`{"platform":{"rows":2,"cols":1,"voltages":[5e-324,1.0]},"tmax_c":65,"method":"AO"}`,
+		`{"platform":{"rows":2,"cols":1,"core_edge_m":1e-300},"tmax_c":65,"method":"AO"}`,
+		`{"platform":{"rows":2,"cols":1,"convection_r":4.9e-324},"tmax_c":65,"method":"AO"}`,
+		`{"platform":{"rows":2,"cols":1,"ambient_c":35},"tmax_c":35.0001,"method":"AO"}`,
+		`{"platform":{"rows":2,"cols":1},"tmax_c":65,"method":"AO","timeout_s":1e300}`,
+		`{"platform":{"rows":2,"cols":1},"tmax_c":65,"method":"AO","timeout_s":1e999}`,
+		`{"platform":{"rows":2,"cols":1,"period_s":1e999},"tmax_c":65,"method":"AO"}`,
 		`{"unknown_field":1}`,
 		`{"platform":`,
 		`[]`,

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -38,6 +39,13 @@ type Server struct {
 	cond   *sync.Cond
 	active int
 	closed bool
+
+	// Sampled post-solve auditing (ServerConfig.AuditEvery): solves
+	// counts cold solves for the every-Nth sampling; auditWG tracks the
+	// in-flight async audit goroutines so Shutdown (and tests) can wait
+	// for them.
+	solves  atomic.Uint64
+	auditWG sync.WaitGroup
 }
 
 // ServerConfig tunes a Server; zero values select the defaults.
@@ -61,6 +69,13 @@ type ServerConfig struct {
 	// MaxTraceSamples caps periods × samples_per_period in /v1/simulate
 	// (default 131072).
 	MaxTraceSamples int
+	// AuditEvery, when > 0, audits every Nth cold solve asynchronously
+	// with the independent verification oracle (Platform.Audit): the
+	// request is answered immediately and a background goroutine
+	// re-derives the plan's peak and invariants from first principles,
+	// feeding the verify_pass/verify_fail counters in /v1/stats and
+	// /metrics. 0 (the default) disables auditing.
+	AuditEvery int
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -92,10 +107,10 @@ func (c ServerConfig) limits() serveLimits {
 // NewServer builds a planning service with the given configuration.
 func NewServer(cfg ServerConfig) *Server {
 	s := &Server{
-		cfg:       cfg.withDefaults(),
-		mux:       http.NewServeMux(),
-		stats:     newServerStats(),
-		flights:   newFlightGroup(),
+		cfg:     cfg.withDefaults(),
+		mux:     http.NewServeMux(),
+		stats:   newServerStats(),
+		flights: newFlightGroup(),
 	}
 	s.plans = newLRUCache[[]byte](s.cfg.PlanCacheSize)
 	s.platforms = newLRUCache[*Platform](s.cfg.PlatformCacheSize)
@@ -134,6 +149,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			s.cond.Wait()
 		}
 		s.mu.Unlock()
+		s.auditWG.Wait() // async post-solve audits drain with the requests
 		close(done)
 	}()
 	select {
@@ -206,10 +222,13 @@ func (s *Server) timeoutFor(timeoutS float64) time.Duration {
 	if timeoutS <= 0 {
 		return s.cfg.DefaultTimeout
 	}
-	d := time.Duration(timeoutS * float64(time.Second))
-	if d > s.cfg.MaxTimeout {
+	// Cap in float space: a huge timeout_s (say 1e300) would overflow the
+	// int64 nanosecond conversion into a negative Duration and, before
+	// this guard, fall through as a 1ns deadline.
+	if timeoutS >= s.cfg.MaxTimeout.Seconds() {
 		return s.cfg.MaxTimeout
 	}
+	d := time.Duration(timeoutS * float64(time.Second))
 	if d <= 0 { // sub-nanosecond timeouts round to an immediate deadline
 		d = time.Nanosecond
 	}
@@ -279,6 +298,10 @@ func (s *Server) handleMaximize(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		s.plans.Put(planKey, b)
+		if s.cfg.AuditEvery > 0 && s.solves.Add(1)%uint64(s.cfg.AuditEvery) == 0 {
+			s.auditWG.Add(1)
+			go s.runAudit(plat, plan, req.TmaxC)
+		}
 		return b, nil
 	})
 	if shared {
@@ -343,6 +366,28 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		ElapsedS:      time.Since(start).Seconds(),
 	})
 }
+
+// runAudit re-checks one served plan with the independent oracle and
+// records the verdict. It runs on its own goroutine — a failed audit
+// cannot delay or fail the request that produced the plan; it surfaces
+// through the verify_fail counter (and last_failure detail) in /v1/stats
+// and /metrics, where monitoring alerts on it.
+func (s *Server) runAudit(plat *Platform, plan *Plan, tmaxC float64) {
+	defer s.auditWG.Done()
+	rep, err := plat.Audit(plan, tmaxC)
+	switch {
+	case err != nil:
+		s.stats.auditResult(false, fmt.Sprintf("audit error: %v", err))
+	case !rep.OK:
+		s.stats.auditResult(false, rep.String())
+	default:
+		s.stats.auditResult(true, "")
+	}
+}
+
+// waitAudits blocks until every in-flight async audit has finished
+// (tests use it to observe the counters deterministically).
+func (s *Server) waitAudits() { s.auditWG.Wait() }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()

@@ -162,8 +162,11 @@ func normalizePlatform(spec PlatformSpec, lim serveLimits) (PlatformSpec, error)
 			return c, badRequestf("platform: %d voltage levels exceeds the cap of %d", len(c.Voltages), lim.maxVoltages)
 		}
 		for _, v := range c.Voltages {
-			if !finite(v) || v <= 0 || v > 10 {
-				return c, badRequestf("platform: voltage %v outside (0, 10] V", v)
+			// The 1 mV floor keeps subnormal/denormal voltages out of the
+			// power model, where they would starve every downstream
+			// quantity of float precision.
+			if !finite(v) || v < 1e-3 || v > 10 {
+				return c, badRequestf("platform: voltage %v outside [0.001, 10] V", v)
 			}
 		}
 		ls, err := power.NewLevelSet(c.Voltages...)
@@ -184,8 +187,10 @@ func normalizePlatform(spec PlatformSpec, lim serveLimits) (PlatformSpec, error)
 	if c.PeriodS == 0 {
 		c.PeriodS = 20e-3
 	}
-	if !finite(c.PeriodS) || c.PeriodS <= 0 || c.PeriodS > 3600 {
-		return c, badRequestf("platform: period_s %v outside (0, 3600]", spec.PeriodS)
+	if !finite(c.PeriodS) || c.PeriodS < 1e-6 || c.PeriodS > 3600 {
+		// The 1 µs floor rejects subnormal periods at decode (400) rather
+		// than letting the solver inherit a degenerate quantum (500).
+		return c, badRequestf("platform: period_s %v outside [1e-6, 3600]", spec.PeriodS)
 	}
 	if c.OverheadS == nil {
 		tau := power.DefaultOverhead().Tau
@@ -200,14 +205,14 @@ func normalizePlatform(spec PlatformSpec, lim serveLimits) (PlatformSpec, error)
 	if c.CoreEdgeM == 0 {
 		c.CoreEdgeM = 4e-3
 	}
-	if !finite(c.CoreEdgeM) || c.CoreEdgeM <= 0 || c.CoreEdgeM > 1 {
-		return c, badRequestf("platform: core_edge_m %v outside (0, 1]", spec.CoreEdgeM)
+	if !finite(c.CoreEdgeM) || c.CoreEdgeM < 1e-5 || c.CoreEdgeM > 1 {
+		return c, badRequestf("platform: core_edge_m %v outside [1e-5, 1]", spec.CoreEdgeM)
 	}
 	if c.ConvectionR == 0 {
 		c.ConvectionR = thermal.HotSpot65nm().ConvectionR
 	}
-	if !finite(c.ConvectionR) || c.ConvectionR <= 0 || c.ConvectionR > 1e3 {
-		return c, badRequestf("platform: convection_r %v outside (0, 1000]", spec.ConvectionR)
+	if !finite(c.ConvectionR) || c.ConvectionR < 1e-6 || c.ConvectionR > 1e3 {
+		return c, badRequestf("platform: convection_r %v outside [1e-6, 1000]", spec.ConvectionR)
 	}
 
 	if len(c.CoreScales) > 0 {
@@ -293,8 +298,11 @@ func parseMaximizeRequest(body []byte, lim serveLimits) (req MaximizeRequest, pl
 	if !finite(req.TmaxC) {
 		return req, "", "", badRequestf("tmax_c %v is not finite", req.TmaxC)
 	}
-	if req.TmaxC <= norm.AmbientC {
-		return req, "", "", badRequestf("tmax_c %.2f not above ambient %.2f", req.TmaxC, norm.AmbientC)
+	if req.TmaxC < norm.AmbientC+1e-3 {
+		// A threshold within 1 mK of ambient leaves no thermal headroom
+		// for any schedule; it would only send the solvers on a futile
+		// search.
+		return req, "", "", badRequestf("tmax_c %.4f not above ambient %.2f", req.TmaxC, norm.AmbientC)
 	}
 	if req.TmaxC > 1000 {
 		return req, "", "", badRequestf("tmax_c %v outside the plausible range", req.TmaxC)

@@ -1,6 +1,7 @@
 package thermosc
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -19,7 +20,15 @@ func TestParseMaximizeRequestValidation(t *testing.T) {
 		{"scales with stack", `{"platform":{"rows":2,"cols":1,"stack_layers":2,"core_scales":[1,2,1,2]},"tmax_c":65,"method":"AO"}`, "planar"},
 		{"bad paper levels", `{"platform":{"rows":2,"cols":1,"paper_levels":9},"tmax_c":65,"method":"AO"}`, "platform"},
 		{"too many voltages", `{"platform":{"rows":2,"cols":1,"voltages":[` + strings.Repeat("0.6,", 64) + `1.3]},"tmax_c":65,"method":"AO"}`, "voltage levels"},
-		{"huge voltage", `{"platform":{"rows":2,"cols":1,"voltages":[0.6,99]},"tmax_c":65,"method":"AO"}`, "outside (0, 10]"},
+		{"huge voltage", `{"platform":{"rows":2,"cols":1,"voltages":[0.6,99]},"tmax_c":65,"method":"AO"}`, "outside [0.001, 10]"},
+		{"subnormal voltage", `{"platform":{"rows":2,"cols":1,"voltages":[5e-324,1.0]},"tmax_c":65,"method":"AO"}`, "outside [0.001, 10]"},
+		{"subnormal period", `{"platform":{"rows":2,"cols":1,"period_s":5e-324},"tmax_c":65,"method":"AO"}`, "period_s"},
+		{"overflowing period", `{"platform":{"rows":2,"cols":1,"period_s":1e999},"tmax_c":65,"method":"AO"}`, "period_s"},
+		{"subnormal core edge", `{"platform":{"rows":2,"cols":1,"core_edge_m":1e-300},"tmax_c":65,"method":"AO"}`, "core_edge_m"},
+		{"subnormal convection", `{"platform":{"rows":2,"cols":1,"convection_r":4.9e-324},"tmax_c":65,"method":"AO"}`, "convection_r"},
+		{"tmax within a mK of ambient", `{"platform":{"rows":2,"cols":1,"ambient_c":35},"tmax_c":35.0001,"method":"AO"}`, "not above ambient"},
+		{"overflowing timeout", `{"platform":{"rows":2,"cols":1},"tmax_c":65,"method":"AO","timeout_s":1e999}`, "decoding"},
+		{"NaN timeout", `{"platform":{"rows":2,"cols":1},"tmax_c":65,"method":"AO","timeout_s":NaN}`, "decoding"},
 		{"ambient below zero K", `{"platform":{"rows":2,"cols":1,"ambient_c":-300},"tmax_c":65,"method":"AO"}`, "ambient_c"},
 		{"negative period", `{"platform":{"rows":2,"cols":1,"period_s":-1},"tmax_c":65,"method":"AO"}`, "period_s"},
 		{"period too long", `{"platform":{"rows":2,"cols":1,"period_s":7200},"tmax_c":65,"method":"AO"}`, "period_s"},
@@ -151,5 +160,12 @@ func TestTimeoutFor(t *testing.T) {
 	}
 	if d := s.timeoutFor(1e-12); d != time.Nanosecond {
 		t.Fatalf("sub-nanosecond: %s", d)
+	}
+	// A huge timeout_s overflows the int64 nanosecond conversion; it must
+	// cap at MaxTimeout, never wrap into a near-zero deadline.
+	for _, huge := range []float64{1e300, 1e18, math.MaxFloat64} {
+		if d := s.timeoutFor(huge); d != time.Minute {
+			t.Fatalf("timeoutFor(%g) = %s, want the %s cap", huge, d, time.Minute)
+		}
 	}
 }

@@ -19,6 +19,11 @@ type serverStats struct {
 	misses    uint64
 	shared    uint64
 	endpoints map[string]*endpointStats
+
+	// Sampled post-solve audit verdicts (ServerConfig.AuditEvery).
+	auditPass        uint64
+	auditFail        uint64
+	lastAuditFailure string
 }
 
 type endpointStats struct {
@@ -68,6 +73,19 @@ func (s *serverStats) observe(endpoint string, d time.Duration, failed bool) {
 	ep.latency.observe(d.Seconds())
 }
 
+// auditResult records one post-solve audit verdict; the detail of the
+// most recent failure is kept for /v1/stats.
+func (s *serverStats) auditResult(ok bool, detail string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ok {
+		s.auditPass++
+		return
+	}
+	s.auditFail++
+	s.lastAuditFailure = detail
+}
+
 func (s *serverStats) cacheHit()  { s.mu.Lock(); s.hits++; s.mu.Unlock() }
 func (s *serverStats) cacheMiss() { s.mu.Lock(); s.misses++; s.mu.Unlock() }
 func (s *serverStats) sfShared()  { s.mu.Lock(); s.shared++; s.mu.Unlock() }
@@ -77,7 +95,16 @@ type ServerStats struct {
 	UptimeS  float64                  `json:"uptime_s"`
 	InFlight int64                    `json:"in_flight"`
 	Cache    CacheStats               `json:"cache"`
+	Audit    AuditCounters            `json:"audit"`
 	Requests map[string]EndpointStats `json:"requests"`
+}
+
+// AuditCounters reports the sampled post-solve verification verdicts
+// (zero unless ServerConfig.AuditEvery enables auditing).
+type AuditCounters struct {
+	VerifyPass  uint64 `json:"verify_pass"`
+	VerifyFail  uint64 `json:"verify_fail"`
+	LastFailure string `json:"last_failure,omitempty"`
 }
 
 // CacheStats reports the plan cache and request-deduplication counters.
@@ -125,6 +152,11 @@ func (s *serverStats) snapshot(cacheSize, cacheCap int) ServerStats {
 			SingleflightShared: s.shared,
 			Size:               cacheSize,
 			Capacity:           cacheCap,
+		},
+		Audit: AuditCounters{
+			VerifyPass:  s.auditPass,
+			VerifyFail:  s.auditFail,
+			LastFailure: s.lastAuditFailure,
 		},
 		Requests: make(map[string]EndpointStats, len(s.endpoints)),
 	}
