@@ -8,8 +8,8 @@ FUZZTIME ?= 30s
 COVER_MIN ?= 83
 
 .PHONY: all build vet test test-race bench bench-json experiments figures \
-        fuzz fuzz-smoke serve-smoke rig-soak verify-diff cover cover-check \
-        ci clean
+        fuzz fuzz-smoke serve-smoke serve-chaos rig-soak rig-soak-starved \
+        verify-diff cover cover-check ci clean
 
 all: build vet test
 
@@ -61,6 +61,16 @@ fuzz-smoke:
 serve-smoke:
 	THERMOSC_SERVE_E2E=1 $(GO) test -run TestServeE2EGolden -count=1 -v .
 
+# Chaos storm against the planning daemon, race-enabled: concurrent
+# requests under tiny deadlines with seeded random solver panics. Zero
+# daemon crashes allowed; every 200 body must pass the verification
+# oracle. The final /v1/stats snapshot lands in serve_chaos_stats.json.
+CHAOS_REQUESTS ?= 400
+serve-chaos:
+	THERMOSC_CHAOS_REQUESTS=$(CHAOS_REQUESTS) \
+	THERMOSC_CHAOS_STATS=$(CURDIR)/serve_chaos_stats.json \
+	$(GO) test -race -run TestServeChaos -count=1 -v .
+
 # Closed-loop soak: 20 seed-pinned fault scenarios under the guarded AO
 # plan, each replayed twice. Exits nonzero on ANY thermal violation
 # (true peak above Tmax + guard band) or nondeterministic trace; the JSON
@@ -70,6 +80,17 @@ RIG_SOAK_SEED ?= 1
 rig-soak:
 	$(GO) run ./cmd/thermosc-rig soak -n $(RIG_SOAK_N) -seed $(RIG_SOAK_SEED) > rig_soak.json
 	@echo "rig-soak: $(RIG_SOAK_N) scenarios pass (report in rig_soak.json)"
+
+# Same soak with the planner deadline-starved mid-scenario: at the
+# horizon midpoint every scenario swaps to a replan solved under
+# PLAN_BUDGET (degraded best-so-far or the constant safe floor). The
+# guard band must hold regardless — degraded planning may cost
+# throughput, never safety.
+PLAN_BUDGET ?= 1ms
+rig-soak-starved:
+	$(GO) run ./cmd/thermosc-rig soak -n $(RIG_SOAK_N) -seed $(RIG_SOAK_SEED) \
+		-plan-budget $(PLAN_BUDGET) > rig_soak_starved.json
+	@echo "rig-soak-starved: $(RIG_SOAK_N) scenarios hold Tmax+guard under a $(PLAN_BUDGET) plan budget (report in rig_soak_starved.json)"
 
 # Differential verification: solve N seeded random platforms with
 # AO/PCO/EXS, re-check every plan against the independent oracle
@@ -95,7 +116,9 @@ cover-check: cover
 	echo "coverage $$total% >= $(COVER_MIN)% gate"
 
 # Everything CI runs, in one target, for local pre-push verification.
-ci: build vet test test-race fuzz-smoke serve-smoke rig-soak verify-diff cover-check bench-json
+ci: build vet test test-race fuzz-smoke serve-smoke serve-chaos rig-soak \
+    rig-soak-starved verify-diff cover-check bench-json
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt BENCH_ao.ci.json rig_soak.json
+	rm -f cover.out test_output.txt bench_output.txt BENCH_ao.ci.json \
+	      rig_soak.json rig_soak_starved.json serve_chaos_stats.json

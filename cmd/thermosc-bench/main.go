@@ -10,7 +10,11 @@
 // The suite mirrors BenchmarkAOSearch and BenchmarkPeakEval in
 // bench_test.go: the AO solver with the sequential reference m-search
 // (workers=1) and the worker-pool fan-out (workers=GOMAXPROCS), plus the
-// three stable-status peak evaluators (classic, engine-cached, composed).
+// three stable-status peak evaluators (classic, engine-cached, composed),
+// plus the degraded path: an AO solve whose context deadline is half the
+// median full-solve time, walked through the same truncate-or-floor
+// chain the serving layer uses. Its ns/op is bounded by the budget, so
+// the entry gates the cost of SERVING under starvation, not the search.
 //
 // With -baseline the report is compared entry-by-entry against a previous
 // run: any benchmark whose ns/op exceeds max-regression × its baseline
@@ -24,13 +28,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
+	"time"
 
 	"thermosc/internal/power"
 	"thermosc/internal/schedule"
@@ -152,6 +159,23 @@ func run() (*Report, error) {
 		return nil, err
 	}
 
+	// Budget for the degraded-path benchmark: half the median full AO
+	// solve time on THIS machine, so the deadline lands mid-search on
+	// fast and slow hardware alike.
+	times := make([]time.Duration, 5)
+	for i := range times {
+		start := time.Now()
+		if _, err := solver.AO(aoProblem(1)); err != nil {
+			return nil, err
+		}
+		times[i] = time.Since(start)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	halfBudget := times[len(times)/2] / 2
+	if halfBudget <= 0 {
+		halfBudget = time.Millisecond
+	}
+
 	suite := []struct {
 		name string
 		body func(b *testing.B)
@@ -170,6 +194,29 @@ func run() (*Report, error) {
 				if _, err := solver.AO(p); err != nil {
 					b.Fatal(err)
 				}
+			}
+		}},
+		{"ao_anytime_halfbudget", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := aoProblem(1)
+				ctx, cancel := context.WithTimeout(context.Background(), halfBudget)
+				p.Ctx = ctx
+				res, err := solver.AO(p)
+				switch {
+				case err == nil && res.Schedule != nil:
+					// Complete or tagged best-so-far: either is a valid
+					// outcome of the anytime contract.
+				case err != nil && errors.Is(err, solver.ErrDeadline):
+					// Deadline before any incumbent: the chain's floor.
+					if _, err := solver.SafeFloor(p); err != nil {
+						cancel()
+						b.Fatal(err)
+					}
+				default:
+					cancel()
+					b.Fatalf("anytime solve broke its contract: res=%+v err=%v", res, err)
+				}
+				cancel()
 			}
 		}},
 		{"peak_eval_classic", func(b *testing.B) {

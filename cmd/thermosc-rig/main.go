@@ -6,7 +6,7 @@
 // Usage:
 //
 //	thermosc-rig run     [-scenario file.json] [-seed N] [-controller guard|stepwise|predictive]
-//	thermosc-rig soak    [-n 20] [-seed 1] [-workers 0] [-scenario base.json]
+//	thermosc-rig soak    [-n 20] [-seed 1] [-workers 0] [-scenario base.json] [-plan-budget 0]
 //	thermosc-rig compare [-scenario file.json] [-seed N]
 //
 // Every subcommand prints a JSON report to stdout (see docs/RIG.md for
@@ -141,6 +141,8 @@ func cmdSoak(args []string) error {
 	n := fs.Int("n", 20, "number of randomized fault scenarios")
 	seed := fs.Int64("seed", 1, "soak derivation seed")
 	workers := fs.Int("workers", 0, "parallel scenario workers (0 = GOMAXPROCS)")
+	planBudget := fs.Duration("plan-budget", 0,
+		"starve the planner: swap to a replan solved under this wall-clock budget at the horizon midpoint (0 = full planning)")
 	fs.Parse(args)
 
 	var base *rig.Scenario
@@ -151,7 +153,13 @@ func cmdSoak(args []string) error {
 		}
 		base = sc
 	}
-	rep, err := rig.Soak(base, *n, *seed, *workers)
+	var rep *rig.SoakReport
+	var err error
+	if *planBudget > 0 {
+		rep, err = rig.SoakStarved(base, *n, *seed, *workers, *planBudget)
+	} else {
+		rep, err = rig.Soak(base, *n, *seed, *workers)
+	}
 	if err != nil {
 		return err
 	}

@@ -41,6 +41,13 @@ func main() {
 		workers       = flag.Int("workers", 0, "solver fan-out width (0 = GOMAXPROCS)")
 		grace         = flag.Duration("grace", 30*time.Second, "shutdown drain grace period")
 		auditEvery    = flag.Int("audit-every", 0, "audit every Nth cold solve with the verification oracle (0 disables)")
+		solveConc     = flag.Int("solve-concurrency", 0, "concurrent solve slots (0 = GOMAXPROCS)")
+		solveQueue    = flag.Int("solve-queue", 0, "admission queue depth; beyond it requests shed with 429 (0 = default 256)")
+		planTTL       = flag.Duration("plan-ttl", 0, "age after which cached complete plans are served stale and refreshed in the background (0 = never stale)")
+		brkWindow     = flag.Int("breaker-window", 0, "audit verdicts in the circuit breaker window (0 = default 20)")
+		brkThreshold  = flag.Float64("breaker-threshold", 0, "audit failure fraction that trips the breaker to fallback-only planning (0 = default 0.5)")
+		brkMinSamples = flag.Int("breaker-min-samples", 0, "verdicts required before the breaker may trip (0 = default 8)")
+		brkCooloff    = flag.Duration("breaker-cooloff", 0, "open-state hold before a half-open probe (0 = default 30s)")
 	)
 	flag.Parse()
 
@@ -52,6 +59,13 @@ func main() {
 		MaxTimeout:        *maxTimeout,
 		Workers:           *workers,
 		AuditEvery:        *auditEvery,
+		SolveConcurrency:  *solveConc,
+		SolveQueue:        *solveQueue,
+		PlanTTL:           *planTTL,
+		BreakerWindow:     *brkWindow,
+		BreakerThreshold:  *brkThreshold,
+		BreakerMinSamples: *brkMinSamples,
+		BreakerCooloff:    *brkCooloff,
 	})
 	httpSrv := &http.Server{
 		Handler:           srv,

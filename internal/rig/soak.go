@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"thermosc/internal/governor"
 	"thermosc/internal/power"
@@ -131,6 +132,10 @@ type ScenarioOutcome struct {
 	Scenario      *Scenario `json:"scenario"`
 	Report        *Report   `json:"report"`
 	Deterministic bool      `json:"deterministic"`
+	// PlanDegraded tags a starved-soak scenario whose mid-run replan was
+	// truncated (the solver.DegradedReason) — empty in plain soaks and
+	// when the budget sufficed for a complete replan.
+	PlanDegraded string `json:"plan_degraded,omitempty"`
 }
 
 // SoakReport aggregates a soak run.
@@ -144,7 +149,13 @@ type SoakReport struct {
 	WorstExcessK     float64            `json:"worst_excess_k"`
 	MinThroughput    float64            `json:"min_throughput"`
 	Pass             bool               `json:"pass"`
-	Scenarios        []*ScenarioOutcome `json:"scenarios"`
+	// PlanBudgetS and DegradedPlans describe a starved soak (SoakStarved):
+	// the wall-clock budget the mid-scenario replanner was held to, and
+	// how many scenarios actually ran on a degraded/floor replan. Absent
+	// in plain soaks.
+	PlanBudgetS   float64            `json:"plan_budget_s,omitempty"`
+	DegradedPlans int                `json:"degraded_plans,omitempty"`
+	Scenarios     []*ScenarioOutcome `json:"scenarios"`
 }
 
 // Soak runs n randomized fault scenarios (derived from base, seed-pinned)
@@ -155,6 +166,12 @@ type SoakReport struct {
 // GOMAXPROCS; the outcome order is by scenario index regardless of
 // worker interleaving.
 func Soak(base *Scenario, n int, seed int64, workers int) (*SoakReport, error) {
+	return soak(base, n, seed, workers, 0)
+}
+
+// soak is the shared engine behind Soak (budget 0: full planning) and
+// SoakStarved (budget > 0: mid-scenario replan under that budget).
+func soak(base *Scenario, n int, seed int64, workers int, budget time.Duration) (*SoakReport, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("rig: soak needs at least one scenario")
 	}
@@ -169,6 +186,10 @@ func Soak(base *Scenario, n int, seed int64, workers int) (*SoakReport, error) {
 		workers = n
 	}
 	plans := newPlanCache()
+	var starved *starvedPlanCache
+	if budget > 0 {
+		starved = newStarvedPlanCache(budget)
+	}
 	outcomes := make([]*ScenarioOutcome, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -178,7 +199,7 @@ func Soak(base *Scenario, n int, seed int64, workers int) (*SoakReport, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				outcomes[i], errs[i] = runGuardedTwice(scens[i], plans)
+				outcomes[i], errs[i] = runGuardedTwice(scens[i], plans, starved)
 			}
 		}()
 	}
@@ -193,7 +214,7 @@ func Soak(base *Scenario, n int, seed int64, workers int) (*SoakReport, error) {
 		}
 	}
 
-	rep := &SoakReport{N: n, Seed: seed, Scenarios: outcomes, MinThroughput: 1e18}
+	rep := &SoakReport{N: n, Seed: seed, Scenarios: outcomes, MinThroughput: 1e18, PlanBudgetS: budget.Seconds()}
 	for _, oc := range outcomes {
 		rep.Controller = oc.Report.Controller
 		if oc.Report.ViolationS > 0 {
@@ -201,6 +222,9 @@ func Soak(base *Scenario, n int, seed int64, workers int) (*SoakReport, error) {
 		}
 		if !oc.Deterministic {
 			rep.NonDeterministic++
+		}
+		if oc.PlanDegraded != "" {
+			rep.DegradedPlans++
 		}
 		if oc.Report.TruePeakC > rep.WorstPeakC {
 			rep.WorstPeakC = oc.Report.TruePeakC
@@ -217,13 +241,16 @@ func Soak(base *Scenario, n int, seed int64, workers int) (*SoakReport, error) {
 }
 
 // runGuardedTwice executes one scenario under the guarded AO plan twice
-// and checks the runs agree byte-for-byte.
-func runGuardedTwice(sc *Scenario, plans *planCache) (*ScenarioOutcome, error) {
-	rep1, err := runGuarded(sc, plans)
+// and checks the runs agree byte-for-byte. A non-nil starved cache adds
+// the mid-scenario replan: both replays reuse the same cached
+// budget-bounded plan, so starvation does not perturb the determinism
+// check.
+func runGuardedTwice(sc *Scenario, plans *planCache, starved *starvedPlanCache) (*ScenarioOutcome, error) {
+	rep1, reason, err := runGuarded(sc, plans, starved)
 	if err != nil {
 		return nil, err
 	}
-	rep2, err := runGuarded(sc, plans)
+	rep2, _, err := runGuarded(sc, plans, starved)
 	if err != nil {
 		return nil, err
 	}
@@ -239,23 +266,39 @@ func runGuardedTwice(sc *Scenario, plans *planCache) (*ScenarioOutcome, error) {
 		Scenario:      sc,
 		Report:        rep1,
 		Deterministic: rep1.TraceSHA256 == rep2.TraceSHA256 && bytes.Equal(b1, b2),
+		PlanDegraded:  string(reason),
 	}, nil
 }
 
-func runGuarded(sc *Scenario, plans *planCache) (*Report, error) {
+func runGuarded(sc *Scenario, plans *planCache, starved *starvedPlanCache) (*Report, solver.DegradedReason, error) {
 	r, err := New(sc)
 	if err != nil {
-		return nil, err
+		return nil, solver.DegradedNone, err
 	}
 	plan, err := plans.plan(r)
 	if err != nil {
-		return nil, err
+		return nil, solver.DegradedNone, err
 	}
 	guard, err := GuardFor(r.Scenario(), plan, r.Levels())
 	if err != nil {
-		return nil, err
+		return nil, solver.DegradedNone, err
 	}
-	return r.Run(guard)
+	var ctrl Controller = guard
+	reason := solver.DegradedNone
+	if starved != nil {
+		replan, rr, err := starved.plan(r)
+		if err != nil {
+			return nil, solver.DegradedNone, err
+		}
+		reason = rr
+		replanGuard, err := GuardFor(r.Scenario(), replan, r.Levels())
+		if err != nil {
+			return nil, solver.DegradedNone, err
+		}
+		ctrl = &starvedReplanGuard{full: guard, starved: replanGuard, switchS: r.Scenario().HorizonS / 2}
+	}
+	rep, err := r.Run(ctrl)
+	return rep, reason, err
 }
 
 // CompareReport holds one scenario evaluated under several controllers.

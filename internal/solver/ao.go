@@ -162,6 +162,19 @@ type aoState struct {
 	peak  float64
 	hot   int
 	evals int64
+	// degraded, when set, marks this state as a deadline-truncated
+	// best-so-far; mEvaluated records how many m candidates the m-search
+	// managed to evaluate.
+	degraded   DegradedReason
+	mEvaluated int
+}
+
+// degrade tags the state with the FIRST truncation reason observed — the
+// earliest phase to hit the deadline is the most informative one.
+func (st *aoState) degrade(r DegradedReason) {
+	if st.degraded == DegradedNone {
+		st.degraded = r
+	}
 }
 
 // AO runs Algorithm 2 and returns the aligned m-oscillating schedule.
@@ -188,6 +201,8 @@ func AO(p Problem) (*Result, error) {
 		Feasible:   st.peak <= p.tmaxRise()+feasTol,
 		Elapsed:    since(start),
 		Evals:      st.evals,
+		Degraded:   st.degraded,
+		MEvaluated: st.mEvaluated,
 	}, nil
 }
 
@@ -226,23 +241,33 @@ func runAO(p Problem) (*aoState, error) {
 		return nil, err
 	}
 
-	if err := p.ctxErr(); err != nil {
-		return nil, err
-	}
-	exsSpecs, exsEvals, ok := exsSeedSpecs(p)
-	if ok {
-		alt, altErr := optimizeSpecs(p, eng, exsSpecs, best.m)
-		if altErr == nil {
-			alt.evals += exsEvals
-			best = betterState(p, best, alt)
+	// Seed 2 is only worth running when seed 1 finished intact — a
+	// deadline that already truncated the first optimization leaves no
+	// budget for another full pass.
+	if best.degraded == DegradedNone {
+		exsSpecs, exsEvals, ok := exsSeedSpecs(p)
+		if ok {
+			alt, altErr := optimizeSpecs(p, eng, exsSpecs, best.m)
+			if altErr == nil {
+				alt.evals += exsEvals
+				tainted := alt.degraded != DegradedNone
+				best = betterState(p, best, alt)
+				if tainted {
+					// The alt branch was itself truncated: whichever state
+					// won, the two-seed comparison is timing-dependent.
+					best.degrade(DegradedAltSeed)
+				}
+			}
 		}
-	}
-	// A cancellation that lands inside either seed may have truncated the
-	// search (e.g. the alt path silently skipped); never return a partial
-	// plan from a canceled run — it would differ from an uncancelled solve
-	// and break the callers' determinism guarantees (plan caches).
-	if err := p.ctxErr(); err != nil {
-		return nil, err
+		// Any deadline observed here means the alt path may have been
+		// silently skipped or cut short (EXS truncated, the alt optimize
+		// aborted, or a cancel between the seeds). The plan itself is
+		// still thermally valid — tag it Degraded instead of refusing, and
+		// rely on callers keeping degraded plans out of determinism-keyed
+		// caches.
+		if err := p.ctxErr(); err != nil {
+			best.degrade(DegradedAltSeed)
+		}
 	}
 	return best, nil
 }
@@ -275,7 +300,7 @@ func betterState(p Problem, a, b *aoState) *aoState {
 // where the sequential search's subtree count explodes.
 func exsSeedSpecs(p Problem) ([]coreSpec, int64, bool) {
 	res, err := EXSParallel(p, 0)
-	if err != nil || !res.Feasible || res.Schedule == nil {
+	if err != nil || !res.Feasible || res.Schedule == nil || res.Degraded != DegradedNone {
 		if res != nil {
 			return nil, res.Evals, false
 		}
@@ -345,21 +370,25 @@ func optimizeSpecs(p Problem, eng *sim.Engine, specs []coreSpec, forceM int) (*a
 	if forceM > 0 {
 		startM = forceM
 	}
-	bestM, _, bestCache, evals, err := searchM(p, eng, specs, startM, m)
+	ms, err := searchM(p, eng, specs, startM, m)
 	if err != nil {
 		return nil, err
 	}
-	if bestM == 0 {
+	if ms.m == 0 {
 		return nil, fmt.Errorf("solver: no feasible oscillation cycle for period %v", tp)
 	}
 
 	// Phase 3: TPT-guided ratio adjustment until the constraint holds.
-	tc := tp / float64(bestM)
-	cache := bestCache
+	tc := tp / float64(ms.m)
+	cache := ms.cache
 	tUnit := p.TUnitFrac * tc
 	dr := tUnit / tc // ratio change per adjustment quantum
 
-	st := &aoState{specs: specs, m: bestM, tc: tc, eng: eng, cache: cache, evals: evals}
+	st := &aoState{specs: specs, m: ms.m, tc: tc, eng: eng, cache: cache,
+		evals: ms.evals, mEvaluated: ms.evaluated}
+	if ms.truncated {
+		st.degrade(DegradedMSearch)
+	}
 	var cycleEvals atomic.Int64
 	// evalCycle returns the stable end-of-cycle core temperature rises —
 	// by Theorem 1 their maximum is the schedule's peak temperature. Safe
@@ -390,7 +419,11 @@ func optimizeSpecs(p Problem, eng *sim.Engine, specs []coreSpec, forceM int) (*a
 	trialTemps := make([][]float64, len(specs))
 	for iter := 0; peak > tmax+feasTol && iter < maxIter; iter++ {
 		if err := p.ctxErr(); err != nil {
-			return nil, err
+			// Anytime: keep the best-so-far specs instead of erroring. The
+			// dense verification below still re-evaluates the final specs,
+			// so the claimed peak stays exact even for the truncated plan.
+			st.degrade(DegradedAdjust)
+			break
 		}
 		// Algorithm 2 lines 15–20: pick the core whose slowdown most
 		// effectively cools the hottest core per unit of throughput lost.
@@ -443,7 +476,8 @@ func optimizeSpecs(p Problem, eng *sim.Engine, specs []coreSpec, forceM int) (*a
 	const refillGuard = 0.05
 	for iter := 0; peak < tmax-refillGuard && iter < maxIter; iter++ {
 		if err := p.ctxErr(); err != nil {
-			return nil, err
+			st.degrade(DegradedRefill)
+			break
 		}
 		for j := range trialTemps {
 			trialTemps[j] = nil
@@ -510,7 +544,8 @@ func optimizeSpecs(p Problem, eng *sim.Engine, specs []coreSpec, forceM int) (*a
 	densePeaks := make([]float64, len(specs))
 	for iter := 0; dense > tmax+feasTol && iter < maxIter; iter++ {
 		if err := p.ctxErr(); err != nil {
-			return nil, err
+			st.degrade(DegradedDense)
+			break
 		}
 		for j := range densePeaks {
 			densePeaks[j] = math.Inf(1)

@@ -1,0 +1,76 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// This file is the solver's typed error taxonomy. Callers branch on these
+// with errors.Is instead of matching message strings:
+//
+//   - ErrInfeasible: the platform cannot meet the threshold at all — even
+//     the constant safe floor violates Tmax (or shuts every core down).
+//     Retrying cannot help; the request itself must change.
+//   - ErrDeadline: the context expired before ANY valid plan was found.
+//     Deadline aborts wrap the underlying context error, so
+//     errors.Is(err, context.DeadlineExceeded) keeps working.
+//   - ErrDegraded: a caller that requires a COMPLETE result received a
+//     degraded one (Result.Degraded != DegradedNone). The anytime solvers
+//     themselves never return this — they return the degraded Result with
+//     a nil error — but refresh/cache layers that must not accept
+//     truncated plans use it as their refusal.
+var (
+	ErrInfeasible = errors.New("solver: infeasible under Tmax")
+	ErrDeadline   = errors.New("solver: deadline before any valid plan")
+	ErrDegraded   = errors.New("solver: degraded result where a complete one is required")
+)
+
+// DegradedReason tags how far an anytime solve got before its context
+// deadline truncated the search. Empty (DegradedNone) means the solve ran
+// to completion and the result is the deterministic full answer; any
+// other value marks a timing-dependent best-so-far plan that callers must
+// never treat as cacheable.
+type DegradedReason string
+
+const (
+	// DegradedNone: the search completed; the result is NOT degraded.
+	DegradedNone DegradedReason = ""
+	// DegradedMSearch: the m-scan (Algorithm 2 phase 2) was truncated;
+	// the chosen oscillation count came from the candidates that finished.
+	DegradedMSearch DegradedReason = "m-search-truncated"
+	// DegradedAdjust: the TPT-guided ratio reduction stopped early.
+	DegradedAdjust DegradedReason = "tpt-adjust-truncated"
+	// DegradedRefill: the headroom-refill loop stopped early.
+	DegradedRefill DegradedReason = "refill-truncated"
+	// DegradedDense: the dense re-verification loop stopped early (the
+	// reported peak is still a full dense evaluation of the final specs).
+	DegradedDense DegradedReason = "dense-verify-truncated"
+	// DegradedPhase: PCO's phase search stopped early.
+	DegradedPhase DegradedReason = "phase-search-truncated"
+	// DegradedAltSeed: the deadline landed between or inside AO's two
+	// seeds, so the ideal-pinned/EXS-anchored comparison is incomplete.
+	DegradedAltSeed DegradedReason = "alt-seed-truncated"
+	// DegradedEXS: the branch-and-bound returned its incumbent instead of
+	// the proven optimum.
+	DegradedEXS DegradedReason = "exs-truncated"
+	// DegradedFallback: the plan is the constant safe floor (SafeFloor),
+	// not a solver search result at all.
+	DegradedFallback DegradedReason = "safe-floor"
+)
+
+// isCtxErr reports whether err is (or wraps) a context cancellation —
+// the one error class the anytime solvers degrade through instead of
+// propagating.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// deadlineErr wraps a context error as an ErrDeadline so callers can
+// test either sentinel. A nil cause (defensive) yields plain ErrDeadline.
+func deadlineErr(cause error) error {
+	if cause == nil {
+		return ErrDeadline
+	}
+	return fmt.Errorf("%w: %w", ErrDeadline, cause)
+}

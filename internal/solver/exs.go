@@ -39,7 +39,17 @@ func EXSNaive(p Problem) (*Result, error) {
 		evals++
 		if evals&1023 == 0 {
 			if err := p.ctxErr(); err != nil {
-				return nil, err
+				// Anytime: the incumbent (if any) is a fully-evaluated
+				// feasible assignment — return it tagged Degraded rather
+				// than discarding the work done so far.
+				if best != nil {
+					res, rerr := exsResult(p, "EXS-naive", best, bestSum, evals, start)
+					if rerr == nil {
+						res.Degraded = DegradedEXS
+						return res, nil
+					}
+				}
+				return nil, deadlineErr(err)
 			}
 		}
 		// T∞ at the cores for this assignment.
@@ -161,7 +171,19 @@ func EXS(p Problem) (*Result, error) {
 	}
 	dfs(0, make([]float64, n), 0)
 	if aborted != nil {
-		return nil, aborted
+		// Anytime: the incumbent is a fully-evaluated feasible assignment
+		// (pruning never admits an infeasible leaf), just not the proven
+		// optimum — return it tagged Degraded. With no incumbent the
+		// deadline beat every leaf: a typed deadline refusal.
+		if !found {
+			return nil, deadlineErr(aborted)
+		}
+		res, err := exsResult(p, "EXS", best, bestSum, evals, start)
+		if err != nil {
+			return nil, err
+		}
+		res.Degraded = DegradedEXS
+		return res, nil
 	}
 
 	if !found {

@@ -80,7 +80,11 @@ func EXSParallel(p Problem, workers int) (*Result, error) {
 				return bound
 			}
 			evals++
-			if evals&1023 == 0 && p.ctxErr() != nil {
+			// Poll the context every 64 evals (a node costs O(n) flops, so
+			// 64 of them is well under one schedule evaluation): a cancel
+			// lands within one eval's worth of work, not a 1024-node
+			// subtree later.
+			if evals&63 == 0 && p.ctxErr() != nil {
 				stop.Store(true)
 				return bound
 			}
@@ -104,6 +108,12 @@ func EXSParallel(p Problem, workers int) (*Result, error) {
 			}
 			local := make([]float64, n)
 			for k := len(volts) - 1; k >= 0; k-- {
+				// Inner-loop stop check: a sibling's cancellation unwinds
+				// this level between children instead of after the whole
+				// fan-out of remaining subtrees.
+				if stop.Load() {
+					return bound
+				}
 				idx[j] = k
 				copy(local, temps)
 				mat.VecAXPY(local, psi[k], hcc[j])
@@ -158,7 +168,19 @@ func EXSParallel(p Problem, workers int) (*Result, error) {
 	close(jobs)
 	wg.Wait()
 	if stop.Load() {
-		return nil, p.ctxErr()
+		// Anytime: every worker merged its incumbent before exiting, so
+		// `best` is the best fully-evaluated feasible assignment found
+		// before the deadline — return it tagged Degraded. No incumbent
+		// means the deadline beat every leaf: a typed deadline refusal.
+		if best == nil {
+			return nil, deadlineErr(p.ctxErr())
+		}
+		res, err := exsResult(p, "EXS-parallel", best, bestSum, totalEvals, start)
+		if err != nil {
+			return nil, err
+		}
+		res.Degraded = DegradedEXS
+		return res, nil
 	}
 
 	if best == nil {

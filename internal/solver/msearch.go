@@ -59,6 +59,16 @@ type mCandidate struct {
 	err   error
 }
 
+// mSearch is the outcome of one searchM scan.
+type mSearch struct {
+	m         int     // chosen oscillation count (0 if no candidate succeeded)
+	peak      float64 // Theorem-1 peak of the chosen m
+	cache     *sim.PeriodCache
+	evals     int64 // successful candidate evaluations
+	evaluated int   // candidates that completed (== scan width on a full run)
+	truncated bool  // the context deadline cut the scan short
+}
+
 // searchM scans m ∈ [startM, maxM] for the peak-minimizing oscillation
 // count (Algorithm 2 phase 2; with transition overhead the peak is not
 // monotone in m, so every candidate is evaluated). Candidates are
@@ -68,15 +78,18 @@ type mCandidate struct {
 // smallest m attaining the strictly lowest peak, exactly the sequential
 // scan's tie-break.
 //
-// Returns the chosen m (0 if none succeeded), its peak and period cache,
-// and the number of successful evaluations. A candidate error aborts the
-// search with the error of the smallest failing m, matching the
-// sequential loop's first-error abort.
-func searchM(p Problem, eng *sim.Engine, specs []coreSpec, startM, maxM int) (int, float64, *sim.PeriodCache, int64, error) {
+// Anytime semantics: a candidate aborted by the context deadline does not
+// fail the scan. If at least one candidate completed, the best of those
+// is returned with truncated=true — a valid (if possibly suboptimal)
+// oscillation count the caller tags Degraded. Only when the deadline
+// killed EVERY candidate does searchM return an ErrDeadline. A genuine
+// evaluation error still aborts with the error of the smallest failing m,
+// matching the sequential loop's first-error abort.
+func searchM(p Problem, eng *sim.Engine, specs []coreSpec, startM, maxM int) (mSearch, error) {
 	tp := p.BasePeriod
 	n := maxM - startM + 1
 	if n <= 0 {
-		return 0, math.Inf(1), nil, 0, nil
+		return mSearch{peak: math.Inf(1)}, nil
 	}
 	cands := make([]mCandidate, n)
 	parFor(p.workers(), n, func(k int) {
@@ -108,26 +121,34 @@ func searchM(p Problem, eng *sim.Engine, specs []coreSpec, startM, maxM int) (in
 	// count all successful evaluations even when an earlier m failed
 	// (the pool really did run them), and the reported error is the
 	// smallest failing m's, matching the sequential loop's first abort.
-	bestM, bestPeak := 0, math.Inf(1)
-	var bestCache *sim.PeriodCache
-	var evals int64
+	// Context aborts are tallied separately — they truncate, not fail.
+	out := mSearch{peak: math.Inf(1)}
 	var firstErr error
 	for k, c := range cands {
 		if c.err != nil {
+			if isCtxErr(c.err) {
+				out.truncated = true
+				continue
+			}
 			if firstErr == nil {
 				firstErr = c.err
 			}
 			continue
 		}
-		evals++
-		if c.peak < bestPeak {
-			bestPeak, bestM, bestCache = c.peak, startM+k, c.cache
+		out.evals++
+		out.evaluated++
+		if c.peak < out.peak {
+			out.peak, out.m, out.cache = c.peak, startM+k, c.cache
 		}
 	}
 	if firstErr != nil {
-		return 0, math.Inf(1), nil, evals, firstErr
+		return mSearch{peak: math.Inf(1), evals: out.evals}, firstErr
 	}
-	return bestM, bestPeak, bestCache, evals, nil
+	if out.truncated && out.m == 0 {
+		return mSearch{peak: math.Inf(1), evals: out.evals, truncated: true},
+			deadlineErr(p.ctxErr())
+	}
+	return out, nil
 }
 
 // withRH returns a copy of specs with core j's high-mode ratio replaced.

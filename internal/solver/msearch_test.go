@@ -2,6 +2,7 @@ package solver
 
 import (
 	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -39,40 +40,50 @@ func TestSearchMCountsEveryCandidate(t *testing.T) {
 	var ref int64 = -1
 	for _, workers := range []int{1, 4} {
 		p.Workers = workers
-		bestM, peak, cache, evals, err := searchM(p, eng, specs, 1, maxM)
+		ms, err := searchM(p, eng, specs, 1, maxM)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if bestM < 1 || math.IsInf(peak, 1) || cache == nil {
-			t.Fatalf("workers=%d: degenerate result m=%d peak=%v", workers, bestM, peak)
+		if ms.m < 1 || math.IsInf(ms.peak, 1) || ms.cache == nil {
+			t.Fatalf("workers=%d: degenerate result m=%d peak=%v", workers, ms.m, ms.peak)
 		}
-		if evals != maxM {
-			t.Fatalf("workers=%d: evals = %d, want %d (one per candidate)", workers, evals, maxM)
+		if ms.evals != maxM {
+			t.Fatalf("workers=%d: evals = %d, want %d (one per candidate)", workers, ms.evals, maxM)
+		}
+		if ms.truncated || ms.evaluated != maxM {
+			t.Fatalf("workers=%d: complete scan reported truncated=%v evaluated=%d", workers, ms.truncated, ms.evaluated)
 		}
 		if ref < 0 {
-			ref = evals
-		} else if evals != ref {
-			t.Fatalf("evals depends on worker width: %d vs %d", evals, ref)
+			ref = ms.evals
+		} else if ms.evals != ref {
+			t.Fatalf("evals depends on worker width: %d vs %d", ms.evals, ref)
 		}
 	}
 }
 
-// A candidate error must abort with that error without losing the count
-// of candidates that did evaluate.
+// A fully-canceled scan (the deadline beat every candidate) must refuse
+// with a typed ErrDeadline without losing the count of candidates that
+// did evaluate.
 func TestSearchMErrorKeepsCount(t *testing.T) {
 	p, eng, specs := msearchProblem(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	p.Ctx = ctx
-	bestM, _, cache, evals, err := searchM(p, eng, specs, 1, 5)
+	ms, err := searchM(p, eng, specs, 1, 5)
 	if err == nil {
 		t.Fatal("canceled search returned no error")
 	}
-	if bestM != 0 || cache != nil {
-		t.Fatalf("canceled search still picked m=%d", bestM)
+	if !errors.Is(err, ErrDeadline) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled search error %v does not wrap ErrDeadline + context.Canceled", err)
 	}
-	if evals != 0 {
-		t.Fatalf("canceled search claims %d evaluations", evals)
+	if ms.m != 0 || ms.cache != nil {
+		t.Fatalf("canceled search still picked m=%d", ms.m)
+	}
+	if ms.evals != 0 {
+		t.Fatalf("canceled search claims %d evaluations", ms.evals)
+	}
+	if !ms.truncated {
+		t.Fatal("canceled search not reported as truncated")
 	}
 }
 
@@ -81,14 +92,15 @@ func TestSearchMErrorKeepsCount(t *testing.T) {
 // same cache (never a rebuilt or invalidated one) for the winning period.
 func TestSearchMBestCacheStaysPooled(t *testing.T) {
 	p, eng, specs := msearchProblem(t)
-	bestM, _, bestCache, _, err := searchM(p, eng, specs, 1, 6)
+	ms, err := searchM(p, eng, specs, 1, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
+	bestCache := ms.cache
 	if bestCache == nil {
 		t.Fatal("no winning cache")
 	}
-	tc := p.BasePeriod / float64(bestM)
+	tc := p.BasePeriod / float64(ms.m)
 
 	// Churn the pool with every other candidate period, then with a burst
 	// of unrelated periods.

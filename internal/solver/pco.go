@@ -75,7 +75,10 @@ func PCO(p Problem) (*Result, error) {
 	// chosen deterministically (lowest peak, ties to the smallest offset).
 	for i := 1; i < n; i++ {
 		if err := p.ctxErr(); err != nil {
-			return nil, err
+			// Anytime: keep the offsets chosen so far (0 for the rest — the
+			// AO alignment, always valid) and re-verify densely below.
+			st.degrade(DegradedPhase)
+			break
 		}
 		if !st.specs[i].oscillating() {
 			continue
@@ -120,7 +123,8 @@ func PCO(p Problem) (*Result, error) {
 	const refillCap = 2000
 	for iter := 0; iter < refillCap && peak <= tmax+feasTol; iter++ {
 		if err := p.ctxErr(); err != nil {
-			return nil, err
+			st.degrade(DegradedRefill)
+			break
 		}
 		for j := range trials {
 			trials[j] = refillTrial{}
@@ -176,6 +180,8 @@ func PCO(p Problem) (*Result, error) {
 		Feasible:   peak <= tmax+feasTol,
 		Elapsed:    since(start),
 		Evals:      st.evals,
+		Degraded:   st.degraded,
+		MEvaluated: st.mEvaluated,
 	}, nil
 }
 

@@ -179,6 +179,17 @@ type Result struct {
 	// Evals counts steady-state/peak evaluations, a machine-independent
 	// cost measure alongside Elapsed.
 	Evals int64
+	// Degraded is non-empty when the context deadline truncated the
+	// search and this is the best-so-far plan, not the full answer. The
+	// Schedule/PeakRise/Feasible fields are still exact for the plan
+	// actually returned — only optimality is lost. Degraded results are
+	// timing-dependent: two runs under different deadlines may differ, so
+	// they must never enter determinism-keyed plan caches.
+	Degraded DegradedReason
+	// MEvaluated counts the oscillation-count candidates the m-search
+	// managed to evaluate before the deadline (equal to the full scan
+	// width on a complete run; 0 for solvers without an m-search).
+	MEvaluated int
 }
 
 // PeakC returns the verified peak in absolute °C for the given model.

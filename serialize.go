@@ -20,6 +20,11 @@ type planJSON struct {
 	PeriodS    float64   `json:"period_s"`
 	Cores      [][]Slice `json:"cores,omitempty"`
 	ElapsedS   float64   `json:"solver_elapsed_s"`
+	// Anytime-planning fields; omitted for complete plans so the byte
+	// representation of every pre-existing (non-degraded) plan — golden
+	// files, cache entries — is unchanged.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
 }
 
 const planFormatVersion = 1
@@ -33,9 +38,11 @@ func (plan *Plan) MarshalJSON() ([]byte, error) {
 		PeakC:      plan.PeakC,
 		Feasible:   plan.Feasible,
 		M:          plan.M,
-		PeriodS:    plan.PeriodS,
-		Cores:      plan.Cores,
-		ElapsedS:   plan.Elapsed.Seconds(),
+		PeriodS:        plan.PeriodS,
+		Cores:          plan.Cores,
+		ElapsedS:       plan.Elapsed.Seconds(),
+		Degraded:       plan.Degraded,
+		DegradedReason: plan.DegradedReason,
 	})
 }
 
@@ -49,13 +56,15 @@ func (plan *Plan) UnmarshalJSON(data []byte) error {
 		return fmt.Errorf("thermosc: unsupported plan format version %d", pj.Version)
 	}
 	out := Plan{
-		Method:     pj.Method,
-		Throughput: pj.Throughput,
-		PeakC:      pj.PeakC,
-		Feasible:   pj.Feasible,
-		M:          pj.M,
-		PeriodS:    pj.PeriodS,
-		Cores:      pj.Cores,
+		Method:         pj.Method,
+		Throughput:     pj.Throughput,
+		PeakC:          pj.PeakC,
+		Feasible:       pj.Feasible,
+		M:              pj.M,
+		PeriodS:        pj.PeriodS,
+		Cores:          pj.Cores,
+		Degraded:       pj.Degraded,
+		DegradedReason: pj.DegradedReason,
 	}
 	out.Elapsed = secondsToDuration(pj.ElapsedS)
 	if err := out.validate(); err != nil {

@@ -35,6 +35,9 @@ func FuzzServeRequest(f *testing.F) {
 		`{"platform":{"rows":2,"cols":1,"convection_r":4.9e-324},"tmax_c":65,"method":"AO"}`,
 		`{"platform":{"rows":2,"cols":1,"ambient_c":35},"tmax_c":35.0001,"method":"AO"}`,
 		`{"platform":{"rows":2,"cols":1},"tmax_c":65,"method":"AO","timeout_s":1e300}`,
+		// Degraded-path seed: a timeout far below any solve time drives the
+		// anytime fallback chain end to end when served.
+		`{"platform":{"rows":3,"cols":3},"tmax_c":65,"method":"PCO","timeout_s":0.001}`,
 		`{"platform":{"rows":2,"cols":1},"tmax_c":65,"method":"AO","timeout_s":1e999}`,
 		`{"platform":{"rows":2,"cols":1,"period_s":1e999},"tmax_c":65,"method":"AO"}`,
 		`{"unknown_field":1}`,

@@ -3,7 +3,9 @@ package thermosc
 import (
 	"container/list"
 	"context"
+	"errors"
 	"sync"
+	"time"
 )
 
 // lruCache is a mutex-guarded LRU map from canonical keys to immutable
@@ -90,10 +92,29 @@ func (c *lruCache[V]) GetOrCreate(key string, build func() (V, error)) (V, error
 	return v, nil
 }
 
+// cachedPlan is the plan cache's (and flight group's) value: the
+// serialized plan plus the serving metadata the handler needs without
+// re-decoding the bytes. Complete plans are immortal cache entries
+// (bit-reproducible, so never wrong); degraded plans are cached too —
+// serving a verified best-so-far beats re-timing-out — but are always
+// treated as stale, served with stale:true while a background refresh
+// tries to replace them with the complete solve.
+type cachedPlan struct {
+	bytes    []byte
+	degraded bool
+	reason   string
+	born     time.Time
+}
+
+// errFlightPanic is what joiners of a flight receive when the leader's
+// fn panicked: the leader re-raises the panic into its own request's
+// recovery middleware, and the joiners get a plain 500 error.
+var errFlightPanic = errors.New("thermosc: solve failed: the flight leader panicked")
+
 // flight is one in-progress computation other requests can join.
 type flight struct {
 	done chan struct{}
-	val  []byte
+	val  cachedPlan
 	err  error
 }
 
@@ -115,7 +136,12 @@ func newFlightGroup() *flightGroup {
 
 // Do returns fn's result for key, running fn at most once per key at a
 // time. shared reports whether this caller joined an existing flight.
-func (g *flightGroup) Do(ctx context.Context, key string, fn func() ([]byte, error)) (val []byte, shared bool, err error) {
+//
+// Do is panic-safe: if fn panics, the flight is still unregistered and
+// its done channel closed (joiners get errFlightPanic instead of
+// hanging forever), and the panic propagates to the leader's caller —
+// the per-request recovery middleware in Server.ServeHTTP.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (cachedPlan, error)) (val cachedPlan, shared bool, err error) {
 	g.mu.Lock()
 	if f, ok := g.m[key]; ok {
 		g.mu.Unlock()
@@ -123,17 +149,24 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func() ([]byte, err
 		case <-f.done:
 			return f.val, true, f.err
 		case <-ctx.Done():
-			return nil, true, ctx.Err()
+			return cachedPlan{}, true, ctx.Err()
 		}
 	}
 	f := &flight{done: make(chan struct{})}
 	g.m[key] = f
 	g.mu.Unlock()
 
+	finished := false
+	defer func() {
+		if !finished { // fn panicked mid-flight
+			f.val, f.err = cachedPlan{}, errFlightPanic
+		}
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(f.done)
+	}()
 	f.val, f.err = fn()
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
-	close(f.done)
+	finished = true
 	return f.val, false, f.err
 }

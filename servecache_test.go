@@ -96,30 +96,30 @@ func TestFlightGroupSharesLeaderResult(t *testing.T) {
 	var mu sync.Mutex
 
 	type result struct {
-		val    []byte
+		val    cachedPlan
 		shared bool
 		err    error
 	}
 	results := make(chan result, 9)
 	go func() {
-		v, shared, err := g.Do(context.Background(), "k", func() ([]byte, error) {
+		v, shared, err := g.Do(context.Background(), "k", func() (cachedPlan, error) {
 			close(started)
 			<-release
 			mu.Lock()
 			calls++
 			mu.Unlock()
-			return []byte("plan"), nil
+			return cachedPlan{bytes: []byte("plan")}, nil
 		})
 		results <- result{v, shared, err}
 	}()
 	<-started
 	for i := 0; i < 8; i++ {
 		go func() {
-			v, shared, err := g.Do(context.Background(), "k", func() ([]byte, error) {
+			v, shared, err := g.Do(context.Background(), "k", func() (cachedPlan, error) {
 				mu.Lock()
 				calls++
 				mu.Unlock()
-				return []byte("should not run"), nil
+				return cachedPlan{bytes: []byte("should not run")}, nil
 			})
 			results <- result{v, shared, err}
 		}()
@@ -137,8 +137,8 @@ func TestFlightGroupSharesLeaderResult(t *testing.T) {
 		if r.err != nil {
 			t.Fatal(r.err)
 		}
-		if string(r.val) != "plan" {
-			t.Fatalf("val = %q", r.val)
+		if string(r.val.bytes) != "plan" {
+			t.Fatalf("val = %q", r.val.bytes)
 		}
 		if r.shared {
 			sharedCount++
@@ -160,10 +160,10 @@ func TestFlightGroupJoinerTimeoutDoesNotCancelFlight(t *testing.T) {
 	started := make(chan struct{})
 	leaderDone := make(chan error, 1)
 	go func() {
-		_, _, err := g.Do(context.Background(), "k", func() ([]byte, error) {
+		_, _, err := g.Do(context.Background(), "k", func() (cachedPlan, error) {
 			close(started)
 			<-release
-			return []byte("plan"), nil
+			return cachedPlan{bytes: []byte("plan")}, nil
 		})
 		leaderDone <- err
 	}()
@@ -171,7 +171,7 @@ func TestFlightGroupJoinerTimeoutDoesNotCancelFlight(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
-	_, shared, err := g.Do(ctx, "k", func() ([]byte, error) { return nil, nil })
+	_, shared, err := g.Do(ctx, "k", func() (cachedPlan, error) { return cachedPlan{}, nil })
 	if !shared || !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("impatient joiner: shared=%v err=%v", shared, err)
 	}
@@ -181,16 +181,65 @@ func TestFlightGroupJoinerTimeoutDoesNotCancelFlight(t *testing.T) {
 		t.Fatalf("leader was disturbed by the joiner's timeout: %v", err)
 	}
 	// The key is free again: a new call runs fresh.
-	v, shared, err := g.Do(context.Background(), "k", func() ([]byte, error) { return []byte("fresh"), nil })
-	if err != nil || shared || string(v) != "fresh" {
-		t.Fatalf("post-flight call: %q shared=%v err=%v", v, shared, err)
+	v, shared, err := g.Do(context.Background(), "k", func() (cachedPlan, error) { return cachedPlan{bytes: []byte("fresh")}, nil })
+	if err != nil || shared || string(v.bytes) != "fresh" {
+		t.Fatalf("post-flight call: %q shared=%v err=%v", v.bytes, shared, err)
+	}
+}
+
+// A panicking leader must not strand its joiners or leak the flight:
+// joiners receive errFlightPanic, the panic re-raises into the leader's
+// caller, and the key is immediately reusable.
+func TestFlightGroupLeaderPanicCleansUp(t *testing.T) {
+	g := newFlightGroup()
+	started := make(chan struct{})
+	joinerErr := make(chan error, 1)
+	go func() {
+		<-started
+		_, shared, err := g.Do(context.Background(), "k", func() (cachedPlan, error) {
+			t.Error("joiner ran its own fn during the leader's flight")
+			return cachedPlan{}, nil
+		})
+		if !shared {
+			t.Error("joiner did not report shared")
+		}
+		joinerErr <- err
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("leader's panic was swallowed")
+			}
+		}()
+		g.Do(context.Background(), "k", func() (cachedPlan, error) {
+			close(started)
+			// Give the joiner a moment to attach; a late joiner would just
+			// run its own (trapped) fn and fail the test explicitly.
+			time.Sleep(50 * time.Millisecond)
+			panic("leader died")
+		})
+	}()
+	select {
+	case err := <-joinerErr:
+		if !errors.Is(err, errFlightPanic) {
+			t.Fatalf("joiner error %v, want errFlightPanic", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("joiner still waiting on a dead flight")
+	}
+	// The key is free again.
+	v, shared, err := g.Do(context.Background(), "k", func() (cachedPlan, error) {
+		return cachedPlan{bytes: []byte("alive")}, nil
+	})
+	if err != nil || shared || string(v.bytes) != "alive" {
+		t.Fatalf("post-panic flight: %q shared=%v err=%v", v.bytes, shared, err)
 	}
 }
 
 func TestFlightGroupPropagatesError(t *testing.T) {
 	g := newFlightGroup()
 	boom := errors.New("boom")
-	if _, shared, err := g.Do(context.Background(), "k", func() ([]byte, error) { return nil, boom }); shared || !errors.Is(err, boom) {
+	if _, shared, err := g.Do(context.Background(), "k", func() (cachedPlan, error) { return cachedPlan{}, boom }); shared || !errors.Is(err, boom) {
 		t.Fatalf("shared=%v err=%v", shared, err)
 	}
 }

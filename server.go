@@ -6,7 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,9 +34,11 @@ type Server struct {
 	cfg       ServerConfig
 	mux       *http.ServeMux
 	stats     *serverStats
-	plans     *lruCache[[]byte]
+	plans     *lruCache[cachedPlan]
 	platforms *lruCache[*Platform]
 	flights   *flightGroup
+	admit     *admission
+	brk       *breaker
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -43,9 +48,16 @@ type Server struct {
 	// Sampled post-solve auditing (ServerConfig.AuditEvery): solves
 	// counts cold solves for the every-Nth sampling; auditWG tracks the
 	// in-flight async audit goroutines so Shutdown (and tests) can wait
-	// for them.
-	solves  atomic.Uint64
-	auditWG sync.WaitGroup
+	// for them. refreshWG does the same for stale-while-revalidate
+	// cache refreshes.
+	solves    atomic.Uint64
+	auditWG   sync.WaitGroup
+	refreshWG sync.WaitGroup
+
+	// solveHook, when set, runs inside the flight leader just before the
+	// solve. Tests use it to inject latency and panics (chaos testing);
+	// nil in production.
+	solveHook func(Method)
 }
 
 // ServerConfig tunes a Server; zero values select the defaults.
@@ -74,8 +86,36 @@ type ServerConfig struct {
 	// request is answered immediately and a background goroutine
 	// re-derives the plan's peak and invariants from first principles,
 	// feeding the verify_pass/verify_fail counters in /v1/stats and
-	// /metrics. 0 (the default) disables auditing.
+	// /metrics. 0 (the default) disables auditing. The audit verdicts
+	// also feed the circuit breaker (Breaker* below).
 	AuditEvery int
+
+	// SolveConcurrency caps solves running at once (default GOMAXPROCS);
+	// SolveQueue caps solves waiting for a slot (default 256). A request
+	// is shed with 429 + Retry-After when the queue is full or the
+	// estimated wait for a slot exceeds its own deadline.
+	SolveConcurrency int
+	SolveQueue       int
+
+	// PlanTTL ages complete cached plans: a hit older than PlanTTL is
+	// served immediately with stale:true while a background refresh
+	// re-solves it (stale-while-revalidate). 0 (the default) means
+	// complete plans never go stale — they are bit-reproducible, so age
+	// cannot make them wrong. Degraded plans are ALWAYS stale.
+	PlanTTL time.Duration
+
+	// Circuit breaker over the async audit verdicts: when at least
+	// BreakerMinSamples of the last BreakerWindow verdicts exist and the
+	// failure rate reaches BreakerThreshold, the server answers every
+	// solve with the oracle-checked constant safe floor until
+	// BreakerCooloff elapses; then one full solve probes and its audit
+	// verdict closes or re-opens the breaker. Defaults: window 20,
+	// threshold 0.5, min samples 8, cooloff 30s. Inert unless
+	// AuditEvery > 0 (no verdicts, no trips).
+	BreakerWindow     int
+	BreakerThreshold  float64
+	BreakerMinSamples int
+	BreakerCooloff    time.Duration
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -97,6 +137,24 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	if c.MaxTraceSamples == 0 {
 		c.MaxTraceSamples = 1 << 17
 	}
+	if c.SolveConcurrency == 0 {
+		c.SolveConcurrency = runtime.GOMAXPROCS(0)
+	}
+	if c.SolveQueue == 0 {
+		c.SolveQueue = 256
+	}
+	if c.BreakerWindow == 0 {
+		c.BreakerWindow = 20
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 0.5
+	}
+	if c.BreakerMinSamples == 0 {
+		c.BreakerMinSamples = 8
+	}
+	if c.BreakerCooloff == 0 {
+		c.BreakerCooloff = 30 * time.Second
+	}
 	return c
 }
 
@@ -112,8 +170,10 @@ func NewServer(cfg ServerConfig) *Server {
 		stats:   newServerStats(),
 		flights: newFlightGroup(),
 	}
-	s.plans = newLRUCache[[]byte](s.cfg.PlanCacheSize)
+	s.plans = newLRUCache[cachedPlan](s.cfg.PlanCacheSize)
 	s.platforms = newLRUCache[*Platform](s.cfg.PlatformCacheSize)
+	s.admit = newAdmission(s.cfg.SolveConcurrency, s.cfg.SolveQueue)
+	s.brk = newBreaker(s.cfg.BreakerWindow, s.cfg.BreakerThreshold, s.cfg.BreakerMinSamples, s.cfg.BreakerCooloff)
 	s.cond = sync.NewCond(&s.mu)
 	s.mux.HandleFunc("POST /v1/maximize", s.handleMaximize)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
@@ -123,14 +183,31 @@ func NewServer(cfg ServerConfig) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. It is the per-request panic
+// boundary: a panicking handler (a solver bug, or injected chaos)
+// answers 500 and increments panics_recovered instead of killing the
+// daemon. The handler's own deferred accounting (leave, in-flight
+// gauge, latency observation) runs during the unwind, so the drain and
+// stats stay consistent across panics.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.stats.panicRecovered()
+			writeJSON(w, http.StatusInternalServerError, errorResponse{
+				Error: fmt.Sprintf("internal panic: %v", rec),
+				Code:  "panic",
+			})
+		}
+	}()
 	s.mux.ServeHTTP(w, r)
 }
 
 // Stats returns a snapshot of the service counters.
 func (s *Server) Stats() ServerStats {
-	return s.stats.snapshot(s.plans.Len(), s.cfg.PlanCacheSize)
+	st := s.stats.snapshot(s.plans.Len(), s.cfg.PlanCacheSize)
+	st.Resilience.QueueDepth = s.admit.depth()
+	st.Resilience.BreakerState, st.Resilience.BreakerTrips = s.brk.status()
+	return st
 }
 
 // Shutdown stops admitting new solve requests (they get 503) and blocks
@@ -149,7 +226,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			s.cond.Wait()
 		}
 		s.mu.Unlock()
-		s.auditWG.Wait() // async post-solve audits drain with the requests
+		s.auditWG.Wait()   // async post-solve audits drain with the requests
+		s.refreshWG.Wait() // so do stale-plan refreshes
 		close(done)
 	}()
 	select {
@@ -201,19 +279,42 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Code is the machine-readable error class: bad_request, infeasible,
+	// shed, deadline, degraded, panic, internal.
+	Code string `json:"code,omitempty"`
+	// RetryAfterS mirrors the Retry-After header on shed (429) replies.
+	RetryAfterS int `json:"retry_after_s,omitempty"`
 }
 
-// writeError maps an error to its HTTP status: requestErrors keep their
-// 4xx, timeouts and cancellations become 504, everything else 500.
+// writeError maps an error to its HTTP status and machine-readable
+// code: requestErrors keep their 4xx (code bad_request); admission
+// sheds become 429 with Retry-After; typed ErrInfeasible refusals 422
+// (the platform cannot meet the threshold — retrying is futile);
+// deadline/cancellation aborts 504; a flight whose leader panicked 500
+// with code panic; everything else 500 internal.
 func writeError(w http.ResponseWriter, err error) {
 	var reqErr *requestError
+	var shed *shedError
 	switch {
 	case errors.As(err, &reqErr):
-		writeJSON(w, reqErr.status, errorResponse{Error: reqErr.msg})
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: fmt.Sprintf("solve aborted: %v", err)})
+		writeJSON(w, reqErr.status, errorResponse{Error: reqErr.msg, Code: "bad_request"})
+	case errors.As(err, &shed):
+		secs := int(math.Ceil(shed.retryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error(), Code: "shed", RetryAfterS: secs})
+	case errors.Is(err, ErrInfeasible):
+		writeJSON(w, http.StatusUnprocessableEntity, errorResponse{Error: err.Error(), Code: "infeasible"})
+	case errors.Is(err, ErrDegraded):
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: err.Error(), Code: "degraded"})
+	case errors.Is(err, ErrDeadline), errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: fmt.Sprintf("solve aborted: %v", err), Code: "deadline"})
+	case errors.Is(err, errFlightPanic):
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error(), Code: "panic"})
 	default:
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error(), Code: "internal"})
 	}
 }
 
@@ -265,14 +366,25 @@ func (s *Server) handleMaximize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	if cached, ok := s.plans.Get(planKey); ok {
+	if ent, ok := s.plans.Get(planKey); ok {
+		stale := s.isStale(ent)
+		if stale {
+			s.stats.staleServed()
+			s.refreshAsync(planKey, platKey, req)
+		}
+		if ent.degraded {
+			s.stats.degradedServed()
+		}
 		s.stats.cacheHit()
 		failed = false
 		writeJSON(w, http.StatusOK, MaximizeResponse{
-			Plan:     cached,
-			Cached:   true,
-			Key:      keyDigest(planKey),
-			ElapsedS: time.Since(start).Seconds(),
+			Plan:           ent.bytes,
+			Cached:         true,
+			Stale:          stale,
+			Degraded:       ent.degraded,
+			DegradedReason: ent.reason,
+			Key:            keyDigest(planKey),
+			ElapsedS:       time.Since(start).Seconds(),
 		})
 		return
 	}
@@ -280,29 +392,8 @@ func (s *Server) handleMaximize(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutS))
 	defer cancel()
-	planBytes, shared, err := s.flights.Do(ctx, planKey, func() ([]byte, error) {
-		plat, err := s.platformFor(platKey, req.Platform)
-		if err != nil {
-			return nil, badRequestf("building platform: %v", err)
-		}
-		plan, err := plat.MaximizeContext(ctx, req.Method, req.TmaxC, s.cfg.Workers)
-		if err != nil {
-			return nil, err
-		}
-		// Canonicalize the served plan: zero the wall-clock timing so the
-		// bytes are a pure function of the request (cache hits and golden
-		// replays compare byte-identical).
-		plan.Elapsed = 0
-		b, err := json.Marshal(plan)
-		if err != nil {
-			return nil, err
-		}
-		s.plans.Put(planKey, b)
-		if s.cfg.AuditEvery > 0 && s.solves.Add(1)%uint64(s.cfg.AuditEvery) == 0 {
-			s.auditWG.Add(1)
-			go s.runAudit(plat, plan, req.TmaxC)
-		}
-		return b, nil
+	ent, shared, err := s.flights.Do(ctx, planKey, func() (cachedPlan, error) {
+		return s.solvePlan(ctx, planKey, platKey, req, false)
 	})
 	if shared {
 		s.stats.sfShared()
@@ -311,13 +402,116 @@ func (s *Server) handleMaximize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	if ent.degraded {
+		s.stats.degradedServed()
+	}
 	failed = false
 	writeJSON(w, http.StatusOK, MaximizeResponse{
-		Plan:     planBytes,
-		Shared:   shared,
-		Key:      keyDigest(planKey),
-		ElapsedS: time.Since(start).Seconds(),
+		Plan:           ent.bytes,
+		Shared:         shared,
+		Degraded:       ent.degraded,
+		DegradedReason: ent.reason,
+		Key:            keyDigest(planKey),
+		ElapsedS:       time.Since(start).Seconds(),
 	})
+}
+
+// solvePlan is the flight-leader body: admission control, breaker
+// routing, the resilient solve, canonicalization, caching, and sampled
+// audit dispatch. requireComplete is set by background refreshes — a
+// degraded result is then discarded with ErrDegraded instead of
+// re-caching another stale entry.
+func (s *Server) solvePlan(ctx context.Context, planKey, platKey string, req MaximizeRequest, requireComplete bool) (cachedPlan, error) {
+	plat, err := s.platformFor(platKey, req.Platform)
+	if err != nil {
+		return cachedPlan{}, badRequestf("building platform: %v", err)
+	}
+	if err := s.admit.acquire(ctx); err != nil {
+		s.stats.shed()
+		return cachedPlan{}, err
+	}
+	solveStart := time.Now()
+	defer func() { s.admit.release(time.Since(solveStart)) }()
+	if s.solveHook != nil {
+		s.solveHook(req.Method)
+	}
+	var plan *Plan
+	if s.brk.allowFull() {
+		plan, err = plat.MaximizeResilient(ctx, req.Method, req.TmaxC, s.cfg.Workers)
+	} else {
+		// Breaker open: the audit failure rate says full solves cannot be
+		// trusted right now, so only the oracle-checked constant floor is
+		// served until the cooloff elapses.
+		plan, err = plat.SafeFloorPlan(req.TmaxC)
+		if err == nil {
+			plan.DegradedReason = "breaker-open"
+		}
+	}
+	if err != nil {
+		return cachedPlan{}, err
+	}
+	if requireComplete && plan.Degraded {
+		return cachedPlan{}, fmt.Errorf("%w: refresh produced a %s plan", ErrDegraded, plan.DegradedReason)
+	}
+	// Canonicalize the served plan: zero the wall-clock timing so the
+	// bytes are a pure function of the request (cache hits and golden
+	// replays compare byte-identical).
+	plan.Elapsed = 0
+	b, err := json.Marshal(plan)
+	if err != nil {
+		return cachedPlan{}, err
+	}
+	ent := cachedPlan{bytes: b, degraded: plan.Degraded, reason: plan.DegradedReason, born: time.Now()}
+	s.plans.Put(planKey, ent)
+	// Only complete plans enter the audit sampling: degraded plans were
+	// already oracle-checked synchronously by the fallback chain.
+	if !plan.Degraded && s.cfg.AuditEvery > 0 && s.solves.Add(1)%uint64(s.cfg.AuditEvery) == 0 {
+		s.auditWG.Add(1)
+		go s.runAudit(plat, plan, req.TmaxC)
+	}
+	return ent, nil
+}
+
+// isStale reports whether a cache hit should be served
+// stale-while-revalidate. Degraded plans are always stale (a complete
+// solve may well succeed now that the original deadline pressure is
+// gone); complete plans only age out when PlanTTL is set.
+func (s *Server) isStale(ent cachedPlan) bool {
+	if ent.degraded {
+		return true
+	}
+	return s.cfg.PlanTTL > 0 && time.Since(ent.born) > s.cfg.PlanTTL
+}
+
+// refreshAsync starts a background re-solve of a stale cache entry
+// under the server's own deadline (not the triggering request's, which
+// is about to return the stale bytes). The refresh joins the normal
+// singleflight, so concurrent stale hits share one re-solve, and it
+// demands a complete plan — a refresh that would only produce another
+// degraded entry is dropped.
+func (s *Server) refreshAsync(planKey, platKey string, req MaximizeRequest) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.refreshWG.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.refreshWG.Done()
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.stats.panicRecovered()
+				s.stats.refreshDone(false)
+			}
+		}()
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DefaultTimeout)
+		defer cancel()
+		ent, _, err := s.flights.Do(ctx, planKey, func() (cachedPlan, error) {
+			return s.solvePlan(ctx, planKey, platKey, req, true)
+		})
+		s.stats.refreshDone(err == nil && !ent.degraded)
+	}()
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -372,9 +566,19 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 // cannot delay or fail the request that produced the plan; it surfaces
 // through the verify_fail counter (and last_failure detail) in /v1/stats
 // and /metrics, where monitoring alerts on it.
+// Audit verdicts also feed the circuit breaker: a failure streak trips
+// the service to fallback-only planning (see ServerConfig.Breaker*).
 func (s *Server) runAudit(plat *Platform, plan *Plan, tmaxC float64) {
 	defer s.auditWG.Done()
+	defer func() {
+		if rec := recover(); rec != nil { // the oracle must never kill the daemon
+			s.stats.panicRecovered()
+			s.stats.auditResult(false, fmt.Sprintf("audit panicked: %v", rec))
+			s.brk.record(false)
+		}
+	}()
 	rep, err := plat.Audit(plan, tmaxC)
+	ok := false
 	switch {
 	case err != nil:
 		s.stats.auditResult(false, fmt.Sprintf("audit error: %v", err))
@@ -382,12 +586,17 @@ func (s *Server) runAudit(plat *Platform, plan *Plan, tmaxC float64) {
 		s.stats.auditResult(false, rep.String())
 	default:
 		s.stats.auditResult(true, "")
+		ok = true
 	}
+	s.brk.record(ok)
 }
 
 // waitAudits blocks until every in-flight async audit has finished
-// (tests use it to observe the counters deterministically).
+// (tests use it to observe the counters deterministically);
+// waitRefreshes does the same for stale-plan refreshes.
 func (s *Server) waitAudits() { s.auditWG.Wait() }
+
+func (s *Server) waitRefreshes() { s.refreshWG.Wait() }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()

@@ -69,6 +69,18 @@ type MaximizeResponse struct {
 	Key string `json:"key"`
 	// ElapsedS is this request's wall-clock handling time.
 	ElapsedS float64 `json:"elapsed_s"`
+	// Degraded reports an anytime plan: the solve was truncated by its
+	// deadline (or routed to the safe floor) and this is the best valid
+	// plan available — thermally verified, but possibly below the
+	// throughput a complete solve would reach. DegradedReason says which
+	// stage was cut short. Both omitted for complete plans, so complete
+	// responses are byte-stable against earlier releases.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+	// Stale reports a stale-while-revalidate hit: the cached plan is
+	// degraded (or past PlanTTL) and a background refresh is replacing
+	// it; this response still carries the old, verified bytes.
+	Stale bool `json:"stale,omitempty"`
 }
 
 // SimulateRequest is the body of POST /v1/simulate: replay a plan on a

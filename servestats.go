@@ -24,6 +24,15 @@ type serverStats struct {
 	auditPass        uint64
 	auditFail        uint64
 	lastAuditFailure string
+
+	// Resilience counters: degraded/stale plans served, admission sheds,
+	// panics recovered by the middleware, background cache refreshes.
+	degraded     uint64
+	stale        uint64
+	sheds        uint64
+	panics       uint64
+	refreshes    uint64
+	refreshFails uint64
 }
 
 type endpointStats struct {
@@ -90,13 +99,44 @@ func (s *serverStats) cacheHit()  { s.mu.Lock(); s.hits++; s.mu.Unlock() }
 func (s *serverStats) cacheMiss() { s.mu.Lock(); s.misses++; s.mu.Unlock() }
 func (s *serverStats) sfShared()  { s.mu.Lock(); s.shared++; s.mu.Unlock() }
 
+func (s *serverStats) degradedServed() { s.mu.Lock(); s.degraded++; s.mu.Unlock() }
+func (s *serverStats) staleServed()    { s.mu.Lock(); s.stale++; s.mu.Unlock() }
+func (s *serverStats) shed()           { s.mu.Lock(); s.sheds++; s.mu.Unlock() }
+func (s *serverStats) panicRecovered() { s.mu.Lock(); s.panics++; s.mu.Unlock() }
+
+func (s *serverStats) refreshDone(ok bool) {
+	s.mu.Lock()
+	s.refreshes++
+	if !ok {
+		s.refreshFails++
+	}
+	s.mu.Unlock()
+}
+
 // ServerStats is the JSON schema of /v1/stats.
 type ServerStats struct {
-	UptimeS  float64                  `json:"uptime_s"`
-	InFlight int64                    `json:"in_flight"`
-	Cache    CacheStats               `json:"cache"`
-	Audit    AuditCounters            `json:"audit"`
-	Requests map[string]EndpointStats `json:"requests"`
+	UptimeS    float64                  `json:"uptime_s"`
+	InFlight   int64                    `json:"in_flight"`
+	Cache      CacheStats               `json:"cache"`
+	Audit      AuditCounters            `json:"audit"`
+	Resilience ResilienceStats          `json:"resilience"`
+	Requests   map[string]EndpointStats `json:"requests"`
+}
+
+// ResilienceStats reports the overload/degradation machinery: how many
+// degraded or stale plans were served, how many requests were shed by
+// admission control, panics recovered without killing the daemon,
+// background cache refreshes, and the circuit breaker's state.
+type ResilienceStats struct {
+	DegradedServed  uint64 `json:"degraded_served"`
+	StaleServed     uint64 `json:"stale_served"`
+	ShedTotal       uint64 `json:"shed_total"`
+	PanicsRecovered uint64 `json:"panics_recovered"`
+	Refreshes       uint64 `json:"refreshes"`
+	RefreshFails    uint64 `json:"refresh_fails"`
+	QueueDepth      int64  `json:"queue_depth"`
+	BreakerState    string `json:"breaker_state,omitempty"`
+	BreakerTrips    uint64 `json:"breaker_trips"`
 }
 
 // AuditCounters reports the sampled post-solve verification verdicts
@@ -157,6 +197,16 @@ func (s *serverStats) snapshot(cacheSize, cacheCap int) ServerStats {
 			VerifyPass:  s.auditPass,
 			VerifyFail:  s.auditFail,
 			LastFailure: s.lastAuditFailure,
+		},
+		Resilience: ResilienceStats{
+			DegradedServed:  s.degraded,
+			StaleServed:     s.stale,
+			ShedTotal:       s.sheds,
+			PanicsRecovered: s.panics,
+			Refreshes:       s.refreshes,
+			RefreshFails:    s.refreshFails,
+			// QueueDepth and Breaker* are overlaid by Server.Stats — they
+			// live on the admission/breaker structs, not here.
 		},
 		Requests: make(map[string]EndpointStats, len(s.endpoints)),
 	}

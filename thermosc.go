@@ -332,6 +332,16 @@ type Plan struct {
 	// assignment.
 	Cores   [][]Slice
 	Elapsed time.Duration // solver wall-clock time
+	// Degraded marks an anytime plan: the solve hit its deadline and this
+	// is the best valid plan found so far (or the constant safe floor),
+	// not the full search's answer. PeakC/Feasible are still exact for
+	// the plan returned — only optimality is lost. Degraded plans are
+	// timing-dependent and must never be treated as cache-canonical.
+	Degraded bool
+	// DegradedReason says how far the search got before truncation (one
+	// of the solver's DegradedReason tags, e.g. "m-search-truncated",
+	// "safe-floor"). Empty for complete plans.
+	DegradedReason string
 }
 
 // Slice is one stretch of a core's periodic timeline.
@@ -342,12 +352,14 @@ type Slice struct {
 
 func newPlan(p *Platform, m Method, res *solver.Result) *Plan {
 	plan := &Plan{
-		Method:     m,
-		Throughput: res.Throughput,
-		PeakC:      res.PeakC(p.model),
-		Feasible:   res.Feasible,
-		M:          res.M,
-		Elapsed:    res.Elapsed,
+		Method:         m,
+		Throughput:     res.Throughput,
+		PeakC:          res.PeakC(p.model),
+		Feasible:       res.Feasible,
+		M:              res.M,
+		Elapsed:        res.Elapsed,
+		Degraded:       res.Degraded != solver.DegradedNone,
+		DegradedReason: string(res.Degraded),
 	}
 	if res.Schedule != nil {
 		plan.PeriodS = res.Schedule.Period()
