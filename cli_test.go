@@ -166,25 +166,3 @@ func TestCLISim(t *testing.T) {
 		t.Fatal("voltage count mismatch should fail")
 	}
 }
-
-func TestCLIFigures(t *testing.T) {
-	if testing.Short() {
-		t.Skip("CLI builds in -short mode")
-	}
-	bin := buildCmd(t, "thermosc-figures")
-	dir := t.TempDir()
-	out, stderr, err := run(t, bin, "-dir", dir, "-quick")
-	if err != nil {
-		t.Fatalf("figures: %v\n%s%s", err, out, stderr)
-	}
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(entries) != 6 {
-		t.Fatalf("wrote %d figures", len(entries))
-	}
-	if !strings.Contains(out, "wrote") {
-		t.Fatalf("missing progress output:\n%s", out)
-	}
-}

@@ -17,14 +17,28 @@
 // the entry gates the cost of SERVING under starvation, not the search.
 //
 // With -baseline the report is compared entry-by-entry against a previous
-// run: any benchmark whose ns/op exceeds max-regression × its baseline
-// ns/op fails the gate and the process exits 1. The 2× default absorbs
-// cross-machine and CI-runner noise while still catching real
-// regressions. Baseline entries missing from the current run (or vice
-// versa) are reported but never fail the gate, so the suite can grow. A
-// missing baseline file bootstraps the gate: the current report is
-// written there and the run exits 0, so a fresh checkout's first CI run
-// seeds the baseline instead of failing.
+// run on THREE dimensions: any benchmark whose ns/op, allocs/op, or
+// bytes/op exceeds its regression limit (-max-regression, default 2.0;
+// -max-alloc-regression and -max-bytes-regression, default 1.5) times the
+// baseline fails the gate and the process exits 1. Time is noisy across
+// runners, so it gets the loose 2× limit; allocation counts and bytes are
+// deterministic properties of the code, so they get the tight 1.5× limit
+// that catches an accidentally reintroduced per-candidate allocation long
+// before it costs 2× wall clock. Baseline entries missing from the
+// current run (or vice versa) are reported but never fail the gate, so
+// the suite can grow. A missing baseline file bootstraps the gate: the
+// current report is written there and the run exits 0, so a fresh
+// checkout's first CI run seeds the baseline instead of failing.
+// Baselines written by the v1 schema are accepted (they carry the same
+// per-entry fields); the report written back is always v2.
+//
+// -min-par-speedup gates the measured ao_search seq/par parallel speedup
+// — but only when the run itself has GOMAXPROCS > 1; a single-CPU runner
+// cannot exhibit a speedup and records gomaxprocs=1 in the report so the
+// blind spot is visible instead of silently waved through.
+//
+// -compare-out writes a before/after markdown table (baseline vs current,
+// all three dimensions) for CI to upload as a workflow artifact.
 package main
 
 import (
@@ -36,6 +50,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -47,7 +62,12 @@ import (
 )
 
 // Schema identifies the report layout; bump on incompatible changes.
-const Schema = "thermosc-bench/v1"
+// v2 added the gomaxprocs field and the alloc/bytes gate dimensions; v1
+// baselines are still accepted by the gate (same per-entry fields).
+const (
+	Schema   = "thermosc-bench/v2"
+	SchemaV1 = "thermosc-bench/v1"
+)
 
 // Entry is one benchmark measurement.
 type Entry struct {
@@ -60,20 +80,29 @@ type Entry struct {
 
 // Report is the full machine-readable output.
 type Report struct {
-	Schema     string             `json:"schema"`
-	GoVersion  string             `json:"go_version"`
-	GOOS       string             `json:"goos"`
-	GOARCH     string             `json:"goarch"`
-	CPUs       int                `json:"cpus"`
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	// GOMAXPROCS is the scheduler width the parallel benchmarks actually
+	// ran at — the number that decides whether the ao_search speedup is
+	// meaningful. A report with gomaxprocs=1 (the historic CI blind spot)
+	// cannot see parallel regressions, and the speedup floor is waived.
+	GOMAXPROCS int                `json:"gomaxprocs"`
 	Benchmarks []Entry            `json:"benchmarks"`
 	Speedups   map[string]float64 `json:"speedups,omitempty"`
 }
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_ao.json", "report output path ('-' for stdout only)")
-		basePth = flag.String("baseline", "", "baseline report to gate against (empty = no gate)")
-		maxReg  = flag.Float64("max-regression", 2.0, "fail if ns/op exceeds this multiple of the baseline")
+		out      = flag.String("out", "BENCH_ao.json", "report output path ('-' for stdout only)")
+		basePth  = flag.String("baseline", "", "baseline report to gate against (empty = no gate)")
+		maxReg   = flag.Float64("max-regression", 2.0, "fail if ns/op exceeds this multiple of the baseline")
+		maxAlloc = flag.Float64("max-alloc-regression", 1.5, "fail if allocs/op exceeds this multiple of the baseline")
+		maxBytes = flag.Float64("max-bytes-regression", 1.5, "fail if bytes/op exceeds this multiple of the baseline")
+		minPar   = flag.Float64("min-par-speedup", 0, "fail if the ao_search seq/par speedup falls below this (0 = no floor; waived when GOMAXPROCS is 1)")
+		cmpOut   = flag.String("compare-out", "", "write a baseline-vs-current markdown comparison table here")
 	)
 	flag.Parse()
 
@@ -106,8 +135,22 @@ func main() {
 		fmt.Printf("  speedup %-16s %.2fx\n", k, v)
 	}
 
+	if *minPar > 0 {
+		if rep.GOMAXPROCS <= 1 {
+			fmt.Printf("min-par-speedup %.2fx waived: GOMAXPROCS=%d cannot exhibit a parallel speedup\n",
+				*minPar, rep.GOMAXPROCS)
+		} else if sp := rep.Speedups["ao_search"]; sp < *minPar {
+			fmt.Fprintf(os.Stderr, "thermosc-bench: FAIL: ao_search parallel speedup %.2fx below the %.2fx floor (GOMAXPROCS=%d)\n",
+				sp, *minPar, rep.GOMAXPROCS)
+			os.Exit(1)
+		} else {
+			fmt.Printf("ao_search parallel speedup %.2fx meets the %.2fx floor\n", sp, *minPar)
+		}
+	}
+
 	if *basePth != "" {
-		bootstrapped, err := gate(rep, *basePth, *maxReg)
+		lim := limits{ns: *maxReg, allocs: *maxAlloc, bytes: *maxBytes}
+		bootstrapped, err := gate(rep, *basePth, lim, *cmpOut)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "thermosc-bench: FAIL: %v\n", err)
 			os.Exit(1)
@@ -115,7 +158,13 @@ func main() {
 		if bootstrapped {
 			fmt.Printf("no baseline at %s: wrote the current report as the new baseline\n", *basePth)
 		} else {
-			fmt.Printf("gate passed: no benchmark regressed more than %.1fx vs %s\n", *maxReg, *basePth)
+			fmt.Printf("gate passed: no benchmark regressed beyond %.1fx ns, %.1fx allocs, %.1fx bytes vs %s\n",
+				*maxReg, *maxAlloc, *maxBytes, *basePth)
+		}
+	} else if *cmpOut != "" {
+		if err := writeCompare(*cmpOut, nil, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "thermosc-bench: %v\n", err)
+			os.Exit(1)
 		}
 	}
 }
@@ -245,11 +294,12 @@ func run() (*Report, error) {
 	}
 
 	rep := &Report{
-		Schema:    Schema,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
+		Schema:     Schema,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	byName := make(map[string]Entry, len(suite))
 	for _, bm := range suite {
@@ -285,11 +335,20 @@ func run() (*Report, error) {
 	return rep, nil
 }
 
-// gate compares cur against the baseline report at baselinePath. A
-// missing baseline is not a failure: the current report is written there
-// as the new baseline and gate returns bootstrapped = true, so a fresh
-// checkout's first CI run seeds the gate instead of breaking it.
-func gate(cur *Report, baselinePath string, maxRegression float64) (bootstrapped bool, err error) {
+// limits are the per-dimension regression multipliers of the gate.
+type limits struct {
+	ns, allocs, bytes float64
+}
+
+// gate compares cur against the baseline report at baselinePath on all
+// three dimensions (time, allocation count, allocated bytes). A missing
+// baseline is not a failure: the current report is written there as the
+// new baseline and gate returns bootstrapped = true, so a fresh
+// checkout's first CI run seeds the gate instead of breaking it. When
+// cmpOut is non-empty the baseline-vs-current markdown table is written
+// there regardless of the verdict, so a failing CI run still uploads the
+// numbers that explain it.
+func gate(cur *Report, baselinePath string, lim limits, cmpOut string) (bootstrapped bool, err error) {
 	data, err := os.ReadFile(baselinePath)
 	if errors.Is(err, os.ErrNotExist) {
 		b, err := json.MarshalIndent(cur, "", "  ")
@@ -298,6 +357,11 @@ func gate(cur *Report, baselinePath string, maxRegression float64) (bootstrapped
 		}
 		if err := os.WriteFile(baselinePath, append(b, '\n'), 0o644); err != nil {
 			return false, fmt.Errorf("bootstrapping baseline: %w", err)
+		}
+		if cmpOut != "" {
+			if err := writeCompare(cmpOut, nil, cur); err != nil {
+				return false, err
+			}
 		}
 		return true, nil
 	}
@@ -308,30 +372,94 @@ func gate(cur *Report, baselinePath string, maxRegression float64) (bootstrapped
 	if err := json.Unmarshal(data, &base); err != nil {
 		return false, fmt.Errorf("parsing baseline: %w", err)
 	}
-	if base.Schema != Schema {
-		return false, fmt.Errorf("baseline schema %q, want %q", base.Schema, Schema)
+	if base.Schema != Schema && base.Schema != SchemaV1 {
+		return false, fmt.Errorf("baseline schema %q, want %q (or legacy %q)", base.Schema, Schema, SchemaV1)
+	}
+	if cmpOut != "" {
+		if err := writeCompare(cmpOut, &base, cur); err != nil {
+			return false, err
+		}
 	}
 	baseBy := make(map[string]Entry, len(base.Benchmarks))
 	for _, e := range base.Benchmarks {
 		baseBy[e.Name] = e
 	}
 	var failures []string
+	check := func(name, dim string, cur, base, limit float64) {
+		if base <= 0 {
+			return // nothing to ratio against (e.g. a zero-alloc baseline)
+		}
+		ratio := cur / base
+		fmt.Printf("  gate %-24s %-6s %6.2fx of baseline (%.0f vs %.0f)\n", name, dim, ratio, cur, base)
+		if ratio > limit {
+			failures = append(failures,
+				fmt.Sprintf("%s %s regressed %.2fx (limit %.1fx)", name, dim, ratio, limit))
+		}
+	}
 	for _, e := range cur.Benchmarks {
 		b, ok := baseBy[e.Name]
 		if !ok {
 			fmt.Printf("  (no baseline for %s — skipping gate)\n", e.Name)
 			continue
 		}
-		ratio := e.NsPerOp / b.NsPerOp
-		fmt.Printf("  gate %-24s %.2fx of baseline (%0.f vs %.0f ns/op)\n",
-			e.Name, ratio, e.NsPerOp, b.NsPerOp)
-		if ratio > maxRegression {
-			failures = append(failures,
-				fmt.Sprintf("%s regressed %.2fx (limit %.1fx)", e.Name, ratio, maxRegression))
-		}
+		check(e.Name, "ns", e.NsPerOp, b.NsPerOp, lim.ns)
+		check(e.Name, "allocs", float64(e.AllocsPerOp), float64(b.AllocsPerOp), lim.allocs)
+		check(e.Name, "bytes", float64(e.BytesPerOp), float64(b.BytesPerOp), lim.bytes)
 	}
 	if len(failures) > 0 {
 		return false, fmt.Errorf("%d regression(s): %v", len(failures), failures)
 	}
 	return false, nil
+}
+
+// writeCompare renders the baseline-vs-current comparison as a markdown
+// table (the CI workflow artifact). A nil baseline renders the current
+// run alone.
+func writeCompare(path string, base, cur *Report) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# thermosc bench comparison\n\n")
+	fmt.Fprintf(&sb, "current: %s %s/%s, %d CPUs, GOMAXPROCS=%d, %s\n\n",
+		cur.GoVersion, cur.GOOS, cur.GOARCH, cur.CPUs, cur.GOMAXPROCS, cur.Schema)
+	if base == nil {
+		fmt.Fprintf(&sb, "_no baseline: first run_\n\n")
+		fmt.Fprintf(&sb, "| benchmark | ns/op | allocs/op | B/op |\n|---|---:|---:|---:|\n")
+		for _, e := range cur.Benchmarks {
+			fmt.Fprintf(&sb, "| %s | %.0f | %d | %d |\n", e.Name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
+		}
+	} else {
+		fmt.Fprintf(&sb, "baseline: %s, %d CPUs, GOMAXPROCS=%d, %s\n\n",
+			base.GoVersion, base.CPUs, base.GOMAXPROCS, base.Schema)
+		fmt.Fprintf(&sb, "| benchmark | ns/op before | ns/op after | Δ | allocs before | allocs after | B before | B after |\n")
+		fmt.Fprintf(&sb, "|---|---:|---:|---:|---:|---:|---:|---:|\n")
+		baseBy := make(map[string]Entry, len(base.Benchmarks))
+		for _, e := range base.Benchmarks {
+			baseBy[e.Name] = e
+		}
+		for _, e := range cur.Benchmarks {
+			b, ok := baseBy[e.Name]
+			if !ok {
+				fmt.Fprintf(&sb, "| %s | — | %.0f | new | — | %d | — | %d |\n",
+					e.Name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
+				continue
+			}
+			delta := "—"
+			if b.NsPerOp > 0 {
+				delta = fmt.Sprintf("%.2fx", e.NsPerOp/b.NsPerOp)
+			}
+			fmt.Fprintf(&sb, "| %s | %.0f | %.0f | %s | %d | %d | %d | %d |\n",
+				e.Name, b.NsPerOp, e.NsPerOp, delta, b.AllocsPerOp, e.AllocsPerOp, b.BytesPerOp, e.BytesPerOp)
+		}
+	}
+	if len(cur.Speedups) > 0 {
+		names := make([]string, 0, len(cur.Speedups))
+		for k := range cur.Speedups {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(&sb, "\n")
+		for _, k := range names {
+			fmt.Fprintf(&sb, "- speedup %s: %.2fx\n", k, cur.Speedups[k])
+		}
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
 }

@@ -108,6 +108,36 @@ func (e *Symmetrizable) StepVecExp(expL, x, tInf []float64) []float64 {
 	return VecAddInPlace(out, tInf)
 }
 
+// StepVecExpTo is StepVecExp writing into dst, with diff and y as
+// caller-owned scratch (each length n): the allocation-free form for the
+// solvers' per-solve arenas. The arithmetic — VecSub, W⁻¹ product, factor
+// scaling, W product, target add, in that operand order — matches
+// StepVecExp exactly, so the states are bit-identical. dst may alias x
+// (the diff is captured first); diff and y must alias nothing else.
+func (e *Symmetrizable) StepVecExpTo(dst, diff, y, expL, x, tInf []float64) []float64 {
+	for i := range x {
+		diff[i] = x[i] - tInf[i]
+	}
+	e.Winv.MulVecTo(y, diff)
+	for i := range y {
+		y[i] *= expL[i]
+	}
+	e.W.MulVecTo(dst, y)
+	for i := range dst {
+		dst[i] += tInf[i]
+	}
+	return dst
+}
+
+// ExpLambdaTo writes the diagonal propagator factors exp(λ_i·t) into dst
+// (see ExpLambda); values are bit-identical to the allocating form.
+func (e *Symmetrizable) ExpLambdaTo(dst []float64, t float64) []float64 {
+	for i, l := range e.Lambda {
+		dst[i] = math.Exp(l * t)
+	}
+	return dst
+}
+
 // PhiVec returns (I − e^{A·t})·x in O(n²). This is the coefficient of the
 // steady-state target T∞ in the transient solution (paper eq. (3)).
 func (e *Symmetrizable) PhiVec(t float64, x []float64) []float64 {

@@ -95,6 +95,53 @@ func (f *LU) SolveVec(b []float64) ([]float64, error) {
 	return x, nil
 }
 
+// SolveVecTo solves A·x = b into dst (len(dst) == n) and returns dst. The
+// arithmetic — permutation, substitution order, and operand association —
+// matches SolveVec exactly, so the in-place form is bit-identical to the
+// allocating one. dst may alias b only when they are the same slice.
+func (f *LU) SolveVecTo(dst, b []float64) ([]float64, error) {
+	n := f.lu.rows
+	if len(b) != n {
+		return nil, errors.New("mat: SolveVecTo dimension mismatch")
+	}
+	if len(dst) != n {
+		return nil, errors.New("mat: SolveVecTo destination length mismatch")
+	}
+	x := dst
+	if &x[0] == &b[0] {
+		// Permuting in place would read already-overwritten entries; route
+		// through the allocating path for the rare aliased call.
+		xa, err := f.SolveVec(b)
+		if err != nil {
+			return nil, err
+		}
+		copy(dst, xa)
+		return dst, nil
+	}
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	d := f.lu.data
+	// Forward substitution with unit lower triangle.
+	for i := 1; i < n; i++ {
+		var s float64
+		row := d[i*n : i*n+i]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution with upper triangle.
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += d[i*n+j] * x[j]
+		}
+		x[i] = (x[i] - s) / d[i*n+i]
+	}
+	return dst, nil
+}
+
 // SolveMat solves A·X = B column by column.
 func (f *LU) SolveMat(b *Dense) (*Dense, error) {
 	n := f.lu.rows

@@ -237,6 +237,28 @@ func (m *Dense) MulVec(x []float64) []float64 {
 	return out
 }
 
+// MulVecTo computes m·x into dst (len(dst) == rows) and returns dst. The
+// arithmetic — accumulation order included — matches MulVec exactly, so
+// the in-place form is bit-identical to the allocating one. dst must not
+// alias x.
+func (m *Dense) MulVecTo(dst, x []float64) []float64 {
+	if m.cols != len(x) {
+		panic(fmt.Sprintf("mat: MulVecTo dimension mismatch %d×%d · %d", m.rows, m.cols, len(x)))
+	}
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("mat: MulVecTo destination length %d, want %d", len(dst), m.rows))
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+	return dst
+}
+
 // MulDiagLeft returns diag(d)·m as a new matrix (scales row i by d[i]).
 func (m *Dense) MulDiagLeft(d []float64) *Dense {
 	if len(d) != m.rows {

@@ -140,15 +140,15 @@ type ScenarioOutcome struct {
 
 // SoakReport aggregates a soak run.
 type SoakReport struct {
-	N                int                `json:"n"`
-	Seed             int64              `json:"seed"`
-	Controller       string             `json:"controller"`
-	Violations       int                `json:"violations"`
-	NonDeterministic int                `json:"non_deterministic"`
-	WorstPeakC       float64            `json:"worst_peak_c"`
-	WorstExcessK     float64            `json:"worst_excess_k"`
-	MinThroughput    float64            `json:"min_throughput"`
-	Pass             bool               `json:"pass"`
+	N                int     `json:"n"`
+	Seed             int64   `json:"seed"`
+	Controller       string  `json:"controller"`
+	Violations       int     `json:"violations"`
+	NonDeterministic int     `json:"non_deterministic"`
+	WorstPeakC       float64 `json:"worst_peak_c"`
+	WorstExcessK     float64 `json:"worst_excess_k"`
+	MinThroughput    float64 `json:"min_throughput"`
+	Pass             bool    `json:"pass"`
 	// PlanBudgetS and DegradedPlans describe a starved soak (SoakStarved):
 	// the wall-clock budget the mid-scenario replanner was held to, and
 	// how many scenarios actually ran on a degraded/floor replan. Absent

@@ -99,7 +99,14 @@ func TestEDFValidation(t *testing.T) {
 }
 
 // Property: the fluid-EDF admission verdict is confirmed by job-level
-// simulation — admitted sets never miss on a fast oscillating profile.
+// simulation — admitted sets never miss on a fast oscillating profile,
+// PROVIDED the utilization margin exceeds the fluid-approximation slack.
+// The fluid model overstates the supply of an oscillating profile over a
+// finite window by up to (hi−lo)·cycle units of work (the partial cycle
+// at each window boundary), which against the shortest deadline
+// PeriodMin costs (hi−lo)·cycle/PeriodMin of effective speed. A set
+// admitted with less margin than that can genuinely miss — see
+// TestEDFFluidAdmissionBoundaryCounterexample.
 func TestEDFConfirmsAdmissionProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
@@ -117,13 +124,44 @@ func TestEDFConfirmsAdmissionProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		if util <= mean-1e-9 {
+		slack := (1.3 - 0.6) * 2e-3 / spec.PeriodMin
+		if util <= mean-slack {
 			return res.DeadlineMiss == 0
 		}
-		return true // overload may or may not miss within the horizon
+		return true // inside the slack band (or overloaded): may or may not miss
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
 		t.Error(err)
+	}
+}
+
+// The slack band in the admission property is not paranoia: this seed
+// draws a single task whose utilization sits 0.0014 below the profile's
+// mean speed — fluid-admitted — yet the job-level simulation misses,
+// because the supply an oscillating profile delivers inside one 76 ms
+// deadline window falls short of mean·window by more than the margin.
+func TestEDFFluidAdmissionBoundaryCounterexample(t *testing.T) {
+	r := rand.New(rand.NewSource(5066947636796954867))
+	profile := twoModeProfile(0.6, 1.3, 0.2+0.6*r.Float64(), 2e-3)
+	mean := ProfileMeanSpeed(profile)
+	spec := DefaultGenSpec(1+r.Intn(4), 0.2+r.Float64()*0.7)
+	spec.PeriodMin, spec.PeriodMax = 40e-3, 200e-3
+	spec.UtilCap = 0.95
+	tasks, err := Generate(r, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	util := TotalUtilization(tasks)
+	if util > mean-1e-9 {
+		t.Fatalf("draw changed: util %v vs mean %v no longer fluid-admitted", util, mean)
+	}
+	res, err := SimulateEDF(tasks, profile, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeadlineMiss == 0 {
+		t.Fatal("counterexample evaporated: fluid-admitted boundary set no longer misses")
 	}
 }
 

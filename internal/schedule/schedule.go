@@ -41,6 +41,11 @@ type Schedule struct {
 // timelines span exactly one period and when merging breakpoints.
 const relTol = 1e-9
 
+// RelTol exports the breakpoint-merging tolerance so evaluators that
+// assemble the merged state-interval view without a Schedule value (the
+// per-solve arenas in internal/sim) reproduce Intervals bit for bit.
+const RelTol = relTol
+
 // New builds a schedule from per-core segment timelines. Every core's
 // segment lengths must sum to the same period (within a relative
 // tolerance); zero-length segments are dropped and adjacent equal-mode

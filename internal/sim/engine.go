@@ -30,6 +30,11 @@ type Engine struct {
 	periods map[float64]*periodEntry
 
 	coreW *mat.Dense // core-node rows of W, for composed core temps
+
+	// arenas pools per-solve evaluation scratch (see EvalArena): acquired
+	// per worker, poisoned with NaN on release so stale references fail
+	// loudly instead of leaking one solve's state into another.
+	arenas sync.Pool
 }
 
 // periodEntry builds its PeriodCache at most once; the sync.Once keeps
@@ -51,12 +56,14 @@ func NewEngine(md *thermal.Model) *Engine {
 			coreW.Set(i, j, eig.W.At(i, j))
 		}
 	}
-	return &Engine{
+	e := &Engine{
 		md:      md,
 		prop:    thermal.NewPropagator(md),
 		periods: make(map[float64]*periodEntry, 64),
 		coreW:   coreW,
 	}
+	e.arenas.New = func() any { return newEvalArena(e) }
+	return e
 }
 
 // Model returns the thermal model the engine evaluates against.

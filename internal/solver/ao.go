@@ -102,6 +102,14 @@ const (
 // structurally consistent.
 func buildCycle(tc float64, specs []coreSpec, o power.TransitionOverhead, kind buildCycleKind) (*schedule.Schedule, error) {
 	tms := make([]schedule.TwoModeSpec, len(specs))
+	fillTwoModeSpecs(tms, specs, o, tc, kind)
+	return schedule.TwoMode(tc, tms)
+}
+
+// fillTwoModeSpecs writes buildCycle's per-core two-mode decomposition
+// into tms without constructing a Schedule — the arena evaluation path
+// feeds these directly to sim.EvalArena.SetTwoMode.
+func fillTwoModeSpecs(tms []schedule.TwoModeSpec, specs []coreSpec, o power.TransitionOverhead, tc float64, kind buildCycleKind) {
 	for i, c := range specs {
 		eff := c.RH
 		if c.oscillating() && o.Tau > 0 {
@@ -116,7 +124,12 @@ func buildCycle(tc float64, specs []coreSpec, o power.TransitionOverhead, kind b
 		}
 		tms[i] = schedule.TwoModeSpec{Low: c.Low, High: c.High, HighRatio: eff}
 	}
-	return schedule.TwoMode(tc, tms)
+}
+
+// thermalTwoModeSpecs is fillTwoModeSpecs pinned to the thermal view — the
+// only view the inner evaluation loops ever score.
+func thermalTwoModeSpecs(tms []schedule.TwoModeSpec, specs []coreSpec, o power.TransitionOverhead, tc float64) {
+	fillTwoModeSpecs(tms, specs, o, tc, cycleThermal)
 }
 
 // nominalThroughput is the chip-wide useful throughput of the specs
@@ -362,6 +375,15 @@ func optimizeSpecs(p Problem, eng *sim.Engine, specs []coreSpec, forceM int) (*a
 		m = forceM
 	}
 
+	// Per-worker arena scratch for the incremental evaluation path; the
+	// classic reference path (Problem.ClassicEval) allocates per
+	// evaluation instead, exactly as the pre-arena code did.
+	var wa *workerArenas
+	if !p.ClassicEval {
+		wa = newWorkerArenas(eng, workers, len(specs))
+		defer wa.release()
+	}
+
 	// Phase 2: scan m ∈ [1, M] for the peak-minimizing oscillation count
 	// (with overhead, the peak is no longer monotone in m). Candidates fan
 	// out across the worker pool; the reduction keeps the smallest m with
@@ -370,7 +392,7 @@ func optimizeSpecs(p Problem, eng *sim.Engine, specs []coreSpec, forceM int) (*a
 	if forceM > 0 {
 		startM = forceM
 	}
-	ms, err := searchM(p, eng, specs, startM, m)
+	ms, err := searchM(p, eng, specs, startM, m, wa)
 	if err != nil {
 		return nil, err
 	}
@@ -390,25 +412,45 @@ func optimizeSpecs(p Problem, eng *sim.Engine, specs []coreSpec, forceM int) (*a
 		st.degrade(DegradedMSearch)
 	}
 	var cycleEvals atomic.Int64
-	// evalCycle returns the stable end-of-cycle core temperature rises —
-	// by Theorem 1 their maximum is the schedule's peak temperature. Safe
-	// for concurrent trials: the engine's caches synchronize internally
-	// and the eval count is atomic.
-	evalCycle := func(sp []coreSpec) ([]float64, error) {
-		cyc, err := buildCycle(tc, sp, p.Overhead, cycleThermal)
-		if err != nil {
-			return nil, err
+	// evalTempsInto writes the stable end-of-cycle core temperature rises
+	// of sp into dst — by Theorem 1 their maximum is the schedule's peak
+	// temperature. w selects the calling worker's private arena scratch
+	// (ignored by the classic path); both paths produce bit-identical
+	// temperatures. Safe for concurrent trials: arenas are per-worker, the
+	// engine's caches synchronize internally, and the eval count is atomic.
+	evalTempsInto := func(w int, dst []float64, sp []coreSpec) error {
+		if p.ClassicEval {
+			cyc, err := buildCycle(tc, sp, p.Overhead, cycleThermal)
+			if err != nil {
+				return err
+			}
+			cycleEvals.Add(1)
+			stable, err := sim.NewStableCached(md, cyc, cache)
+			if err != nil {
+				return err
+			}
+			copy(dst, stable.End(stable.NumIntervals() - 1)[:len(dst)])
+			return nil
+		}
+		a := wa.arenas[w]
+		thermalTwoModeSpecs(wa.tms[w], sp, p.Overhead, tc)
+		if err := a.SetTwoMode(tc, wa.tms[w]); err != nil {
+			return err
 		}
 		cycleEvals.Add(1)
-		stable, err := sim.NewStableCached(md, cyc, cache)
-		if err != nil {
-			return nil, err
+		return a.StableEndTempsInto(dst, cache)
+	}
+	// trialSpecs substitutes core j's ratio through worker w's spec buffer
+	// (or a fresh copy on the classic path).
+	trialSpecs := func(w int, sp []coreSpec, j int, rh float64) []coreSpec {
+		if p.ClassicEval {
+			return withRH(sp, j, rh)
 		}
-		return md.CoreTemps(stable.End(stable.NumIntervals() - 1)), nil
+		return wa.withRHInto(w, sp, j, rh)
 	}
 
-	temps, err := evalCycle(specs)
-	if err != nil {
+	temps := make([]float64, len(specs))
+	if err := evalTempsInto(0, temps, specs); err != nil {
 		return nil, err
 	}
 	peak, hot := mat.VecMax(temps)
@@ -417,6 +459,10 @@ func optimizeSpecs(p Problem, eng *sim.Engine, specs []coreSpec, forceM int) (*a
 		return nil, err
 	}
 	trialTemps := make([][]float64, len(specs))
+	trialBuf := make([][]float64, len(specs))
+	for j := range trialBuf {
+		trialBuf[j] = make([]float64, len(specs))
+	}
 	for iter := 0; peak > tmax+feasTol && iter < maxIter; iter++ {
 		if err := p.ctxErr(); err != nil {
 			// Anytime: keep the best-so-far specs instead of erroring. The
@@ -432,16 +478,16 @@ func optimizeSpecs(p Problem, eng *sim.Engine, specs []coreSpec, forceM int) (*a
 		for j := range trialTemps {
 			trialTemps[j] = nil
 		}
-		parFor(workers, len(specs), func(j int) {
+		parForW(workers, len(specs), func(w, j int) {
 			c := specs[j]
 			if c.High.Voltage <= c.Low.Voltage || c.RH <= 0 {
 				return
 			}
-			tt, err := evalCycle(withRH(specs, j, math.Max(0, c.RH-dr)))
-			if err != nil {
+			tsp := trialSpecs(w, specs, j, math.Max(0, c.RH-dr))
+			if err := evalTempsInto(w, trialBuf[j], tsp); err != nil {
 				return // skipped, like the sequential continue-on-error
 			}
-			trialTemps[j] = tt
+			trialTemps[j] = trialBuf[j]
 		})
 		bestJ, bestTPT := -1, math.Inf(-1)
 		var bestTemps []float64
@@ -460,7 +506,7 @@ func optimizeSpecs(p Problem, eng *sim.Engine, specs []coreSpec, forceM int) (*a
 			break // nothing left to slow down
 		}
 		specs[bestJ].RH = math.Max(0, specs[bestJ].RH-dr)
-		temps = bestTemps
+		copy(temps, bestTemps) // trial rows are reused next iteration
 		peak, hot = mat.VecMax(temps)
 	}
 
@@ -482,16 +528,16 @@ func optimizeSpecs(p Problem, eng *sim.Engine, specs []coreSpec, forceM int) (*a
 		for j := range trialTemps {
 			trialTemps[j] = nil
 		}
-		parFor(workers, len(specs), func(j int) {
+		parForW(workers, len(specs), func(w, j int) {
 			c := specs[j]
 			if c.High.Voltage <= c.Low.Voltage || c.RH >= 1 {
 				return
 			}
-			tt, err := evalCycle(withRH(specs, j, math.Min(1, c.RH+dr)))
-			if err != nil {
+			tsp := trialSpecs(w, specs, j, math.Min(1, c.RH+dr))
+			if err := evalTempsInto(w, trialBuf[j], tsp); err != nil {
 				return
 			}
-			trialTemps[j] = tt
+			trialTemps[j] = trialBuf[j]
 		})
 		bestJ, bestScore := -1, 0.0
 		var bestTemps []float64
@@ -514,7 +560,7 @@ func optimizeSpecs(p Problem, eng *sim.Engine, specs []coreSpec, forceM int) (*a
 			break
 		}
 		specs[bestJ].RH = math.Min(1, specs[bestJ].RH+dr)
-		temps = bestTemps
+		copy(temps, bestTemps)
 		peak, hot = mat.VecMax(temps)
 	}
 
@@ -524,20 +570,29 @@ func optimizeSpecs(p Problem, eng *sim.Engine, specs []coreSpec, forceM int) (*a
 	// just after the cycle wrap (see sim.Stable.PeakEndOfPeriod). If the
 	// densely-verified peak still violates the budget, keep adjusting
 	// under the dense metric.
-	densePeakOf := func(sp []coreSpec) (float64, error) {
-		cyc, err := buildCycle(tc, sp, p.Overhead, cycleThermal)
-		if err != nil {
+	densePeakOf := func(w int, sp []coreSpec) (float64, error) {
+		if p.ClassicEval {
+			cyc, err := buildCycle(tc, sp, p.Overhead, cycleThermal)
+			if err != nil {
+				return math.Inf(1), err
+			}
+			cycleEvals.Add(1)
+			stable, err := sim.NewStableCached(md, cyc, cache)
+			if err != nil {
+				return math.Inf(1), err
+			}
+			dp, _, _ := stable.PeakDense(p.PeakSamples)
+			return dp, nil
+		}
+		a := wa.arenas[w]
+		thermalTwoModeSpecs(wa.tms[w], sp, p.Overhead, tc)
+		if err := a.SetTwoMode(tc, wa.tms[w]); err != nil {
 			return math.Inf(1), err
 		}
 		cycleEvals.Add(1)
-		stable, err := sim.NewStableCached(md, cyc, cache)
-		if err != nil {
-			return math.Inf(1), err
-		}
-		dp, _, _ := stable.PeakDense(p.PeakSamples)
-		return dp, nil
+		return a.StableDensePeak(cache, p.PeakSamples)
 	}
-	dense, err := densePeakOf(specs)
+	dense, err := densePeakOf(0, specs)
 	if err != nil {
 		return nil, err
 	}
@@ -550,12 +605,12 @@ func optimizeSpecs(p Problem, eng *sim.Engine, specs []coreSpec, forceM int) (*a
 		for j := range densePeaks {
 			densePeaks[j] = math.Inf(1)
 		}
-		parFor(workers, len(specs), func(j int) {
+		parForW(workers, len(specs), func(w, j int) {
 			c := specs[j]
 			if c.High.Voltage <= c.Low.Voltage || c.RH <= 0 {
 				return
 			}
-			dp, err := densePeakOf(withRH(specs, j, math.Max(0, c.RH-dr)))
+			dp, err := densePeakOf(w, trialSpecs(w, specs, j, math.Max(0, c.RH-dr)))
 			if err != nil {
 				return
 			}

@@ -130,6 +130,15 @@ func EXS(p Problem) (*Result, error) {
 	var evals int64
 	var aborted error
 
+	// Depth-indexed scratch: the dfs visits one node at a time, so the
+	// child state of depth j can live in row j+1 — one allocation for the
+	// whole search instead of one per interior node.
+	scratchBuf := make([]float64, (n+2)*n)
+	scratch := make([][]float64, n+2)
+	for d := range scratch {
+		scratch[d] = scratchBuf[d*n : (d+1)*n : (d+1)*n]
+	}
+
 	var dfs func(j int, temps []float64, speedSum float64)
 	dfs = func(j int, temps []float64, speedSum float64) {
 		if aborted != nil {
@@ -161,7 +170,7 @@ func EXS(p Problem) (*Result, error) {
 		}
 		// Try levels from highest to lowest so good incumbents appear
 		// early and tighten the throughput bound.
-		child := make([]float64, n)
+		child := scratch[j+1]
 		for k := len(volts) - 1; k >= 0; k-- {
 			idx[j] = k
 			copy(child, temps)
@@ -169,7 +178,7 @@ func EXS(p Problem) (*Result, error) {
 			dfs(j+1, child, speedSum+volts[k])
 		}
 	}
-	dfs(0, make([]float64, n), 0)
+	dfs(0, scratch[0], 0)
 	if aborted != nil {
 		// Anytime: the incumbent is a fully-evaluated feasible assignment
 		// (pruning never admits an infeasible leaf), just not the proven

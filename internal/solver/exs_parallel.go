@@ -74,6 +74,14 @@ func EXSParallel(p Problem, workers int) (*Result, error) {
 		localBest := math.Inf(-1)
 		var localIdx []int
 
+		// Per-worker depth-indexed scratch (see EXS): one allocation for
+		// the worker's whole share of the tree, not one per interior node.
+		scratchBuf := make([]float64, (n+2)*n)
+		scratch := make([][]float64, n+2)
+		for d := range scratch {
+			scratch[d] = scratchBuf[d*n : (d+1)*n : (d+1)*n]
+		}
+
 		var dfs func(j int, temps []float64, speedSum float64, bound float64) float64
 		dfs = func(j int, temps []float64, speedSum float64, bound float64) float64 {
 			if stop.Load() {
@@ -106,7 +114,7 @@ func EXSParallel(p Problem, workers int) (*Result, error) {
 				}
 				return bound
 			}
-			local := make([]float64, n)
+			local := scratch[j+1]
 			for k := len(volts) - 1; k >= 0; k-- {
 				// Inner-loop stop check: a sibling's cancellation unwinds
 				// this level between children instead of after the whole

@@ -33,30 +33,40 @@ func msearchProblem(t *testing.T) (Problem, *sim.Engine, []coreSpec) {
 }
 
 // Every candidate the pool evaluated must be counted, and the count must
-// not depend on the worker width.
+// not depend on the worker width. The classic path counts exactly one
+// evaluation per candidate; the incremental path counts every composed
+// screening plus its deterministic classic confirmations.
 func TestSearchMCountsEveryCandidate(t *testing.T) {
 	p, eng, specs := msearchProblem(t)
 	const maxM = 7
-	var ref int64 = -1
-	for _, workers := range []int{1, 4} {
-		p.Workers = workers
-		ms, err := searchM(p, eng, specs, 1, maxM)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if ms.m < 1 || math.IsInf(ms.peak, 1) || ms.cache == nil {
-			t.Fatalf("workers=%d: degenerate result m=%d peak=%v", workers, ms.m, ms.peak)
-		}
-		if ms.evals != maxM {
-			t.Fatalf("workers=%d: evals = %d, want %d (one per candidate)", workers, ms.evals, maxM)
-		}
-		if ms.truncated || ms.evaluated != maxM {
-			t.Fatalf("workers=%d: complete scan reported truncated=%v evaluated=%d", workers, ms.truncated, ms.evaluated)
-		}
-		if ref < 0 {
-			ref = ms.evals
-		} else if ms.evals != ref {
-			t.Fatalf("evals depends on worker width: %d vs %d", ms.evals, ref)
+	for _, classic := range []bool{true, false} {
+		p.ClassicEval = classic
+		var ref int64 = -1
+		var refM int
+		for _, workers := range []int{1, 4} {
+			p.Workers = workers
+			ms, err := searchM(p, eng, specs, 1, maxM, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ms.m < 1 || math.IsInf(ms.peak, 1) || ms.cache == nil {
+				t.Fatalf("classic=%v workers=%d: degenerate result m=%d peak=%v", classic, workers, ms.m, ms.peak)
+			}
+			if classic && ms.evals != maxM {
+				t.Fatalf("workers=%d: classic evals = %d, want %d (one per candidate)", workers, ms.evals, maxM)
+			}
+			if !classic && ms.evals <= maxM {
+				t.Fatalf("workers=%d: incremental evals = %d, want > %d (screens + confirmations)", workers, ms.evals, maxM)
+			}
+			if ms.truncated || ms.evaluated != maxM {
+				t.Fatalf("classic=%v workers=%d: complete scan reported truncated=%v evaluated=%d", classic, workers, ms.truncated, ms.evaluated)
+			}
+			if ref < 0 {
+				ref, refM = ms.evals, ms.m
+			} else if ms.evals != ref || ms.m != refM {
+				t.Fatalf("classic=%v: result depends on worker width: evals %d vs %d, m %d vs %d",
+					classic, ms.evals, ref, ms.m, refM)
+			}
 		}
 	}
 }
@@ -69,7 +79,7 @@ func TestSearchMErrorKeepsCount(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	p.Ctx = ctx
-	ms, err := searchM(p, eng, specs, 1, 5)
+	ms, err := searchM(p, eng, specs, 1, 5, nil)
 	if err == nil {
 		t.Fatal("canceled search returned no error")
 	}
@@ -92,7 +102,7 @@ func TestSearchMErrorKeepsCount(t *testing.T) {
 // same cache (never a rebuilt or invalidated one) for the winning period.
 func TestSearchMBestCacheStaysPooled(t *testing.T) {
 	p, eng, specs := msearchProblem(t)
-	ms, err := searchM(p, eng, specs, 1, 6)
+	ms, err := searchM(p, eng, specs, 1, 6, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -41,10 +41,21 @@ func PCO(p Problem) (*Result, error) {
 	offsets := make([]float64, n)
 	var denseEvals atomic.Int64
 
+	// Per-worker arena scratch for the incremental dense evaluations (the
+	// AO run released its own arenas back to the engine pool, so these are
+	// typically the same buffers, re-acquired).
+	var wa *workerArenas
+	if !p.ClassicEval {
+		wa = newWorkerArenas(st.eng, workers, n)
+		defer wa.release()
+	}
+
 	// densePeak evaluates the stable-status peak of the specs with the
-	// given per-core phase offsets. Safe for concurrent candidates: the
-	// engine caches synchronize internally.
-	densePeak := func(specs []coreSpec, offs []float64) (float64, *schedule.Schedule, error) {
+	// given per-core phase offsets. w selects the calling worker's arena
+	// scratch (ignored by the classic path); both paths are bit-identical.
+	// Safe for concurrent candidates: arenas are per-worker and the engine
+	// caches synchronize internally.
+	densePeak := func(w int, specs []coreSpec, offs []float64) (float64, *schedule.Schedule, error) {
 		cyc, err := buildCycle(st.tc, specs, p.Overhead, cycleThermal)
 		if err != nil {
 			return math.Inf(1), nil, err
@@ -53,6 +64,14 @@ func PCO(p Problem) (*Result, error) {
 			if off != 0 {
 				cyc = cyc.Shift(i, off)
 			}
+		}
+		if !p.ClassicEval {
+			denseEvals.Add(1)
+			pk, err := wa.arenas[w].SchedStableDensePeak(st.cache, cyc, p.PeakSamples)
+			if err != nil {
+				return math.Inf(1), nil, err
+			}
+			return pk, cyc, nil
 		}
 		stable, err := sim.NewStableCached(md, cyc, st.cache)
 		if err != nil {
@@ -63,7 +82,7 @@ func PCO(p Problem) (*Result, error) {
 		return peak, cyc, nil
 	}
 
-	peak, cyc, err := densePeak(st.specs, offsets)
+	peak, cyc, err := densePeak(0, st.specs, offsets)
 	if err != nil {
 		return nil, err
 	}
@@ -73,6 +92,11 @@ func PCO(p Problem) (*Result, error) {
 	// so the phase search never hurts). Candidate offsets for one core are
 	// independent, so they fan out across the worker pool; the winner is
 	// chosen deterministically (lowest peak, ties to the smallest offset).
+	peaks := make([]float64, p.PCOPhaseSteps)
+	offsW := make([][]float64, workers)
+	for w := range offsW {
+		offsW[w] = make([]float64, n)
+	}
 	for i := 1; i < n; i++ {
 		if err := p.ctxErr(); err != nil {
 			// Anytime: keep the offsets chosen so far (0 for the rest — the
@@ -83,11 +107,11 @@ func PCO(p Problem) (*Result, error) {
 		if !st.specs[i].oscillating() {
 			continue
 		}
-		peaks := make([]float64, p.PCOPhaseSteps)
-		parFor(workers, p.PCOPhaseSteps, func(k int) {
-			offs := append([]float64(nil), offsets...)
+		parForW(workers, p.PCOPhaseSteps, func(w, k int) {
+			offs := offsW[w]
+			copy(offs, offsets)
 			offs[i] = float64(k) / float64(p.PCOPhaseSteps) * st.tc
-			pk, _, err := densePeak(st.specs, offs)
+			pk, _, err := densePeak(w, st.specs, offs)
 			if err != nil {
 				peaks[k] = math.Inf(1)
 				return
@@ -103,7 +127,7 @@ func PCO(p Problem) (*Result, error) {
 		}
 		offsets[i] = bestOff
 	}
-	peak, cyc, err = densePeak(st.specs, offsets)
+	peak, cyc, err = densePeak(0, st.specs, offsets)
 	if err != nil {
 		return nil, err
 	}
@@ -129,12 +153,18 @@ func PCO(p Problem) (*Result, error) {
 		for j := range trials {
 			trials[j] = refillTrial{}
 		}
-		parFor(workers, n, func(j int) {
+		parForW(workers, n, func(w, j int) {
 			c := specs[j]
 			if c.High.Voltage <= c.Low.Voltage || c.RH >= 1 {
 				return
 			}
-			pk, tc2, err := densePeak(withRH(specs, j, math.Min(1, c.RH+dr)), offsets)
+			var tsp []coreSpec
+			if p.ClassicEval {
+				tsp = withRH(specs, j, math.Min(1, c.RH+dr))
+			} else {
+				tsp = wa.withRHInto(w, specs, j, math.Min(1, c.RH+dr))
+			}
+			pk, tc2, err := densePeak(w, tsp, offsets)
 			if err != nil || pk > tmax+feasTol {
 				return
 			}

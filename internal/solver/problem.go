@@ -65,6 +65,18 @@ type Problem struct {
 	// tight thresholds (e.g. the 9-core platform at Tmax = 50 °C in
 	// Fig. 7) feasible at all.
 	DisallowOff bool
+	// ClassicEval forces the reference evaluation strategy: a full
+	// sequential-order m-scan with per-candidate schedule construction and
+	// per-evaluation allocation, exactly the pre-arena code path. The
+	// default (false) uses the incremental evaluator — composed eigenbasis
+	// screening of m candidates with quasi-convexity-aware early
+	// termination, plus pooled per-solve arenas for the phase-3 trial
+	// loops. Both paths return bit-identical plans (peak, throughput,
+	// schedule segments, chosen m); they differ only in Evals/MEvaluated
+	// accounting and speed. The classic path backs the differential tests
+	// and is the fallback if the incremental evaluator's quasi-convexity
+	// assumption (Theorem 5) is ever in doubt for an exotic platform.
+	ClassicEval bool
 	// Ctx, when non-nil, cancels the long-running searches: the AO/PCO
 	// m-search, TPT/refill/dense adjustment loops, PCO's phase search, and
 	// the EXS branch-and-bound all observe it and abort with ctx.Err().
@@ -187,8 +199,11 @@ type Result struct {
 	// they must never enter determinism-keyed plan caches.
 	Degraded DegradedReason
 	// MEvaluated counts the oscillation-count candidates the m-search
-	// managed to evaluate before the deadline (equal to the full scan
-	// width on a complete run; 0 for solvers without an m-search).
+	// managed to evaluate before the deadline. On a complete run the
+	// incremental evaluator may stop early once the peak-vs-m curve has
+	// risen decisively (Theorem 5 quasi-convexity), so this can be less
+	// than the full scan width; Problem.ClassicEval restores the
+	// exhaustive count. 0 for solvers without an m-search.
 	MEvaluated int
 }
 

@@ -83,6 +83,53 @@ func modeKey(modes []power.Mode) []byte {
 	return buf
 }
 
+// ModeKeySize returns the byte length of the canonical key of an n-core
+// mode vector, for callers sizing reusable key buffers.
+func ModeKeySize(n int) int { return 9 * n }
+
+// ModeKeyInto writes the canonical mode-vector key into buf (which must
+// have length ModeKeySize(len(modes))) and returns it. Identical bytes to
+// the internal key, so keyed lookups hit the same cache entries.
+func ModeKeyInto(buf []byte, modes []power.Mode) []byte {
+	for i, m := range modes {
+		binary.LittleEndian.PutUint64(buf[9*i:], math.Float64bits(m.Voltage))
+		if m.IsOff() {
+			buf[9*i+8] = 1
+		} else {
+			buf[9*i+8] = 0
+		}
+	}
+	return buf
+}
+
+// SteadyStateKeyed is SteadyState with the mode key precomputed into a
+// caller-owned buffer (ModeKeyInto): a cache hit performs no allocation,
+// which is what the per-solve arenas rely on. On a miss it falls through
+// to SteadyState, which computes (and stores under) its own key copy — the
+// caller's buffer never escapes into the cache.
+func (p *Propagator) SteadyStateKeyed(key []byte, modes []power.Mode) []float64 {
+	p.mu.RLock()
+	v, ok := p.tinf[string(key)]
+	p.mu.RUnlock()
+	if ok {
+		p.steadyHits.Add(1)
+		return v
+	}
+	return p.SteadyState(modes)
+}
+
+// SteadyEigenKeyed is SteadyEigen with a precomputed key; allocation-free
+// on a hit, like SteadyStateKeyed.
+func (p *Propagator) SteadyEigenKeyed(key []byte, modes []power.Mode) []float64 {
+	p.mu.RLock()
+	v, ok := p.teig[string(key)]
+	p.mu.RUnlock()
+	if ok {
+		return v
+	}
+	return p.SteadyEigen(modes)
+}
+
 // SteadyState returns T∞(modes), computing it once per distinct mode
 // vector. The returned slice is shared with the cache: callers must treat
 // it as read-only.

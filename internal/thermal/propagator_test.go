@@ -66,10 +66,10 @@ func TestPropagatorHitMissAccounting(t *testing.T) {
 	m1 := []power.Mode{power.NewMode(0.6), power.NewMode(1.3)}
 	m2 := []power.Mode{power.NewMode(1.3), power.NewMode(0.6)}
 
-	prop.SteadyState(m1) // miss
-	prop.SteadyState(m1) // hit
-	prop.SteadyState(m2) // miss
-	prop.SteadyState(m1) // hit
+	prop.SteadyState(m1)  // miss
+	prop.SteadyState(m1)  // hit
+	prop.SteadyState(m2)  // miss
+	prop.SteadyState(m1)  // hit
 	prop.ExpFactors(1e-3) // miss
 	prop.ExpFactors(1e-3) // hit
 	prop.ExpFactors(2e-3) // miss

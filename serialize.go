@@ -32,12 +32,12 @@ const planFormatVersion = 1
 // MarshalJSON encodes the plan in the versioned interchange format.
 func (plan *Plan) MarshalJSON() ([]byte, error) {
 	return json.Marshal(planJSON{
-		Version:    planFormatVersion,
-		Method:     plan.Method,
-		Throughput: plan.Throughput,
-		PeakC:      plan.PeakC,
-		Feasible:   plan.Feasible,
-		M:          plan.M,
+		Version:        planFormatVersion,
+		Method:         plan.Method,
+		Throughput:     plan.Throughput,
+		PeakC:          plan.PeakC,
+		Feasible:       plan.Feasible,
+		M:              plan.M,
 		PeriodS:        plan.PeriodS,
 		Cores:          plan.Cores,
 		ElapsedS:       plan.Elapsed.Seconds(),
