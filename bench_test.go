@@ -19,6 +19,7 @@ import (
 	"thermosc"
 
 	"thermosc/internal/expr"
+	"thermosc/internal/floorplan"
 	"thermosc/internal/governor"
 	"thermosc/internal/power"
 	"thermosc/internal/rt"
@@ -313,6 +314,72 @@ func BenchmarkPeakEval(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- sparse-backend benchmarks ------------------------------------------
+
+func benchSparse256(b *testing.B) (*thermal.Model, *schedule.Schedule) {
+	b.Helper()
+	md, err := thermal.BuildGen(floorplan.BigLittleStacked(8, 8, 4, 0.5, 4), power.DefaultModel())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !md.SparsePath() {
+		b.Fatal("256-core platform on the dense backend")
+	}
+	specs := make([]schedule.TwoModeSpec, md.NumCores())
+	for i := range specs {
+		specs[i] = schedule.TwoModeSpec{
+			Low:       power.NewMode(0.6),
+			High:      power.NewMode(1.3),
+			HighRatio: 0.3 + 0.05*float64(i%8),
+		}
+	}
+	s, err := schedule.TwoMode(20e-3, specs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return md, s
+}
+
+// BenchmarkPeakEvalSparse measures one warmed stable-peak evaluation on
+// the 256-core stacked big.LITTLE platform through the sparse backend
+// (PCG stable start + exponential actions; mirrored by the CI entry
+// peak_eval_sparse_256).
+func BenchmarkPeakEvalSparse(b *testing.B) {
+	md, s := benchSparse256(b)
+	eng := sim.NewEngine(md)
+	if _, _, err := eng.StepUpPeak(s); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.StepUpPeak(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAOSearch256 is the headline scale solve: full AO on the
+// 256-core stacked big.LITTLE platform (sparse backend + scale policy;
+// mirrored by the CI entry ao_search_256, which also gates it).
+func BenchmarkAOSearch256(b *testing.B) {
+	md, _ := benchSparse256(b)
+	ls, err := power.PaperLevels(3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := solver.Problem{Model: md, Levels: ls, TmaxC: 70, Overhead: power.DefaultOverhead()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := solver.AO(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Feasible {
+			b.Fatal("256-core AO lost feasibility")
+		}
+	}
 }
 
 // --- closed-loop component benchmarks -----------------------------------

@@ -54,6 +54,7 @@ import (
 	"testing"
 	"time"
 
+	"thermosc/internal/floorplan"
 	"thermosc/internal/power"
 	"thermosc/internal/schedule"
 	"thermosc/internal/sim"
@@ -78,6 +79,20 @@ type Entry struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
+// CrossoverEntry is one point of the dense-vs-sparse comparison: the
+// same platform built and evaluated on both algebra backends. Build is
+// where the backends diverge asymptotically (O(dim³) eigendecomposition
+// vs O(nnz) sparse Cholesky); eval is the warmed per-evaluation cost the
+// solvers pay afterwards.
+type CrossoverEntry struct {
+	Name          string  `json:"name"`
+	Dim           int     `json:"dim"` // thermal node count
+	DenseBuildNs  float64 `json:"dense_build_ns"`
+	SparseBuildNs float64 `json:"sparse_build_ns"`
+	DenseEvalNs   float64 `json:"dense_eval_ns"`
+	SparseEvalNs  float64 `json:"sparse_eval_ns"`
+}
+
 // Report is the full machine-readable output.
 type Report struct {
 	Schema    string `json:"schema"`
@@ -92,6 +107,10 @@ type Report struct {
 	GOMAXPROCS int                `json:"gomaxprocs"`
 	Benchmarks []Entry            `json:"benchmarks"`
 	Speedups   map[string]float64 `json:"speedups,omitempty"`
+	// Crossover is the informational dense-vs-sparse peak-evaluation sweep
+	// (not gated: it exists to show WHERE the backends cross, and the
+	// answer may legitimately move with the hardware).
+	Crossover []CrossoverEntry `json:"crossover,omitempty"`
 }
 
 func main() {
@@ -133,6 +152,10 @@ func main() {
 	}
 	for k, v := range rep.Speedups {
 		fmt.Printf("  speedup %-16s %.2fx\n", k, v)
+	}
+	for _, c := range rep.Crossover {
+		fmt.Printf("  crossover %-12s dim %4d  build %12.0f / %12.0f ns  eval %10.0f / %10.0f ns (dense/sparse)\n",
+			c.Name, c.Dim, c.DenseBuildNs, c.SparseBuildNs, c.DenseEvalNs, c.SparseEvalNs)
 	}
 
 	if *minPar > 0 {
@@ -206,6 +229,43 @@ func run() (*Report, error) {
 	engine := sim.NewEngine(md)
 	if _, _, err := engine.StepUpPeak(sched); err != nil {
 		return nil, err
+	}
+
+	// The 256-core sparse-backend workload: the largest catalog platform
+	// (stacked + heterogeneous), the scale the serving layer now accepts.
+	bigGen := floorplan.BigLittleStacked(8, 8, 4, 0.5, 4)
+	bigMd, err := thermal.BuildGen(bigGen, power.DefaultModel())
+	if err != nil {
+		return nil, err
+	}
+	if !bigMd.SparsePath() {
+		return nil, fmt.Errorf("%s unexpectedly on the dense backend", bigGen.Name)
+	}
+	bigLs, err := power.PaperLevels(3)
+	if err != nil {
+		return nil, err
+	}
+	bigSpecs := make([]schedule.TwoModeSpec, bigMd.NumCores())
+	for i := range bigSpecs {
+		bigSpecs[i] = schedule.TwoModeSpec{
+			Low:       power.NewMode(0.6),
+			High:      power.NewMode(1.3),
+			HighRatio: 0.3 + 0.05*float64(i%8),
+		}
+	}
+	bigSched, err := schedule.TwoMode(20e-3, bigSpecs)
+	if err != nil {
+		return nil, err
+	}
+	bigEngine := sim.NewEngine(bigMd)
+	if _, _, err := bigEngine.StepUpPeak(bigSched); err != nil {
+		return nil, err
+	}
+	bigProblem := func() solver.Problem {
+		return solver.Problem{
+			Model: bigMd, Levels: bigLs, TmaxC: 70,
+			Overhead: power.DefaultOverhead(), Workers: runtime.GOMAXPROCS(0),
+		}
 	}
 
 	// Budget for the degraded-path benchmark: half the median full AO
@@ -291,6 +351,25 @@ func run() (*Report, error) {
 				}
 			}
 		}},
+		{"peak_eval_sparse_256", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := bigEngine.StepUpPeak(bigSched); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"ao_search_256", func(b *testing.B) {
+			p := bigProblem()
+			for i := 0; i < b.N; i++ {
+				res, err := solver.AO(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Feasible || res.Degraded != solver.DegradedNone {
+					b.Fatalf("256-core AO lost feasibility: %+v", res)
+				}
+			}
+		}},
 	}
 
 	rep := &Report{
@@ -322,6 +401,12 @@ func run() (*Report, error) {
 		byName[e.Name] = e
 	}
 
+	cross, err := crossoverSweep()
+	if err != nil {
+		return nil, err
+	}
+	rep.Crossover = cross
+
 	rep.Speedups = map[string]float64{}
 	if s, p := byName["ao_search_seq"], byName["ao_search_par"]; p.NsPerOp > 0 {
 		rep.Speedups["ao_search"] = s.NsPerOp / p.NsPerOp
@@ -333,6 +418,70 @@ func run() (*Report, error) {
 		rep.Speedups["peak_eval_composed"] = c.NsPerOp / co.NsPerOp
 	}
 	return rep, nil
+}
+
+// crossoverSweep times one warmed stable-peak evaluation on the SAME
+// mesh through both algebra backends across the sizes that bracket
+// thermal.SparseCrossoverDim, so the -compare-out table shows where the
+// sparse path actually overtakes the dense one on this machine.
+func crossoverSweep() ([]CrossoverEntry, error) {
+	var out []CrossoverEntry
+	for _, rows := range []int{4, 6, 8, 10, 12} {
+		g := floorplan.Mesh(rows, rows)
+		var build, eval [2]float64
+		var dim int
+		for k, alg := range []thermal.Algebra{thermal.AlgebraDense, thermal.AlgebraSparse} {
+			// Build cost: the backend's one-time factorization (Jacobi
+			// eigendecomposition + SPD inverse densely; sparse Cholesky +
+			// power-iteration τ on the sparse path).
+			buildIters := 3
+			if rows >= 10 {
+				buildIters = 1 // dense builds are seconds here; one is enough
+			}
+			start := time.Now()
+			var md *thermal.Model
+			var err error
+			for i := 0; i < buildIters; i++ {
+				md, err = thermal.BuildGen(g, power.DefaultModel(), thermal.WithAlgebra(alg))
+				if err != nil {
+					return nil, fmt.Errorf("crossover %s %s: %w", g.Name, alg, err)
+				}
+			}
+			build[k] = float64(time.Since(start).Nanoseconds()) / float64(buildIters)
+			dim = md.NumNodes()
+
+			specs := make([]schedule.TwoModeSpec, md.NumCores())
+			for i := range specs {
+				specs[i] = schedule.TwoModeSpec{
+					Low:       power.NewMode(0.6),
+					High:      power.NewMode(1.3),
+					HighRatio: 0.3 + 0.05*float64(i%8),
+				}
+			}
+			sched, err := schedule.TwoMode(20e-3, specs)
+			if err != nil {
+				return nil, err
+			}
+			eng := sim.NewEngine(md)
+			if _, _, err := eng.StepUpPeak(sched); err != nil {
+				return nil, fmt.Errorf("crossover %s %s: %w", g.Name, alg, err)
+			}
+			const evalIters = 10
+			start = time.Now()
+			for i := 0; i < evalIters; i++ {
+				if _, _, err := eng.StepUpPeak(sched); err != nil {
+					return nil, err
+				}
+			}
+			eval[k] = float64(time.Since(start).Nanoseconds()) / evalIters
+		}
+		out = append(out, CrossoverEntry{
+			Name: g.Name, Dim: dim,
+			DenseBuildNs: build[0], SparseBuildNs: build[1],
+			DenseEvalNs: eval[0], SparseEvalNs: eval[1],
+		})
+	}
+	return out, nil
 }
 
 // limits are the per-dimension regression multipliers of the gate.
@@ -459,6 +608,26 @@ func writeCompare(path string, base, cur *Report) error {
 		fmt.Fprintf(&sb, "\n")
 		for _, k := range names {
 			fmt.Fprintf(&sb, "- speedup %s: %.2fx\n", k, cur.Speedups[k])
+		}
+	}
+	if len(cur.Crossover) > 0 {
+		fmt.Fprintf(&sb, "\n## dense vs sparse crossover\n\n")
+		fmt.Fprintf(&sb, "| platform | dim | dense build | sparse build | dense eval | sparse eval |\n|---|---:|---:|---:|---:|---:|\n")
+		crossAt := ""
+		for _, c := range cur.Crossover {
+			fmt.Fprintf(&sb, "| %s | %d | %.0f | %.0f | %.0f | %.0f |\n",
+				c.Name, c.Dim, c.DenseBuildNs, c.SparseBuildNs, c.DenseEvalNs, c.SparseEvalNs)
+			if crossAt == "" && c.SparseBuildNs <= c.DenseBuildNs {
+				crossAt = fmt.Sprintf("dim %d (%s)", c.Dim, c.Name)
+			}
+		}
+		fmt.Fprintf(&sb, "\n(all ns; build is the one-time backend factorization, eval one warmed stable-peak evaluation)\n")
+		if crossAt != "" {
+			fmt.Fprintf(&sb, "\nsparse build overtakes dense at %s; the automatic crossover switches at dim %d\n",
+				crossAt, thermal.SparseCrossoverDim)
+		} else {
+			fmt.Fprintf(&sb, "\nsparse build never overtook dense in this sweep; the automatic crossover switches at dim %d\n",
+				thermal.SparseCrossoverDim)
 		}
 	}
 	return os.WriteFile(path, []byte(sb.String()), 0o644)

@@ -35,7 +35,7 @@ func main() {
 		addr          = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
 		planCache     = flag.Int("plan-cache", 256, "LRU plan cache capacity")
 		platformCache = flag.Int("platform-cache", 32, "LRU platform/engine cache capacity")
-		maxCores      = flag.Int("max-cores", 16, "largest platform (total cores) accepted")
+		maxCores      = flag.Int("max-cores", 256, "largest platform (total cores) accepted")
 		timeout       = flag.Duration("timeout", 30*time.Second, "default per-request solve timeout")
 		maxTimeout    = flag.Duration("max-timeout", 2*time.Minute, "cap on client-requested timeouts")
 		workers       = flag.Int("workers", 0, "solver fan-out width (0 = GOMAXPROCS)")

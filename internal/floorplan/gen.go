@@ -1,0 +1,139 @@
+package floorplan
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenSpec describes one generated platform geometry: a rows×cols mesh,
+// optionally stacked in identical die layers, optionally with per-core
+// big.LITTLE power scales. It is pure geometry plus numbers — the thermal
+// layer (thermal.BuildGen) turns a GenSpec into a calibrated model with a
+// chip-size-scaled package.
+type GenSpec struct {
+	Name     string
+	Rows     int
+	Cols     int
+	CoreEdge float64 // m; 0 means the 4 mm default
+	Layers   int     // die layers; 0 or 1 is planar
+	// Scales is the per-core power-scale vector (layer-major on stacks;
+	// nil means homogeneous). Length Layers×Rows×Cols when non-nil.
+	Scales []float64
+}
+
+// NumCores returns the total core count (all layers).
+func (g GenSpec) NumCores() int {
+	l := g.Layers
+	if l < 1 {
+		l = 1
+	}
+	return l * g.Rows * g.Cols
+}
+
+// Floorplan builds the per-layer floorplan of the spec.
+func (g GenSpec) Floorplan() (*Floorplan, error) {
+	edge := g.CoreEdge
+	if edge == 0 {
+		edge = 4e-3
+	}
+	return Grid(g.Rows, g.Cols, edge)
+}
+
+// Validate performs the structural checks shared by every consumer.
+func (g GenSpec) Validate() error {
+	if g.Rows < 1 || g.Cols < 1 {
+		return fmt.Errorf("floorplan: gen %q has %dx%d mesh", g.Name, g.Rows, g.Cols)
+	}
+	if g.Layers < 0 {
+		return fmt.Errorf("floorplan: gen %q has %d layers", g.Name, g.Layers)
+	}
+	if g.Scales != nil && len(g.Scales) != g.NumCores() {
+		return fmt.Errorf("floorplan: gen %q has %d scales for %d cores", g.Name, len(g.Scales), g.NumCores())
+	}
+	return nil
+}
+
+// Mesh returns a planar rows×cols mesh spec.
+func Mesh(rows, cols int) GenSpec {
+	return GenSpec{Name: fmt.Sprintf("mesh-%dx%d", rows, cols), Rows: rows, Cols: cols}
+}
+
+// Stacked3D returns a rows×cols mesh repeated in `layers` bonded die
+// layers (layer-major core indices, layer 0 at the heat sink).
+func Stacked3D(rows, cols, layers int) GenSpec {
+	return GenSpec{
+		Name: fmt.Sprintf("stack-%dx%dx%d", rows, cols, layers),
+		Rows: rows, Cols: cols, Layers: layers,
+	}
+}
+
+// BigLittle power-scale classes: big cores burn ~1.6× the reference
+// power, LITTLE cores ~0.45× — the asymmetry ratio of contemporary
+// big.LITTLE designs.
+const (
+	BigScale    = 1.6
+	LittleScale = 0.45
+)
+
+// BigLittle returns a planar rows×cols mesh whose cores are split into
+// big and LITTLE power classes by a seeded deterministic assignment
+// (bigFrac of the cores are big, rounded down, at seeded-random mesh
+// positions). The same seed always yields the same assignment.
+func BigLittle(rows, cols int, bigFrac float64, seed int64) GenSpec {
+	g := GenSpec{
+		Name: fmt.Sprintf("biglittle-%dx%d-s%d", rows, cols, seed),
+		Rows: rows, Cols: cols,
+		Scales: bigLittleScales(rows*cols, bigFrac, seed),
+	}
+	return g
+}
+
+// BigLittleStacked is BigLittle on a 3D stack (layer-major scales).
+func BigLittleStacked(rows, cols, layers int, bigFrac float64, seed int64) GenSpec {
+	g := Stacked3D(rows, cols, layers)
+	g.Name = fmt.Sprintf("biglittle-%dx%dx%d-s%d", rows, cols, layers, seed)
+	g.Scales = bigLittleScales(layers*rows*cols, bigFrac, seed)
+	return g
+}
+
+func bigLittleScales(n int, bigFrac float64, seed int64) []float64 {
+	scales := make([]float64, n)
+	for i := range scales {
+		scales[i] = LittleScale
+	}
+	nBig := int(bigFrac * float64(n))
+	// Clamp instead of panicking on out-of-range fractions (NaN yields 0):
+	// every mix from all-LITTLE to all-big is a valid platform.
+	if nBig < 0 {
+		nBig = 0
+	} else if nBig > n {
+		nBig = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for _, idx := range rng.Perm(n)[:nBig] {
+		scales[idx] = BigScale
+	}
+	return scales
+}
+
+// Catalog returns the pinned generated-platform suite the differential
+// and scale tests sweep: planar meshes from the paper's sizes up to
+// 16×16, 3D stacks, and big.LITTLE mixes, all deterministic. Entries are
+// ordered small to large so tests can cut off by core count.
+func Catalog() []GenSpec {
+	return []GenSpec{
+		Mesh(2, 1),
+		Mesh(3, 3),
+		BigLittle(4, 4, 0.25, 1),
+		Stacked3D(3, 3, 2),
+		Mesh(6, 6),
+		Mesh(8, 8),
+		BigLittle(8, 8, 0.5, 2),
+		Stacked3D(8, 8, 2),
+		Mesh(12, 12),
+		Stacked3D(8, 8, 4),                // 256 cores
+		Mesh(16, 16),                      // 256 cores
+		BigLittle(16, 16, 0.5, 3),         // 256 cores, hetero
+		BigLittleStacked(8, 8, 4, 0.5, 4), // 256 cores, stacked + hetero
+	}
+}

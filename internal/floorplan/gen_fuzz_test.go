@@ -1,0 +1,56 @@
+package floorplan
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzGenSpec drives the generated-platform constructors with arbitrary
+// geometry: degenerate meshes (1xN strips, zero or negative dimensions,
+// single or absurd stack depths), zero-area cores, and out-of-range
+// big.LITTLE fractions must never panic — Validate/Floorplan either
+// reject them or produce a structurally consistent spec.
+func FuzzGenSpec(f *testing.F) {
+	f.Add(2, 1, 1, 4e-3, 0.5, int64(1))
+	f.Add(1, 16, 1, 4e-3, 0.25, int64(2)) // 1xN strip
+	f.Add(8, 8, 4, 4e-3, 0.5, int64(4))   // 256-core stacked hetero
+	f.Add(16, 16, 1, 2e-3, 1.0, int64(3)) // all-big 256-core mesh
+	f.Add(3, 3, 1, 0.0, 0.5, int64(5))    // zero edge → 4 mm default
+	f.Add(2, 2, 0, 4e-3, 0.0, int64(6))   // layers 0 → planar
+	f.Add(0, 4, 1, 4e-3, 0.5, int64(7))   // zero rows → reject
+	f.Add(4, 4, -1, 4e-3, 0.5, int64(8))  // negative layers → reject
+	f.Add(2, 2, 1, -1e-3, 0.5, int64(9))  // zero-area cores → reject
+	f.Add(2, 2, 1, math.NaN(), 2.0, int64(10))
+	f.Add(2, 2, 1, 4e-3, -3.5, int64(11)) // bigFrac < 0 → all LITTLE
+	f.Add(1, 1, 20, 4e-3, 99.0, int64(12))
+
+	f.Fuzz(func(t *testing.T, rows, cols, layers int, edge, bigFrac float64, seed int64) {
+		if rows > 64 || cols > 64 || layers > 16 {
+			t.Skip("beyond any supported platform size")
+		}
+		g := Stacked3D(rows, cols, layers)
+		g.CoreEdge = edge
+		n := g.NumCores()
+		if n > 0 && n <= 4096 {
+			g.Scales = bigLittleScales(n, bigFrac, seed)
+			for _, s := range g.Scales {
+				if s != BigScale && s != LittleScale {
+					t.Fatalf("scale %v is neither big nor LITTLE", s)
+				}
+			}
+		}
+		if err := g.Validate(); err != nil {
+			return // rejection is fine; panics are not
+		}
+		fp, err := g.Floorplan()
+		if err != nil {
+			return
+		}
+		if fp.NumCores() != rows*cols {
+			t.Fatalf("per-layer floorplan has %d cores, want %d", fp.NumCores(), rows*cols)
+		}
+		if !(fp.CoreEdge > 0) {
+			t.Fatalf("accepted zero-area cores: edge %v", fp.CoreEdge)
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package floorplan
+
+import "testing"
+
+func TestGenConstructors(t *testing.T) {
+	m := Mesh(5, 3)
+	if m.Name != "mesh-5x3" || m.NumCores() != 15 || m.Scales != nil {
+		t.Fatalf("mesh: %+v", m)
+	}
+	s := Stacked3D(2, 3, 4)
+	if s.NumCores() != 24 || s.Layers != 4 {
+		t.Fatalf("stack: %+v", s)
+	}
+	bl := BigLittle(4, 4, 0.25, 1)
+	if len(bl.Scales) != 16 {
+		t.Fatalf("biglittle scales: %d", len(bl.Scales))
+	}
+	big := 0
+	for _, sc := range bl.Scales {
+		switch sc {
+		case BigScale:
+			big++
+		case LittleScale:
+		default:
+			t.Fatalf("unexpected scale %v", sc)
+		}
+	}
+	if big != 4 { // floor(0.25 * 16)
+		t.Fatalf("big cores = %d, want 4", big)
+	}
+	// Same seed, same assignment — the catalog must be reproducible.
+	if got := BigLittle(4, 4, 0.25, 1); !equalScales(got.Scales, bl.Scales) {
+		t.Fatal("seeded assignment not deterministic")
+	}
+	bls := BigLittleStacked(2, 2, 2, 0.5, 9)
+	if bls.NumCores() != 8 || len(bls.Scales) != 8 || bls.Layers != 2 {
+		t.Fatalf("stacked hetero: %+v", bls)
+	}
+}
+
+func equalScales(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCatalog(t *testing.T) {
+	cat := Catalog()
+	if len(cat) < 10 {
+		t.Fatalf("catalog has %d entries", len(cat))
+	}
+	seen := map[string]bool{}
+	prev := 0
+	max := 0
+	for _, g := range cat {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		if _, err := g.Floorplan(); err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		if seen[g.Name] {
+			t.Fatalf("duplicate catalog name %q", g.Name)
+		}
+		seen[g.Name] = true
+		n := g.NumCores()
+		if n < prev {
+			t.Fatalf("%s: catalog not ordered by size (%d after %d)", g.Name, n, prev)
+		}
+		prev = n
+		if n > max {
+			max = n
+		}
+	}
+	if max < 256 {
+		t.Fatalf("catalog tops out at %d cores, want 256", max)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	bad := []GenSpec{
+		{Name: "zero-rows", Rows: 0, Cols: 3},
+		{Name: "neg-cols", Rows: 3, Cols: -1},
+		{Name: "neg-layers", Rows: 2, Cols: 2, Layers: -1},
+		{Name: "short-scales", Rows: 2, Cols: 2, Scales: []float64{1}},
+	}
+	for _, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Fatalf("%s: accepted", g.Name)
+		}
+	}
+}

@@ -66,6 +66,10 @@ type EvalArena struct {
 	expBuf []float64 // dim
 	temps  []float64 // n
 
+	// spWS is the sparse-backend stepping and stable-solve workspace
+	// (nil on the dense backend).
+	spWS *sparseScratch
+
 	released bool
 }
 
@@ -101,6 +105,9 @@ func newEvalArena(e *Engine) *EvalArena {
 	a.cacc = make([]float64, dim)
 	a.expBuf = make([]float64, dim)
 	a.temps = make([]float64, n)
+	if md.SparsePath() {
+		a.spWS = newSparseScratch(dim)
+	}
 	return a
 }
 
@@ -127,10 +134,14 @@ func (e *Engine) ReleaseArena(a *EvalArena) {
 func (a *EvalArena) poison() {
 	a.released = true
 	nan := math.NaN()
-	for _, buf := range [][]float64{
+	bufs := [][]float64{
 		a.state, a.start, a.diff, a.ymode, a.sample,
 		a.etot, a.cacc, a.expBuf, a.temps, a.ivLen,
-	} {
+	}
+	if a.spWS != nil {
+		bufs = append(bufs, a.spWS.r, a.spWS.z, a.spWS.p, a.spWS.q, a.spWS.kx)
+	}
+	for _, buf := range bufs {
 		for i := range buf {
 			buf[i] = nan
 		}
@@ -289,13 +300,16 @@ func (a *EvalArena) checkCache(cache *PeriodCache) error {
 }
 
 // resolveOps fills the per-interval steady-state targets and exponential
-// factors from the shared propagator cache (allocation-free on hits).
+// factors from the shared propagator cache (allocation-free on hits). The
+// sparse backend has no eigenbasis factors — only the T∞ cache applies;
+// stepping goes through the exponential action instead.
 func (a *EvalArena) resolveOps(prop *thermal.Propagator) {
+	sparse := a.md.SparsePath()
 	for q := 0; q < a.z; q++ {
 		if a.tinfs[q] == nil {
 			a.tinfs[q] = prop.SteadyStateKeyed(a.keys[q], a.ivModes[q])
 		}
-		if a.expLs[q] == nil {
+		if !sparse && a.expLs[q] == nil {
 			a.expLs[q] = prop.ExpFactors(a.ivLen[q])
 		}
 	}
@@ -304,9 +318,14 @@ func (a *EvalArena) resolveOps(prop *thermal.Propagator) {
 // stablePasses runs the two stable-status passes of NewStableCached over
 // the assembled cycle: the zero-start propagation, the (I−K)⁻¹ solve into
 // a.start, and the stable walk leaving the end-of-period state in a.state.
-// Bit-identical to the Schedule-based solve.
+// Bit-identical to the Schedule-based solve on both backends (the sparse
+// branch runs exactly the kernels NewStableCached reaches through
+// Propagator.Step and PeriodCache.StableStart, in the same order).
 func (a *EvalArena) stablePasses(cache *PeriodCache) error {
 	a.resolveOps(cache.prop)
+	if a.md.SparsePath() {
+		return a.stablePassesSparse(cache)
+	}
 	eig := a.md.Eigen()
 	state := a.state
 	for i := range state {
@@ -321,6 +340,27 @@ func (a *EvalArena) stablePasses(cache *PeriodCache) error {
 	copy(state, a.start)
 	for q := 0; q < a.z; q++ {
 		eig.StepVecExpTo(state, a.diff, a.ymode, a.expLs[q], state, a.tinfs[q])
+	}
+	return nil
+}
+
+// stablePassesSparse is the sparse-backend body of stablePasses: in-place
+// exponential-action stepping plus the PCG stable solve, all through the
+// arena's sparseScratch.
+func (a *EvalArena) stablePassesSparse(cache *PeriodCache) error {
+	state := a.state
+	for i := range state {
+		state[i] = 0
+	}
+	for q := 0; q < a.z; q++ {
+		a.md.StepSparseTo(state, a.diff, a.ivLen[q], state, a.tinfs[q], &a.spWS.exp)
+	}
+	if err := cache.stableStartSparseTo(a.start, state, a.spWS); err != nil {
+		return err
+	}
+	copy(state, a.start)
+	for q := 0; q < a.z; q++ {
+		a.md.StepSparseTo(state, a.diff, a.ivLen[q], state, a.tinfs[q], &a.spWS.exp)
 	}
 	return nil
 }
@@ -361,6 +401,9 @@ func (a *EvalArena) densePeakScan(prop *thermal.Propagator, samples int) float64
 	if samples < 1 {
 		samples = 1
 	}
+	if a.md.SparsePath() {
+		return a.densePeakScanSparse(samples)
+	}
 	eig := a.md.Eigen()
 	cur := a.state
 	copy(cur, a.start)
@@ -379,6 +422,26 @@ func (a *EvalArena) densePeakScan(prop *thermal.Propagator, samples int) float64
 	return peak
 }
 
+// densePeakScanSparse mirrors densePeakScan through the exponential
+// action: the same fractional sample offsets, the same end-of-interval
+// walk, the same values as Stable.PeakDense on the sparse backend.
+func (a *EvalArena) densePeakScanSparse(samples int) float64 {
+	cur := a.state
+	copy(cur, a.start)
+	peak, _ := mat.VecMax(a.start[:a.n])
+	for q := 0; q < a.z; q++ {
+		for k := 1; k <= samples; k++ {
+			frac := float64(k) / float64(samples)
+			a.md.StepSparseTo(a.sample, a.diff, a.ivLen[q]*frac, cur, a.tinfs[q], &a.spWS.exp)
+			if p, _ := mat.VecMax(a.sample[:a.n]); p > peak {
+				peak = p
+			}
+		}
+		a.md.StepSparseTo(cur, a.diff, a.ivLen[q], cur, a.tinfs[q], &a.spWS.exp)
+	}
+	return peak
+}
+
 // ComposedEndPeak evaluates the Theorem-1 peak of the assembled cycle
 // entirely in the eigenbasis — the screening evaluator of the incremental
 // m-search. Identical mathematics to Engine.StepUpPeakComposed (and the
@@ -388,6 +451,11 @@ func (a *EvalArena) densePeakScan(prop *thermal.Propagator, samples int) float64
 // lengths.
 func (a *EvalArena) ComposedEndPeak() (float64, error) {
 	a.checkLive()
+	if a.md.SparsePath() {
+		// No eigenbasis to compose in. The solver's sparse scale policy
+		// screens with exact stable evaluations instead (solver/search.go).
+		return 0, fmt.Errorf("sim: ComposedEndPeak requires the dense eigenbasis backend")
+	}
 	eig := a.md.Eigen()
 	prop := a.eng.prop
 	etot, c := a.etot, a.cacc

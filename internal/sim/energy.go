@@ -38,31 +38,52 @@ func (e *EnergyReport) EnergyPerWork() float64 {
 //
 //	∫₀ˡ T(t) dt = T∞·l + A⁻¹·(e^{A·l} − I)·(x − T∞),
 //
-// evaluated through the eigendecomposition (no matrix inversion).
+// evaluated through the eigendecomposition on the dense backend and, on
+// the sparse backend, through the exponential action plus one sparse
+// steady solve per interval (A⁻¹ = −(G−βE)⁻¹·C, so the A⁻¹ application
+// is a capacitance scaling followed by the already-factored Cholesky).
 func (s *Stable) Energy() *EnergyReport {
 	md := s.md
 	eig := md.Eigen()
 	n := md.NumCores()
 	pm := md.Power()
 	rep := &EnergyReport{PerCore: make([]float64, n)}
+	var cd []float64
+	var ws mat.ExpmvScratch
+	if md.SparsePath() {
+		cd = md.Capacitances()
+	}
 
 	cur := s.start
 	for q, iv := range s.ivs {
 		l := iv.Length
 		// ∫ T dt for all nodes over this interval.
 		diff := mat.VecSub(cur, s.tinfs[q])
-		y := eig.Winv.MulVec(diff)
-		for k, lam := range eig.Lambda {
-			// (e^{λl} − 1)/λ, with the λ→0 limit l.
-			if math.Abs(lam*l) < 1e-12 {
-				y[k] *= l
-			} else {
-				y[k] *= math.Expm1(lam*l) / lam
+		var intT []float64
+		if md.SparsePath() {
+			// (e^{A·l} − I)·diff, then −(G−βE)⁻¹·C applied to it.
+			intT = md.ASparse().ExpActionTo(make([]float64, len(diff)), l, diff, &ws)
+			for i := range intT {
+				intT[i] = cd[i] * (intT[i] - diff[i])
 			}
-		}
-		intT := eig.W.MulVec(y)
-		for i := 0; i < n; i++ {
-			intT[i] += s.tinfs[q][i] * l
+			md.SolveSteadyTo(intT, intT)
+			for i := 0; i < n; i++ {
+				intT[i] = s.tinfs[q][i]*l - intT[i]
+			}
+		} else {
+			y := eig.Winv.MulVec(diff)
+			for k, lam := range eig.Lambda {
+				// (e^{λl} − 1)/λ, with the λ→0 limit l.
+				if math.Abs(lam*l) < 1e-12 {
+					y[k] *= l
+				} else {
+					y[k] *= math.Expm1(lam*l) / lam
+				}
+			}
+			intT = eig.W.MulVec(y)
+			for i := 0; i < n; i++ {
+				intT[i] += s.tinfs[q][i] * l
+			}
 		}
 		for i := 0; i < n; i++ {
 			m := iv.Modes[i]

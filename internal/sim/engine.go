@@ -29,7 +29,7 @@ type Engine struct {
 	mu      sync.Mutex
 	periods map[float64]*periodEntry
 
-	coreW *mat.Dense // core-node rows of W, for composed core temps
+	coreW *mat.Dense // core-node rows of W, for composed core temps (nil on the sparse backend)
 
 	// arenas pools per-solve evaluation scratch (see EvalArena): acquired
 	// per worker, poisoned with NaN on release so stale references fail
@@ -48,12 +48,14 @@ type periodEntry struct {
 
 // NewEngine returns an evaluation engine with empty caches bound to md.
 func NewEngine(md *thermal.Model) *Engine {
-	eig := md.Eigen()
 	n, dim := md.NumCores(), md.NumNodes()
-	coreW := mat.NewDense(n, dim)
-	for i := 0; i < n; i++ {
-		for j := 0; j < dim; j++ {
-			coreW.Set(i, j, eig.W.At(i, j))
+	var coreW *mat.Dense
+	if eig := md.Eigen(); eig != nil {
+		coreW = mat.NewDense(n, dim)
+		for i := 0; i < n; i++ {
+			for j := 0; j < dim; j++ {
+				coreW.Set(i, j, eig.W.At(i, j))
+			}
 		}
 	}
 	e := &Engine{
@@ -134,6 +136,11 @@ func (e *Engine) StepUpPeak(sched *schedule.Schedule) (float64, int, error) {
 // evaluator for screening sweeps, dashboards, and throughput-oriented
 // services where last-ulp reproducibility is not required.
 func (e *Engine) StepUpPeakComposed(sched *schedule.Schedule) (float64, int, error) {
+	if e.md.SparsePath() {
+		// No eigenbasis to compose in — the exact classic path is the
+		// screening evaluator on the sparse backend.
+		return e.StepUpPeak(sched)
+	}
 	ivs := sched.Intervals()
 	dim := e.md.NumNodes()
 	etot := make([]float64, dim) // composed propagator ⊙_q E_q

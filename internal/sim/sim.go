@@ -29,13 +29,19 @@ func PeriodEnd(md *thermal.Model, sched *schedule.Schedule, t0 []float64) []floa
 }
 
 // PeriodCache holds the period-dependent operators of the stable-status
-// equation — K = e^{A·t_p} and an LU factorization of (I−K) — so repeated
-// stable solves over schedules with the same period (the AO inner loops)
-// share the O(n³) setup.
+// equation — on the dense backend K = e^{A·t_p} and an LU factorization
+// of (I−K), so repeated stable solves over schedules with the same period
+// (the AO inner loops) share the O(n³) setup. On the sparse backend
+// neither K nor a factorization of (I−K) is ever formed: StableStart runs
+// the preconditioned CG of sparse.go, and the cache only pins the node
+// capacitances that define its inner product.
 type PeriodCache struct {
 	md *thermal.Model
 	tp float64
-	lu *mat.LU
+	lu *mat.LU // dense backend; nil on the sparse path
+	// cDiag is the C diagonal of the sparse-backend PCG inner product
+	// (nil on the dense path).
+	cDiag []float64
 	// prop, when set, memoizes the per-interval operators (T∞ per mode
 	// vector, exp(λ·Δt) per length) across every solve that shares this
 	// cache. Cached values are bit-identical to recomputation, so the
@@ -52,6 +58,9 @@ func NewPeriodCache(md *thermal.Model, tp float64) (*PeriodCache, error) {
 func newPeriodCacheProp(md *thermal.Model, tp float64, prop *thermal.Propagator) (*PeriodCache, error) {
 	if tp <= 0 {
 		return nil, fmt.Errorf("sim: non-positive period %v", tp)
+	}
+	if md.SparsePath() {
+		return &PeriodCache{md: md, tp: tp, cDiag: md.Capacitances(), prop: prop}, nil
 	}
 	k := md.Eigen().ExpAt(tp)
 	imk := mat.Eye(md.NumNodes()).SubInPlace(k)
@@ -75,7 +84,16 @@ func (c *PeriodCache) steadyState(modes []power.Mode) []float64 {
 // StableStart maps the end-of-period state reached from the all-ambient
 // start (T(0)=0) to the start-of-period state in the thermally stable
 // status: T* = (I−K)⁻¹·T(t_p) — the closed form of paper eq. (4) at q = z.
+// Dense backend: one LU solve. Sparse backend: the preconditioned CG of
+// sparse.go (allocating its own scratch; the arenas reuse theirs).
 func (c *PeriodCache) StableStart(endFromZero []float64) ([]float64, error) {
+	if c.lu == nil {
+		dst := make([]float64, len(endFromZero))
+		if err := c.stableStartSparseTo(dst, endFromZero, newSparseScratch(c.md.NumNodes())); err != nil {
+			return nil, err
+		}
+		return dst, nil
+	}
 	return c.lu.SolveVec(endFromZero)
 }
 

@@ -249,6 +249,15 @@ func runAO(p Problem) (*aoState, error) {
 	// in-flight solves share a single pool.
 	eng := p.engine()
 	idealSpecs := neighborSpecs(p.Levels, volts, !p.DisallowOff)
+	if md.SparsePath() {
+		// At scale the ideal-pinned start can be infeasible by a distance
+		// the one-quantum TPT loop cannot cover; back it off to a
+		// near-feasible scaled seed first (see scale.go).
+		idealSpecs, err = sparseFeasibleSeed(p, eng, volts)
+		if err != nil {
+			return nil, err
+		}
+	}
 	best, err := optimizeSpecs(p, eng, idealSpecs, 0)
 	if err != nil {
 		return nil, err
@@ -256,8 +265,11 @@ func runAO(p Problem) (*aoState, error) {
 
 	// Seed 2 is only worth running when seed 1 finished intact — a
 	// deadline that already truncated the first optimization leaves no
-	// budget for another full pass.
-	if best.degraded == DegradedNone {
+	// budget for another full pass. The sparse backend skips it outright:
+	// at hundreds of cores the EXS branch-and-bound plus a second full
+	// optimization pass would dominate the whole deadline budget for a
+	// start the scale-policy pruning handles from seed 1 anyway.
+	if best.degraded == DegradedNone && !md.SparsePath() {
 		exsSpecs, exsEvals, ok := exsSeedSpecs(p)
 		if ok {
 			alt, altErr := optimizeSpecs(p, eng, exsSpecs, best.m)
@@ -354,6 +366,25 @@ func optimizeSpecs(p Problem, eng *sim.Engine, specs []coreSpec, forceM int) (*a
 	tp := p.BasePeriod
 	workers := p.workers()
 	specs = append([]coreSpec(nil), specs...)
+
+	// Scale policy (nil on the dense backend): on large sparse platforms
+	// the per-iteration trial scans evaluate only the top-ranked candidate
+	// cores instead of all of them (see scale.go). allJ is the identity
+	// candidate list the dense path scans — same indices, same order, same
+	// arithmetic as the historic exhaustive loop.
+	pol := newScalePolicy(md)
+	allJ := make([]int, len(specs))
+	for j := range allJ {
+		allJ[j] = j
+	}
+	canCool := func(j int) bool {
+		c := specs[j]
+		return c.High.Voltage > c.Low.Voltage && c.RH > 0
+	}
+	canRaise := func(j int) bool {
+		c := specs[j]
+		return c.High.Voltage > c.Low.Voltage && c.RH < 1
+	}
 
 	// Chip-wide oscillation bound M = min_i M_i (§V).
 	m := p.MaxM
@@ -474,11 +505,18 @@ func optimizeSpecs(p Problem, eng *sim.Engine, specs []coreSpec, forceM int) (*a
 		// Algorithm 2 lines 15–20: pick the core whose slowdown most
 		// effectively cools the hottest core per unit of throughput lost.
 		// The per-core trial evaluations are independent; evaluate them
-		// across the worker pool and reduce in core order.
+		// across the worker pool and reduce in candidate order. The dense
+		// path trials every core; the sparse scale policy trials only the
+		// top coolers ranked against the current hot node.
+		cand := allJ
+		if pol != nil {
+			cand = pol.coolers(hot, specs, canCool)
+		}
 		for j := range trialTemps {
 			trialTemps[j] = nil
 		}
-		parForW(workers, len(specs), func(w, j int) {
+		parForW(workers, len(cand), func(w, k int) {
+			j := cand[k]
 			c := specs[j]
 			if c.High.Voltage <= c.Low.Voltage || c.RH <= 0 {
 				return
@@ -491,10 +529,11 @@ func optimizeSpecs(p Problem, eng *sim.Engine, specs []coreSpec, forceM int) (*a
 		})
 		bestJ, bestTPT := -1, math.Inf(-1)
 		var bestTemps []float64
-		for j, c := range specs {
+		for _, j := range cand {
 			if trialTemps[j] == nil {
 				continue
 			}
+			c := specs[j]
 			deltaT := temps[hot] - trialTemps[j][hot]
 			tpt := deltaT / ((c.High.Voltage - c.Low.Voltage) * tUnit)
 			if tpt > bestTPT {
@@ -520,15 +559,26 @@ func optimizeSpecs(p Problem, eng *sim.Engine, specs []coreSpec, forceM int) (*a
 	// budget minus a small guard band (absorbing the constant-core
 	// overshoot documented on sim.Stable.PeakEndOfPeriod).
 	const refillGuard = 0.05
-	for iter := 0; peak < tmax-refillGuard && iter < maxIter; iter++ {
+	refillMax := maxIter
+	if pol != nil {
+		// Each sparse refill iteration costs sparseTrialCap exact stable
+		// evaluations; bound the polish so it cannot eat the deadline.
+		refillMax = sparseRefillIters
+	}
+	for iter := 0; peak < tmax-refillGuard && iter < refillMax; iter++ {
 		if err := p.ctxErr(); err != nil {
 			st.degrade(DegradedRefill)
 			break
 		}
+		cand := allJ
+		if pol != nil {
+			cand = pol.refillers(hot, specs, canRaise)
+		}
 		for j := range trialTemps {
 			trialTemps[j] = nil
 		}
-		parForW(workers, len(specs), func(w, j int) {
+		parForW(workers, len(cand), func(w, k int) {
+			j := cand[k]
 			c := specs[j]
 			if c.High.Voltage <= c.Low.Voltage || c.RH >= 1 {
 				return
@@ -541,7 +591,8 @@ func optimizeSpecs(p Problem, eng *sim.Engine, specs []coreSpec, forceM int) (*a
 		})
 		bestJ, bestScore := -1, 0.0
 		var bestTemps []float64
-		for j, c := range specs {
+		for _, j := range cand {
+			c := specs[j]
 			if trialTemps[j] == nil {
 				continue
 			}
@@ -602,10 +653,15 @@ func optimizeSpecs(p Problem, eng *sim.Engine, specs []coreSpec, forceM int) (*a
 			st.degrade(DegradedDense)
 			break
 		}
+		cand := allJ
+		if pol != nil {
+			cand = pol.coolers(hot, specs, canCool)
+		}
 		for j := range densePeaks {
 			densePeaks[j] = math.Inf(1)
 		}
-		parForW(workers, len(specs), func(w, j int) {
+		parForW(workers, len(cand), func(w, k int) {
+			j := cand[k]
 			c := specs[j]
 			if c.High.Voltage <= c.Low.Voltage || c.RH <= 0 {
 				return
@@ -617,8 +673,8 @@ func optimizeSpecs(p Problem, eng *sim.Engine, specs []coreSpec, forceM int) (*a
 			densePeaks[j] = dp
 		})
 		bestJ, bestPeak := -1, math.Inf(1)
-		for j, dp := range densePeaks {
-			if dp < bestPeak {
+		for _, j := range cand {
+			if dp := densePeaks[j]; dp < bestPeak {
 				bestJ, bestPeak = j, dp
 			}
 		}

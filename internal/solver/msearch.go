@@ -71,6 +71,7 @@ type workerArenas struct {
 	arenas []*sim.EvalArena
 	tms    [][]schedule.TwoModeSpec
 	trial  [][]coreSpec
+	ends   [][]float64 // per-worker end-temperature buffers (sparse screening)
 }
 
 func newWorkerArenas(eng *sim.Engine, workers, cores int) *workerArenas {
@@ -79,11 +80,13 @@ func newWorkerArenas(eng *sim.Engine, workers, cores int) *workerArenas {
 		arenas: make([]*sim.EvalArena, workers),
 		tms:    make([][]schedule.TwoModeSpec, workers),
 		trial:  make([][]coreSpec, workers),
+		ends:   make([][]float64, workers),
 	}
 	for w := 0; w < workers; w++ {
 		wa.arenas[w] = eng.AcquireArena()
 		wa.tms[w] = make([]schedule.TwoModeSpec, cores)
 		wa.trial[w] = make([]coreSpec, cores)
+		wa.ends[w] = make([]float64, cores)
 	}
 	return wa
 }
@@ -158,6 +161,11 @@ func searchM(p Problem, eng *sim.Engine, specs []coreSpec, startM, maxM int, wa 
 	if wa == nil {
 		wa = newWorkerArenas(eng, p.workers(), len(specs))
 		defer wa.release()
+	}
+	if eng.Model().SparsePath() {
+		// No eigenbasis, no composed screening: the sparse backend walks a
+		// geometric grid of exact evaluations instead (see scale.go).
+		return searchMSparse(p, eng, specs, startM, maxM, wa)
 	}
 	return searchMIncremental(p, eng, specs, startM, maxM, wa)
 }

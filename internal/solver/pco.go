@@ -97,6 +97,17 @@ func PCO(p Problem) (*Result, error) {
 	for w := range offsW {
 		offsW[w] = make([]float64, n)
 	}
+	// Scale policy: on large sparse platforms each dense evaluation costs
+	// hundreds of milliseconds, so the phase search visits only the few
+	// oscillating cores most strongly coupled to the AO hot node (the
+	// cores whose phase shift moves the most heat off the peak), and the
+	// refill below is iteration-bounded. nil on the dense backend — small
+	// platforms keep the historic exhaustive search bit for bit.
+	pol := newScalePolicy(md)
+	var phaseMask []bool
+	if pol != nil {
+		phaseMask = pol.phaseCores(st.hot, st.specs)
+	}
 	for i := 1; i < n; i++ {
 		if err := p.ctxErr(); err != nil {
 			// Anytime: keep the offsets chosen so far (0 for the rest — the
@@ -105,6 +116,9 @@ func PCO(p Problem) (*Result, error) {
 			break
 		}
 		if !st.specs[i].oscillating() {
+			continue
+		}
+		if phaseMask != nil && !phaseMask[i] {
 			continue
 		}
 		parForW(workers, p.PCOPhaseSteps, func(w, k int) {
@@ -144,16 +158,33 @@ func PCO(p Problem) (*Result, error) {
 		cyc  *schedule.Schedule
 	}
 	trials := make([]refillTrial, n)
-	const refillCap = 2000
+	refillCap := 2000
+	if pol != nil {
+		// Each sparse refill iteration costs up to sparseTrialCap dense
+		// evaluations at hundreds of milliseconds apiece; bound the polish.
+		refillCap = sparsePCORefillIters
+	}
+	allJ := make([]int, n)
+	for j := range allJ {
+		allJ[j] = j
+	}
 	for iter := 0; iter < refillCap && peak <= tmax+feasTol; iter++ {
 		if err := p.ctxErr(); err != nil {
 			st.degrade(DegradedRefill)
 			break
 		}
+		cand := allJ
+		if pol != nil {
+			cand = pol.refillers(st.hot, specs, func(j int) bool {
+				c := specs[j]
+				return c.High.Voltage > c.Low.Voltage && c.RH < 1
+			})
+		}
 		for j := range trials {
 			trials[j] = refillTrial{}
 		}
-		parForW(workers, n, func(w, j int) {
+		parForW(workers, len(cand), func(w, k int) {
+			j := cand[k]
 			c := specs[j]
 			if c.High.Voltage <= c.Low.Voltage || c.RH >= 1 {
 				return
@@ -173,7 +204,8 @@ func PCO(p Problem) (*Result, error) {
 		bestJ := -1
 		var bestGain, bestPeakAfter float64
 		var bestCyc *schedule.Schedule
-		for j, c := range specs {
+		for _, j := range cand {
+			c := specs[j]
 			if !trials[j].ok {
 				continue
 			}

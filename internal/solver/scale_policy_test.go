@@ -1,0 +1,273 @@
+package solver
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"thermosc/internal/floorplan"
+	"thermosc/internal/power"
+	"thermosc/internal/thermal"
+)
+
+// sparseProblem builds a generated platform forced onto the sparse
+// backend — small enough to solve in milliseconds, large enough
+// (> sparseTrialCap cores) to activate the scale policy.
+func sparseProblem(t testing.TB, g floorplan.GenSpec, levels int, tmaxC float64) Problem {
+	t.Helper()
+	md, err := thermal.BuildGen(g, power.DefaultModel(), thermal.WithAlgebra(thermal.AlgebraSparse))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !md.SparsePath() {
+		t.Fatalf("%s: model not on the sparse backend", g.Name)
+	}
+	ls, err := power.PaperLevels(levels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Problem{
+		Model:    md,
+		Levels:   ls,
+		TmaxC:    tmaxC,
+		Overhead: power.DefaultOverhead(),
+	}
+}
+
+func TestScalePolicyActivation(t *testing.T) {
+	dense, err := thermal.Default(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol := newScalePolicy(dense); pol != nil {
+		t.Fatal("dense backend must not get a scale policy")
+	}
+	small, err := thermal.BuildGen(floorplan.Mesh(2, 2), power.DefaultModel(),
+		thermal.WithAlgebra(thermal.AlgebraSparse))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol := newScalePolicy(small); pol != nil {
+		t.Fatalf("%d cores <= sparseTrialCap must scan exhaustively", small.NumCores())
+	}
+	big := sparseProblem(t, floorplan.Mesh(4, 4), 3, 70).Model
+	pol := newScalePolicy(big)
+	if pol == nil {
+		t.Fatal("16-core sparse model must get a scale policy")
+	}
+	if r, c := pol.ur.Dims(); r != big.NumNodes() || c != big.NumCores() {
+		t.Fatalf("unit responses %dx%d, want %dx%d", r, c, big.NumNodes(), big.NumCores())
+	}
+}
+
+func TestTopByRankingAndCap(t *testing.T) {
+	p := sparseProblem(t, floorplan.Mesh(4, 4), 3, 70)
+	pol := newScalePolicy(p.Model)
+	specs := make([]coreSpec, p.Model.NumCores())
+	all := func(int) bool { return true }
+
+	// A synthetic score with a tie between indices 3 and 5: the stable
+	// sort must keep the smaller index first.
+	score := func(j int) float64 {
+		if j == 3 || j == 5 {
+			return 100
+		}
+		return float64(j)
+	}
+	top := pol.topBy(specs, 4, all, score)
+	if len(top) != 4 {
+		t.Fatalf("cap 4 returned %d cores", len(top))
+	}
+	if top[0] != 3 || top[1] != 5 {
+		t.Fatalf("tie must break to the smaller index: %v", top)
+	}
+	for i := 1; i < len(top); i++ {
+		if score(top[i]) > score(top[i-1]) {
+			t.Fatalf("not descending by score: %v", top)
+		}
+	}
+
+	// The eligibility filter must exclude cores before ranking.
+	odd := func(j int) bool { return j%2 == 1 }
+	for _, j := range pol.topBy(specs, 100, odd, score) {
+		if j%2 == 0 {
+			t.Fatalf("ineligible core %d ranked", j)
+		}
+	}
+}
+
+func TestSparseMGrid(t *testing.T) {
+	if g := sparseMGrid(2, 1); g != nil {
+		t.Fatalf("empty range produced %v", g)
+	}
+	if g := sparseMGrid(5, 5); len(g) != 1 || g[0] != 5 {
+		t.Fatalf("degenerate range: %v", g)
+	}
+	g := sparseMGrid(1, 40)
+	if g[0] != 1 || g[len(g)-1] != 40 {
+		t.Fatalf("grid must span [startM, maxM]: %v", g)
+	}
+	for i := 1; i < len(g); i++ {
+		if g[i] <= g[i-1] {
+			t.Fatalf("grid not strictly increasing: %v", g)
+		}
+		if i < len(g)-1 {
+			step := float64(g[i]) / float64(g[i-1])
+			if step > sparseMGridRatio+1e-9 && g[i] != g[i-1]+1 {
+				t.Fatalf("grid step %v exceeds ratio at %v", step, g)
+			}
+		}
+	}
+	// The grid must be a strict subset of the exhaustive scan, or there
+	// is no point: fewer candidates than integers in the range.
+	if len(g) >= 40 {
+		t.Fatalf("grid as large as the exhaustive scan: %d", len(g))
+	}
+}
+
+func TestSparseSeedSpecs(t *testing.T) {
+	ls, err := power.PaperLevels(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vmin := ls.Min()
+	volts := []float64{0.3, 0.9, -0.1, 1.3}
+	specs := neighborSpecs(ls, volts, true)
+	before := append([]coreSpec(nil), specs...)
+	sparseSeedSpecs(specs, volts, ls)
+
+	// Core 0 (ideal 0.3 V, below vmin): the constant-min clamp must be
+	// rewritten to the eq. (11) duty cycle shrunk by the safety factor.
+	want := sparseSeedSafety * volts[0] / vmin
+	if !specs[0].Low.IsOff() || specs[0].High.Voltage != vmin {
+		t.Fatalf("core 0 is not the off/min oscillation: %+v", specs[0])
+	}
+	if math.Abs(specs[0].RH-want) > 1e-12 {
+		t.Fatalf("core 0 RH = %v, want %v", specs[0].RH, want)
+	}
+	// The others (in-band, non-positive, at-max ideals) must be untouched.
+	for i := 1; i < len(specs); i++ {
+		if specs[i] != before[i] {
+			t.Fatalf("core %d rewritten: %+v -> %+v", i, before[i], specs[i])
+		}
+	}
+}
+
+func TestSparseFeasibleSeed(t *testing.T) {
+	base := sparseProblem(t, floorplan.Mesh(4, 4), 3, 70)
+
+	probePeak := func(p Problem, specs []coreSpec) float64 {
+		t.Helper()
+		cyc, err := buildCycle(p.BasePeriod, specs, p.Overhead, cycleThermal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pk, _, err := p.engine().StepUpPeak(cyc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pk
+	}
+
+	// The ideal-pinned seed sits essentially AT Tmax, above the
+	// margin-shrunk target, so the normal path is the bisection backoff;
+	// the returned specs must probe feasible within the margin.
+	p, err := base.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	volts, err := IdealVoltages(p.Model, p.tmaxRise(), p.Levels.Max())
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := sparseFeasibleSeed(p, p.engine(), volts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk := probePeak(p, specs); pk > p.tmaxRise()-sparseSeedMargin+1e-9 {
+		t.Fatalf("seed probes at %v K, target %v K", pk, p.tmaxRise()-sparseSeedMargin)
+	}
+
+	// With a threshold far above what the capped voltages can reach, the
+	// ideal vector is vcap-clamped, already feasible, and returned as-is
+	// (the early path — no bisection).
+	loose := base
+	loose.TmaxC = 150
+	pl, err := loose.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvolts, err := IdealVoltages(pl.Model, pl.tmaxRise(), pl.Levels.Max())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lspecs, err := sparseFeasibleSeed(pl, pl.engine(), lvolts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pk := probePeak(pl, lspecs); pk > pl.tmaxRise()-sparseSeedMargin {
+		t.Fatalf("loose seed infeasible: %v K", pk)
+	}
+}
+
+// AO on a policy-active sparse platform must produce a feasible plan and
+// remain bit-identical across worker widths — the policy is a pure
+// function of model and specs, never of scheduling.
+func TestSparseAOFeasibleAndWorkerInvariant(t *testing.T) {
+	p := sparseProblem(t, floorplan.Mesh(4, 4), 3, 70)
+	p.Workers = 1
+	seq, err := AO(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Feasible {
+		t.Fatalf("sparse AO infeasible: peak rise %v", seq.PeakRise)
+	}
+	if seq.PeakRise > p.Model.Rise(p.TmaxC)+1e-6 {
+		t.Fatalf("peak rise %v exceeds budget %v", seq.PeakRise, p.Model.Rise(p.TmaxC))
+	}
+	if seq.Throughput <= 0 {
+		t.Fatalf("throughput %v", seq.Throughput)
+	}
+	p.Workers = 4
+	par, err := AO(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Schedule, par.Schedule) || seq.M != par.M ||
+		seq.PeakRise != par.PeakRise || seq.Throughput != par.Throughput {
+		t.Fatalf("plans differ across worker widths: m=%d/%d peak=%v/%v",
+			seq.M, par.M, seq.PeakRise, par.PeakRise)
+	}
+}
+
+// PCO exercises the phase-core mask and the bounded refill on the same
+// policy-active platform.
+func TestSparsePCOFeasible(t *testing.T) {
+	p := sparseProblem(t, floorplan.Mesh(4, 4), 3, 70)
+	res, err := PCO(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("sparse PCO infeasible: peak rise %v", res.PeakRise)
+	}
+	if res.PeakRise > p.Model.Rise(p.TmaxC)+1e-6 {
+		t.Fatalf("peak rise %v exceeds budget", res.PeakRise)
+	}
+}
+
+// A heterogeneous stacked platform routes through the same policy — the
+// CoreScale factor must reach the sensitivity scores without panicking or
+// degrading feasibility.
+func TestSparseAOStackedHetero(t *testing.T) {
+	g := floorplan.BigLittleStacked(2, 2, 3, 0.5, 7) // 12 cores > sparseTrialCap
+	p := sparseProblem(t, g, 3, 70)
+	res, err := AO(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatalf("stacked hetero AO infeasible: peak rise %v", res.PeakRise)
+	}
+}

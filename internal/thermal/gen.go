@@ -1,0 +1,63 @@
+package thermal
+
+import (
+	"fmt"
+
+	"thermosc/internal/floorplan"
+	"thermosc/internal/power"
+)
+
+// ScalePackageRefCores is the chip size the HotSpot65nm package numbers
+// are calibrated for. Platforms at or below it keep the package
+// bit-identical (so every historic plan and golden file is untouched);
+// larger chips get a proportionally larger sink.
+const ScalePackageRefCores = 16
+
+// ScaledPackage adapts a package calibration to a chip with totalCores
+// cores: the heat-sink convection resistance shrinks and the sink thermal
+// mass grows in proportion to the heat the chip can produce. Without this
+// a 256-core die drives the fixed 16-core sink past the β-feedback
+// stability limit — no controller could save it, the hardware would be
+// mis-designed. The factor is 1 (exact identity) up to
+// ScalePackageRefCores.
+func ScaledPackage(pp PackageParams, totalCores int) PackageParams {
+	if totalCores <= ScalePackageRefCores {
+		return pp
+	}
+	f := float64(totalCores) / float64(ScalePackageRefCores)
+	pp.ConvectionR /= f
+	pp.SinkCap *= f
+	return pp
+}
+
+// BuildGen assembles the calibrated thermal model of a generated platform
+// spec: planar or stacked, homogeneous or big.LITTLE, with the package
+// scaled to the chip size. The algebra backend follows the model's
+// automatic crossover unless overridden through opts.
+func BuildGen(g floorplan.GenSpec, pm power.Model, opts ...ModelOpt) (*Model, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	fp, err := g.Floorplan()
+	if err != nil {
+		return nil, err
+	}
+	pp := ScaledPackage(HotSpot65nm(), g.NumCores())
+	if g.Layers > 1 {
+		sp := DefaultStack(g.Layers)
+		sp.PackageParams = pp
+		if g.Scales != nil {
+			opts = append(opts, WithHeteroScales(g.Scales))
+		}
+		md, err := NewStackedModel(fp, sp, pm, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("thermal: gen %q: %w", g.Name, err)
+		}
+		return md, nil
+	}
+	md, err := NewHeteroModel(fp, pp, pm, g.Scales, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("thermal: gen %q: %w", g.Name, err)
+	}
+	return md, nil
+}

@@ -1,7 +1,6 @@
 package thermal
 
 import (
-	"errors"
 	"fmt"
 
 	"thermosc/internal/floorplan"
@@ -26,19 +25,30 @@ type Model struct {
 	cDiag []float64  // node capacitances (diagonal of C)
 	g     *mat.Dense // symmetric conductance matrix
 	m     *mat.Dense // βE − G (the symmetric numerator of A)
+
+	// Dense backend (alg == AlgebraDense): eigendecomposition of A plus
+	// hFull = (G − βE)⁻¹, which maps static power injection to
+	// steady-state temperature rise: T∞ = hFull·Ψ. Column i (i < n) is
+	// the steady response of all nodes to 1 W injected at core i.
 	eig   *mat.Symmetrizable
-	// hFull = (G − βE)⁻¹ — maps static power injection to steady-state
-	// temperature rise: T∞ = hFull·Ψ. Column i (i < n) is the steady
-	// response of all nodes to 1 W injected at core i.
 	hFull *mat.Dense
+
+	// Sparse backend (alg == AlgebraSparse): CSR forms of G − βE and
+	// A = C⁻¹(βE−G), the sparse Cholesky of the former, and the dominant
+	// time constant from power iteration (see algebra.go).
+	alg    Algebra
+	gmb    *mat.CSR
+	chol   *mat.SparseCholesky
+	aSp    *mat.CSR
+	tauDom float64
 }
 
 // NewModel assembles the layered thermal model for the given floorplan,
 // package parameters and power model. It verifies the stability and
 // positivity properties the paper's theorems require and returns an error
 // if the parameters violate them.
-func NewModel(fp *floorplan.Floorplan, pp PackageParams, pm power.Model) (*Model, error) {
-	return NewHeteroModel(fp, pp, pm, nil)
+func NewModel(fp *floorplan.Floorplan, pp PackageParams, pm power.Model, opts ...ModelOpt) (*Model, error) {
+	return NewHeteroModel(fp, pp, pm, nil, opts...)
 }
 
 // NewHeteroModel is NewModel with per-core power scales: core i consumes
@@ -46,18 +56,18 @@ func NewModel(fp *floorplan.Floorplan, pp PackageParams, pm power.Model) (*Model
 // (bigger or process-skewed cores). nil or all-ones gives the homogeneous
 // model. Speed semantics are unchanged — a scaled core still delivers
 // speed v — so heterogeneity here is purely in power and heat.
-func NewHeteroModel(fp *floorplan.Floorplan, pp PackageParams, pm power.Model, scales []float64) (*Model, error) {
+func NewHeteroModel(fp *floorplan.Floorplan, pp PackageParams, pm power.Model, scales []float64, opts ...ModelOpt) (*Model, error) {
+	cfg, err := applyOpts(opts)
+	if err != nil {
+		return nil, err
+	}
+	if scales == nil {
+		scales = cfg.scales
+	}
 	n := fp.NumCores()
-	if scales != nil {
-		if len(scales) != n {
-			return nil, fmt.Errorf("thermal: %d core scales for %d cores", len(scales), n)
-		}
-		for i, s := range scales {
-			if s <= 0 {
-				return nil, fmt.Errorf("thermal: non-positive scale %v for core %d", s, i)
-			}
-		}
-		scales = mat.VecClone(scales)
+	scales, err = checkScales(scales, n)
+	if err != nil {
+		return nil, err
 	}
 	dim := 2*n + 1 // n die nodes, n spreader nodes, 1 sink node
 	sink := 2 * n
@@ -132,47 +142,11 @@ func NewHeteroModel(fp *floorplan.Floorplan, pp PackageParams, pm power.Model, s
 	}
 	cDiag[sink] = pp.SinkCap
 
-	// M = βE − G: leakage/temperature feedback at core nodes only,
-	// scaled per core for heterogeneous platforms.
-	mm := g.Clone().Scale(-1)
-	for i := 0; i < n; i++ {
-		beta := pm.Beta
-		if scales != nil {
-			beta *= scales[i]
-		}
-		mm.Add(i, i, beta)
-	}
-
-	eig, err := mat.DecomposeSymmetrizable(cDiag, mm)
-	if err != nil {
-		return nil, fmt.Errorf("thermal: eigendecomposition failed: %w", err)
-	}
-	if !eig.Stable() {
-		return nil, errors.New("thermal: model is unstable (leakage slope β too large for the conductance network)")
-	}
-
-	// hFull = (G − βE)⁻¹ = (−M)⁻¹.
-	// G − βE is symmetric positive definite for any physical calibration;
-	// Cholesky halves the solve cost and doubles as the SPD sanity check.
-	hFull, err := mat.InverseSPD(mm.Clone().Scale(-1))
-	if err != nil {
-		return nil, fmt.Errorf("thermal: steady-state matrix singular: %w", err)
-	}
-	// Inverse positivity is the physical sanity check behind the paper's
-	// "−A⁻¹ is a constant matrix which contains all positive elements"
-	// (proof of Theorem 3): more power anywhere never cools any node.
-	for _, v := range hFull.RawData() {
-		if v < -1e-12 {
-			return nil, errors.New("thermal: (G−βE)⁻¹ has negative entries; parameters break inverse positivity")
-		}
-	}
-
-	return &Model{
+	return finishModel(Model{
 		fp: fp, pp: pp, pm: pm,
 		n: n, dim: dim, scale: scales,
-		cDiag: cDiag, g: g, m: mm,
-		eig: eig, hFull: hFull,
-	}, nil
+		cDiag: cDiag, g: g,
+	}, cfg)
 }
 
 // MustModel is NewModel that panics on error, for tests and examples with
@@ -212,6 +186,7 @@ func (md *Model) Power() power.Model { return md.pm }
 func (md *Model) Package() PackageParams { return md.pp }
 
 // Eigen returns the eigendecomposition of A (shared; do not mutate).
+// It is nil on the sparse backend — gate with SparsePath before use.
 func (md *Model) Eigen() *mat.Symmetrizable { return md.eig }
 
 // A reconstructs the dense system matrix A = C⁻¹(βE − G).
@@ -261,6 +236,10 @@ func (md *Model) BVec(modes []power.Mode) []float64 {
 // SteadyState returns T∞ = (G−βE)⁻¹·Ψ(v), the temperature rise of every
 // node if the mode vector were held forever (paper: T∞ = −A⁻¹B).
 func (md *Model) SteadyState(modes []power.Mode) []float64 {
+	if md.chol != nil {
+		psi := md.Psi(modes)
+		return md.chol.SolveVecTo(psi, psi)
+	}
 	return md.hFull.MulVec(md.Psi(modes))
 }
 
@@ -271,9 +250,24 @@ func (md *Model) SteadyStateCores(modes []power.Mode) []float64 {
 
 // UnitResponses returns the dim×n matrix whose column i is the steady
 // temperature response of all nodes to 1 W of static power injected at
-// core i. EXS uses it for incremental feasibility checks.
+// core i. EXS uses it for incremental feasibility checks; the solver's
+// large-platform trial pruning uses it as a sensitivity proxy.
 func (md *Model) UnitResponses() *mat.Dense {
 	out := mat.NewDense(md.dim, md.n)
+	if md.chol != nil {
+		e := make([]float64, md.dim)
+		for j := 0; j < md.n; j++ {
+			for i := range e {
+				e[i] = 0
+			}
+			e[j] = 1
+			md.chol.SolveVecTo(e, e)
+			for i := 0; i < md.dim; i++ {
+				out.Set(i, j, e[i])
+			}
+		}
+		return out
+	}
 	for j := 0; j < md.n; j++ {
 		for i := 0; i < md.dim; i++ {
 			out.Set(i, j, md.hFull.At(i, j))
@@ -287,14 +281,16 @@ func (md *Model) UnitResponses() *mat.Dense {
 //
 //	T(t0+dt) = e^{A·dt}·T(t0) + (I − e^{A·dt})·T∞(v).
 func (md *Model) Step(dt float64, t []float64, modes []power.Mode) []float64 {
-	md.checkState(t)
-	return md.eig.StepVec(dt, t, md.SteadyState(modes))
+	return md.StepToward(dt, t, md.SteadyState(modes))
 }
 
 // StepToward is Step with a precomputed steady-state target, avoiding the
 // repeated SteadyState solve in inner loops.
 func (md *Model) StepToward(dt float64, t, tInf []float64) []float64 {
 	md.checkState(t)
+	if md.aSp != nil {
+		return md.StepSparseTo(make([]float64, md.dim), make([]float64, md.dim), dt, t, tInf, nil)
+	}
 	return md.eig.StepVec(dt, t, tInf)
 }
 
@@ -311,7 +307,12 @@ func (md *Model) Rise(absC float64) float64 { return absC - md.pp.AmbientC }
 
 // DominantTimeConstant returns the slowest thermal time constant of the
 // platform in seconds.
-func (md *Model) DominantTimeConstant() float64 { return md.eig.SlowestTimeConstant() }
+func (md *Model) DominantTimeConstant() float64 {
+	if md.SparsePath() {
+		return md.tauDom
+	}
+	return md.eig.SlowestTimeConstant()
+}
 
 func (md *Model) checkModes(modes []power.Mode) {
 	if len(modes) != md.n {

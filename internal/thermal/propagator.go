@@ -156,8 +156,11 @@ func (p *Propagator) SteadyState(modes []power.Mode) []float64 {
 
 // SteadyEigen returns W⁻¹·T∞(modes) — the steady-state target expressed
 // in the eigenbasis of A, which is what the composed (semigroup) peak
-// evaluation consumes. Read-only, like SteadyState.
+// evaluation consumes. Read-only, like SteadyState. Dense backend only.
 func (p *Propagator) SteadyEigen(modes []power.Mode) []float64 {
+	if p.md.SparsePath() {
+		panic("thermal: SteadyEigen on the sparse backend (no eigenbasis)")
+	}
 	key := modeKey(modes)
 	p.mu.RLock()
 	v, ok := p.teig[string(key)]
@@ -178,8 +181,12 @@ func (p *Propagator) SteadyEigen(modes []power.Mode) []float64 {
 
 // ExpFactors returns the eigenbasis factors exp(λ·dt) of e^{A·dt},
 // computing them once per distinct dt. The returned slice is shared with
-// the cache: callers must treat it as read-only.
+// the cache: callers must treat it as read-only. Dense backend only —
+// the sparse path steps through Model.StepSparseTo instead.
 func (p *Propagator) ExpFactors(dt float64) []float64 {
+	if p.md.SparsePath() {
+		panic("thermal: ExpFactors on the sparse backend (no eigenbasis)")
+	}
 	p.mu.RLock()
 	v, ok := p.exps[dt]
 	p.mu.RUnlock()
@@ -213,9 +220,14 @@ func (p *Propagator) Compose(a, b []float64) []float64 {
 }
 
 // Step advances the state by dt toward the steady-state target tInf using
-// cached exponential factors. Bit-identical to Model.StepToward.
+// cached exponential factors. Bit-identical to Model.StepToward. On the
+// sparse backend it falls through to the (uncached) exponential action —
+// the T∞ cache still applies, the e^{A·dt} factors do not.
 func (p *Propagator) Step(dt float64, x, tInf []float64) []float64 {
 	p.md.checkState(x)
+	if p.md.SparsePath() {
+		return p.md.StepToward(dt, x, tInf)
+	}
 	return p.md.eig.StepVecExp(p.ExpFactors(dt), x, tInf)
 }
 

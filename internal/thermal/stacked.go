@@ -2,7 +2,6 @@ package thermal
 
 import (
 	"errors"
-	"fmt"
 
 	"thermosc/internal/floorplan"
 	"thermosc/internal/mat"
@@ -41,8 +40,13 @@ func DefaultStack(layers int) StackParams {
 // layer-major: core (L, i) has index L·fp.NumCores() + i, so NumCores =
 // Layers × fp.NumCores(). All cores are DVFS-independent, exactly as in
 // the planar model — every scheduler in this repository runs unmodified
-// on the stacked model.
-func NewStackedModel(fp *floorplan.Floorplan, sp StackParams, pm power.Model) (*Model, error) {
+// on the stacked model. Heterogeneous per-core power scales (layer-major)
+// come in through WithHeteroScales.
+func NewStackedModel(fp *floorplan.Floorplan, sp StackParams, pm power.Model, opts ...ModelOpt) (*Model, error) {
+	cfg, err := applyOpts(opts)
+	if err != nil {
+		return nil, err
+	}
 	if sp.Layers < 1 {
 		return nil, errors.New("thermal: stack needs at least one layer")
 	}
@@ -51,7 +55,11 @@ func NewStackedModel(fp *floorplan.Floorplan, sp StackParams, pm power.Model) (*
 	}
 	nPer := fp.NumCores()
 	n := sp.Layers * nPer // total cores
-	dim := n + nPer + 1   // + spreader blocks + sink
+	scales, err := checkScales(cfg.scales, n)
+	if err != nil {
+		return nil, err
+	}
+	dim := n + nPer + 1 // + spreader blocks + sink
 	sink := dim - 1
 	spreaderBase := n
 
@@ -128,32 +136,9 @@ func NewStackedModel(fp *floorplan.Floorplan, sp StackParams, pm power.Model) (*
 	}
 	cDiag[sink] = pp.SinkCap
 
-	mm := g.Clone().Scale(-1)
-	for i := 0; i < n; i++ {
-		mm.Add(i, i, pm.Beta)
-	}
-	eig, err := mat.DecomposeSymmetrizable(cDiag, mm)
-	if err != nil {
-		return nil, fmt.Errorf("thermal: stacked eigendecomposition failed: %w", err)
-	}
-	if !eig.Stable() {
-		return nil, errors.New("thermal: stacked model unstable")
-	}
-	// G − βE is symmetric positive definite for any physical calibration;
-	// Cholesky halves the solve cost and doubles as the SPD sanity check.
-	hFull, err := mat.InverseSPD(mm.Clone().Scale(-1))
-	if err != nil {
-		return nil, fmt.Errorf("thermal: stacked steady-state matrix singular: %w", err)
-	}
-	for _, v := range hFull.RawData() {
-		if v < -1e-12 {
-			return nil, errors.New("thermal: stacked inverse positivity violated")
-		}
-	}
-	return &Model{
+	return finishModel(Model{
 		fp: fp, pp: pp, pm: pm,
-		n: n, dim: dim,
-		cDiag: cDiag, g: g, m: mm,
-		eig: eig, hFull: hFull,
-	}, nil
+		n: n, dim: dim, scale: scales,
+		cDiag: cDiag, g: g,
+	}, cfg)
 }

@@ -18,6 +18,9 @@ type config struct {
 	coreLevel   *thermal.CoreLevelParams
 	stackLayers int
 	coreScales  []float64
+	// convectionSet records an explicit WithConvectionR: it disables the
+	// automatic package scaling New applies to >16-core platforms.
+	convectionSet bool
 }
 
 // Option adjusts platform construction.
@@ -100,6 +103,7 @@ func WithConvectionR(rKPerW float64) Option {
 			return fmt.Errorf("thermosc: non-positive convection resistance %v", rKPerW)
 		}
 		c.pkg.ConvectionR = rKPerW
+		c.convectionSet = true
 		return nil
 	}
 }
@@ -132,8 +136,9 @@ func WithCoreLevelModel() Option {
 
 // WithCoreScales declares a heterogeneous platform: core i consumes
 // scales[i] times the reference power at any voltage (big/LITTLE designs,
-// process skew). Length must equal rows×cols; all entries positive. Only
-// the planar layered model supports heterogeneity.
+// process skew). Length must equal the total core count — rows×cols on a
+// planar chip, layers×rows×cols (layer-major) with WithStackedLayers; all
+// entries positive. The core-level model does not support heterogeneity.
 func WithCoreScales(scales ...float64) Option {
 	return func(c *config) error {
 		if len(scales) == 0 {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package thermosc
+
+const raceDetectorEnabled = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package thermosc
+
+// raceDetectorEnabled reports whether the test binary was built with
+// -race. The scale tests assert wall-clock contracts (a 2 s solve
+// deadline, 30 s audit budgets) that race instrumentation slows by an
+// order of magnitude; they skip under -race and run in the plain tier-1
+// suite instead.
+const raceDetectorEnabled = true

@@ -3,6 +3,7 @@ package thermosc
 import (
 	"encoding/json"
 	"errors"
+	"strings"
 	"testing"
 )
 
@@ -46,12 +47,36 @@ func FuzzServeRequest(f *testing.F) {
 		`null`,
 		``,
 		"\x00\xff\xfe",
+		// Large-floorplan seeds: the sparse backend serves up to 256 cores,
+		// so the decoder must canonicalize big meshes, stacks, and long
+		// 1xN strips — and reject one past the cap.
+		`{"platform":{"rows":16,"cols":16,"paper_levels":3},"tmax_c":70,"method":"AO"}`,
+		`{"platform":{"rows":8,"cols":8,"stack_layers":4},"tmax_c":70,"method":"AO","timeout_s":2}`,
+		`{"platform":{"rows":1,"cols":256},"tmax_c":70,"method":"AO"}`,
+		`{"platform":{"rows":1,"cols":16,"stack_layers":16},"tmax_c":70,"method":"PCO"}`,
+		`{"platform":{"rows":16,"cols":17},"tmax_c":70,"method":"AO"}`,
+		// Heterogeneous-core-scale seeds, including the stacked layer-major
+		// form and the large platform where convection_r 0 stays canonical
+		// (auto-scaled package) while an explicit value pins the sink.
+		`{"platform":{"rows":8,"cols":8,"stack_layers":4,"core_scales":[` +
+			strings.Repeat("0.45,1.6,", 127) + `0.45,1.6]},"tmax_c":70,"method":"AO"}`,
+		`{"platform":{"rows":2,"cols":2,"stack_layers":2,"core_scales":[1,1,1,1,2,2,2,2]},"tmax_c":65,"method":"AO"}`,
+		`{"platform":{"rows":16,"cols":16,"convection_r":0.05},"tmax_c":70,"method":"AO"}`,
+		`{"platform":{"rows":16,"cols":16,"core_scales":[1,2]},"tmax_c":70,"method":"AO"}`,
+		// Degenerate meshes: single stacked layer (planar spelling),
+		// zero-area and negative-area cores → 400, never a panic.
+		`{"platform":{"rows":2,"cols":1,"stack_layers":1},"tmax_c":65,"method":"AO"}`,
+		`{"platform":{"rows":1,"cols":1},"tmax_c":65,"method":"AO"}`,
+		`{"platform":{"rows":2,"cols":1,"core_edge_m":-0.004},"tmax_c":65,"method":"AO"}`,
+		`{"platform":{"rows":2,"cols":1,"core_edge_m":0},"tmax_c":65,"method":"AO"}`,
+		`{"platform":{"rows":1,"cols":256,"core_scales":[` +
+			strings.Repeat("0,", 255) + `0]},"tmax_c":70,"method":"AO"}`,
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))
 	}
 
-	lim := serveLimits{maxCores: 16, maxVoltages: 64, maxTraceSamples: 1 << 17}
+	lim := serveLimits{maxCores: 256, maxVoltages: 64, maxTraceSamples: 1 << 17}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req, planKey, platKey, err := parseMaximizeRequest(data, lim)
 		if err != nil {

@@ -66,9 +66,11 @@ type ServerConfig struct {
 	PlanCacheSize int
 	// PlatformCacheSize caps the platform/engine cache (default 32).
 	PlatformCacheSize int
-	// MaxCores rejects larger platform requests with 400 (default 16) —
+	// MaxCores rejects larger platform requests with 400 (default 256) —
 	// solve cost grows steeply with the core count, so the cap is the
-	// service's overload valve.
+	// service's overload valve. The default matches the largest platform
+	// the sparse thermal backend solves inside the serve deadline budget
+	// (see docs/SPARSE.md).
 	MaxCores int
 	// DefaultTimeout bounds solves whose request carries no timeout_s
 	// (default 30 s).
@@ -126,7 +128,7 @@ func (c ServerConfig) withDefaults() ServerConfig {
 		c.PlatformCacheSize = 32
 	}
 	if c.MaxCores == 0 {
-		c.MaxCores = 16
+		c.MaxCores = 256
 	}
 	if c.DefaultTimeout == 0 {
 		c.DefaultTimeout = 30 * time.Second

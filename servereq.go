@@ -153,8 +153,8 @@ func normalizePlatform(spec PlatformSpec, lim serveLimits) (PlatformSpec, error)
 	if c.CoreLevel && c.StackLayers > 1 {
 		return c, badRequestf("platform: core_level and stack_layers are mutually exclusive")
 	}
-	if len(c.CoreScales) > 0 && (c.CoreLevel || c.StackLayers > 1) {
-		return c, badRequestf("platform: core_scales require the planar layered model")
+	if len(c.CoreScales) > 0 && c.CoreLevel {
+		return c, badRequestf("platform: core_scales are not supported by the core-level model")
 	}
 
 	// Level set → explicit canonical voltages.
@@ -220,16 +220,20 @@ func normalizePlatform(spec PlatformSpec, lim serveLimits) (PlatformSpec, error)
 	if !finite(c.CoreEdgeM) || c.CoreEdgeM < 1e-5 || c.CoreEdgeM > 1 {
 		return c, badRequestf("platform: core_edge_m %v outside [1e-5, 1]", spec.CoreEdgeM)
 	}
-	if c.ConvectionR == 0 {
+	if c.ConvectionR == 0 && cores <= thermal.ScalePackageRefCores {
 		c.ConvectionR = thermal.HotSpot65nm().ConvectionR
 	}
-	if !finite(c.ConvectionR) || c.ConvectionR < 1e-6 || c.ConvectionR > 1e3 {
+	// Past the package-calibration size, 0 stays canonical: it means the
+	// automatically scaled package (New shrinks the convection resistance
+	// with the core count), while an explicit value pins the convection
+	// path and disables that scaling — genuinely different platforms.
+	if c.ConvectionR != 0 && (!finite(c.ConvectionR) || c.ConvectionR < 1e-6 || c.ConvectionR > 1e3) {
 		return c, badRequestf("platform: convection_r %v outside [1e-6, 1000]", spec.ConvectionR)
 	}
 
 	if len(c.CoreScales) > 0 {
-		if len(c.CoreScales) != c.Rows*c.Cols {
-			return c, badRequestf("platform: %d core_scales for %d cores", len(c.CoreScales), c.Rows*c.Cols)
+		if len(c.CoreScales) != cores {
+			return c, badRequestf("platform: %d core_scales for %d cores", len(c.CoreScales), cores)
 		}
 		uniform := true
 		for _, s := range c.CoreScales {
@@ -257,7 +261,11 @@ func (spec PlatformSpec) platform() (*Platform, error) {
 		WithBasePeriod(spec.PeriodS),
 		WithTransitionOverhead(*spec.OverheadS),
 		WithCoreEdge(spec.CoreEdgeM),
-		WithConvectionR(spec.ConvectionR),
+	}
+	if spec.ConvectionR != 0 {
+		// 0 is the canonical "auto-scaled package" spelling on large
+		// platforms (see normalizePlatform); an explicit value pins it.
+		opts = append(opts, WithConvectionR(spec.ConvectionR))
 	}
 	if spec.StackLayers > 1 {
 		opts = append(opts, WithStackedLayers(spec.StackLayers))

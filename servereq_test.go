@@ -17,7 +17,8 @@ func TestParseMaximizeRequestValidation(t *testing.T) {
 		{"stack too deep", `{"platform":{"rows":2,"cols":1,"stack_layers":20},"tmax_c":65,"method":"AO"}`, "cores exceeds"},
 		{"negative stack", `{"platform":{"rows":2,"cols":1,"stack_layers":-2},"tmax_c":65,"method":"AO"}`, "stack_layers"},
 		{"core_level with stack", `{"platform":{"rows":2,"cols":1,"stack_layers":2,"core_level":true},"tmax_c":65,"method":"AO"}`, "mutually exclusive"},
-		{"scales with stack", `{"platform":{"rows":2,"cols":1,"stack_layers":2,"core_scales":[1,2,1,2]},"tmax_c":65,"method":"AO"}`, "planar"},
+		{"scales with core_level", `{"platform":{"rows":2,"cols":1,"core_level":true,"core_scales":[1,2]},"tmax_c":65,"method":"AO"}`, "core-level"},
+		{"wrong stacked scales length", `{"platform":{"rows":2,"cols":1,"stack_layers":2,"core_scales":[1,2]},"tmax_c":65,"method":"AO"}`, "core_scales"},
 		{"bad paper levels", `{"platform":{"rows":2,"cols":1,"paper_levels":9},"tmax_c":65,"method":"AO"}`, "platform"},
 		{"too many voltages", `{"platform":{"rows":2,"cols":1,"voltages":[` + strings.Repeat("0.6,", 64) + `1.3]},"tmax_c":65,"method":"AO"}`, "voltage levels"},
 		{"huge voltage", `{"platform":{"rows":2,"cols":1,"voltages":[0.6,99]},"tmax_c":65,"method":"AO"}`, "outside [0.001, 10]"},

@@ -109,19 +109,30 @@ func New(rows, cols int, opts ...Option) (*Platform, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Large chips need a proportionally stronger package or no operating
+	// point is thermally sustainable; scale the convection path with the
+	// core count (identity at ≤16 cores) unless the caller pinned the
+	// convection resistance explicitly.
+	totalCores := rows * cols
+	if cfg.stackLayers > 1 {
+		totalCores *= cfg.stackLayers
+	}
+	if !cfg.convectionSet {
+		cfg.pkg = thermal.ScaledPackage(cfg.pkg, totalCores)
+	}
 	var md *thermal.Model
 	switch {
 	case cfg.coreLevel != nil && cfg.stackLayers > 1:
 		return nil, fmt.Errorf("thermosc: core-level and stacked models are mutually exclusive")
-	case cfg.coreScales != nil && (cfg.coreLevel != nil || cfg.stackLayers > 1):
-		return nil, fmt.Errorf("thermosc: core scales require the planar layered model")
+	case cfg.coreScales != nil && cfg.coreLevel != nil:
+		return nil, fmt.Errorf("thermosc: core scales are not supported by the core-level model")
 	case cfg.coreLevel != nil:
 		md, err = thermal.NewCoreLevelModel(fp, *cfg.coreLevel, cfg.pwr)
 	case cfg.stackLayers > 1:
 		sp := thermal.DefaultStack(cfg.stackLayers)
 		sp.PackageParams = cfg.pkg
 		sp.Layers = cfg.stackLayers
-		md, err = thermal.NewStackedModel(fp, sp, cfg.pwr)
+		md, err = thermal.NewStackedModel(fp, sp, cfg.pwr, thermal.WithHeteroScales(cfg.coreScales))
 	default:
 		md, err = thermal.NewHeteroModel(fp, cfg.pkg, cfg.pwr, cfg.coreScales)
 	}
