@@ -8,8 +8,8 @@ FUZZTIME ?= 30s
 COVER_MIN ?= 83
 
 .PHONY: all build vet lint test test-race bench bench-json experiments \
-        fuzz fuzz-smoke serve-smoke serve-chaos rig-soak rig-soak-starved \
-        verify-diff cover cover-check ci clean
+        fuzz fuzz-smoke serve-smoke serve-chaos cluster-soak rig-soak \
+        rig-soak-starved verify-diff cover cover-check ci clean
 
 all: build vet test
 
@@ -65,6 +65,7 @@ fuzz:
 	$(GO) test ./internal/rig -fuzz FuzzRigScenario -fuzztime $(FUZZTIME)
 	$(GO) test . -fuzz FuzzPlanUnmarshal -fuzztime $(FUZZTIME)
 	$(GO) test . -fuzz FuzzServeRequest -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/cluster -fuzz FuzzPlanStoreSync -fuzztime $(FUZZTIME)
 
 # Quick CI smoke pass over the same fuzz targets.
 fuzz-smoke:
@@ -86,6 +87,17 @@ serve-chaos:
 	THERMOSC_CHAOS_REQUESTS=$(CHAOS_REQUESTS) \
 	THERMOSC_CHAOS_STATS=$(CURDIR)/serve_chaos_stats.json \
 	$(GO) test -race -run TestServeChaos -count=1 -v .
+
+# Fleet soak, race-enabled: a seed-pinned zipf workload through a
+# 3-replica in-process cluster. Exact request accounting, zero transport
+# errors, byte-identical plans per canonical key across every replica,
+# and post-load anti-entropy convergence; the load report lands in
+# cluster_soak_report.json. CI raises CLUSTER_REQUESTS to 100000.
+CLUSTER_REQUESTS ?= 2500
+cluster-soak:
+	THERMOSC_CLUSTER_REQUESTS=$(CLUSTER_REQUESTS) \
+	THERMOSC_CLUSTER_REPORT=$(CURDIR)/cluster_soak_report.json \
+	$(GO) test -race -run TestClusterSoak -count=1 -v .
 
 # Closed-loop soak: 20 seed-pinned fault scenarios under the guarded AO
 # plan, each replayed twice. Exits nonzero on ANY thermal violation
@@ -132,10 +144,10 @@ cover-check: cover
 	echo "coverage $$total% >= $(COVER_MIN)% gate"
 
 # Everything CI runs, in one target, for local pre-push verification.
-ci: build lint test test-race fuzz-smoke serve-smoke serve-chaos rig-soak \
-    rig-soak-starved verify-diff cover-check bench-json
+ci: build lint test test-race fuzz-smoke serve-smoke serve-chaos \
+    cluster-soak rig-soak rig-soak-starved verify-diff cover-check bench-json
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt BENCH_ao.ci.json \
 	      bench_compare.md rig_soak.json rig_soak_starved.json \
-	      serve_chaos_stats.json
+	      serve_chaos_stats.json cluster_soak_report.json

@@ -1,0 +1,217 @@
+// Command thermosc-load is an open-loop load generator for the
+// planning service: a seed-pinned request stream with Poisson or ramp
+// arrivals and zipf-skewed platform popularity, driven either at an
+// existing fleet (-targets) or at a self-contained in-process cluster
+// (-cluster N). The run's report — exact request accounting, latency
+// percentiles, cache hit ratio, serve-source split, and cross-replica
+// plan-identity violations — is printed as JSON and optionally written
+// to -out; a run with errors, plan mismatches, or broken accounting
+// exits nonzero, so the report doubles as a CI gate.
+//
+// Usage:
+//
+//	thermosc-load -cluster 3 -n 5000 -rate 500 -out report.json
+//	thermosc-load -targets http://a:8080,http://b:8080 -n 100000 -curve ramp
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"thermosc"
+	"thermosc/internal/cluster"
+)
+
+func main() {
+	var (
+		targets     = flag.String("targets", "", "comma-separated replica base URLs to drive")
+		clusterN    = flag.Int("cluster", 0, "spin up N in-process replicas and drive them (mutually exclusive with -targets)")
+		n           = flag.Int("n", 1000, "total requests")
+		rate        = flag.Float64("rate", 200, "mean arrival rate (req/s)")
+		curve       = flag.String("curve", "poisson", "arrival curve: poisson or ramp")
+		zipfS       = flag.Float64("zipf-s", 1.2, "zipf skew exponent (>1)")
+		zipfV       = flag.Float64("zipf-v", 1, "zipf offset (>=1)")
+		seed        = flag.Int64("seed", 1, "workload seed (pins schedule, picks, and deadlines)")
+		maxCores    = flag.Int("max-cores", 16, "largest catalog platform (total cores)")
+		tmax        = flag.String("tmax", "60,70,80", "comma-separated thermal thresholds (°C)")
+		methods     = flag.String("methods", "AO,LNS", "comma-separated solver methods")
+		paperLevels = flag.Int("paper-levels", 3, "voltage level set for every platform")
+		timeoutMin  = flag.Float64("timeout-min", 1, "per-request deadline lower bound (s)")
+		timeoutMax  = flag.Float64("timeout-max", 10, "per-request deadline upper bound (s)")
+		concurrency = flag.Int("concurrency", 256, "max in-flight requests")
+		out         = flag.String("out", "", "write the JSON report to this file")
+		maxErrors   = flag.Int("max-errors", -1, "fail the run when more than this many requests error (-1 disables; deadline 504s count as errors)")
+		syncEvery   = flag.Duration("sync-interval", 250*time.Millisecond, "gossip period of the in-process cluster")
+		storeCap    = flag.Int("store-cap", 0, "replicated store capacity of the in-process cluster (0 = default)")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	var urls []string
+	switch {
+	case *clusterN > 0 && *targets != "":
+		log.Fatal("thermosc-load: -cluster and -targets are mutually exclusive")
+	case *clusterN > 0:
+		fleet, err := startFleet(*clusterN, *syncEvery, *storeCap)
+		if err != nil {
+			log.Fatalf("thermosc-load: %v", err)
+		}
+		defer fleet.stop()
+		urls = fleet.urls
+		log.Printf("thermosc-load: started %d in-process replicas: %v", *clusterN, urls)
+	case *targets != "":
+		for _, t := range strings.Split(*targets, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				urls = append(urls, strings.TrimRight(t, "/"))
+			}
+		}
+	default:
+		log.Fatal("thermosc-load: one of -targets or -cluster is required")
+	}
+
+	cfg := cluster.LoadConfig{
+		Targets:     urls,
+		Requests:    *n,
+		RateHz:      *rate,
+		Curve:       *curve,
+		ZipfS:       *zipfS,
+		ZipfV:       *zipfV,
+		Seed:        *seed,
+		MaxCores:    *maxCores,
+		TmaxC:       parseFloats(*tmax),
+		Methods:     parseList(*methods),
+		PaperLevels: *paperLevels,
+		TimeoutMinS: *timeoutMin,
+		TimeoutMaxS: *timeoutMax,
+		Concurrency: *concurrency,
+	}
+	log.Printf("thermosc-load: %d requests at %.0f/s (%s curve, seed %d) across %d targets",
+		cfg.Requests, cfg.RateHz, cfg.Curve, cfg.Seed, len(urls))
+
+	start := time.Now()
+	report, err := cluster.RunLoad(ctx, cfg)
+	if err != nil {
+		log.Fatalf("thermosc-load: %v", err)
+	}
+	log.Printf("thermosc-load: done in %s", time.Since(start).Round(time.Millisecond))
+
+	rb, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatalf("thermosc-load: encoding report: %v", err)
+	}
+	fmt.Println(string(rb))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(rb, '\n'), 0o644); err != nil {
+			log.Fatalf("thermosc-load: writing %s: %v", *out, err)
+		}
+		log.Printf("thermosc-load: report written to %s", *out)
+	}
+
+	// Gate: the run is a failure when accounting breaks or any replica
+	// returned two different complete plans for one key; sheds,
+	// infeasibles, and (below -max-errors) deadline timeouts are
+	// legitimate answers.
+	failed := false
+	if sum := report.Served + report.Infeasible + report.Shed + report.Errors; sum != report.Requests {
+		log.Printf("thermosc-load: FAIL: accounting sums to %d of %d requests", sum, report.Requests)
+		failed = true
+	}
+	if len(report.PlanMismatches) > 0 {
+		log.Printf("thermosc-load: FAIL: %d keys returned divergent complete plans: %v",
+			len(report.PlanMismatches), report.PlanMismatches)
+		failed = true
+	}
+	if *maxErrors >= 0 && report.Errors > *maxErrors {
+		log.Printf("thermosc-load: FAIL: %d requests errored (cap %d)", report.Errors, *maxErrors)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// fleet is the in-process replica set of -cluster N.
+type fleet struct {
+	urls  []string
+	srvs  []*thermosc.Server
+	https []*http.Server
+}
+
+// startFleet boots n replicas on ephemeral loopback ports, each
+// configured with the others as peers.
+func startFleet(n int, syncInterval time.Duration, storeCap int) (*fleet, error) {
+	lns := make([]net.Listener, n)
+	f := &fleet{urls: make([]string, n), srvs: make([]*thermosc.Server, n), https: make([]*http.Server, n)}
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+		f.urls[i] = "http://" + ln.Addr().String()
+	}
+	for i := range lns {
+		peers := make([]string, 0, n-1)
+		for j, u := range f.urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		srv := thermosc.NewServer(thermosc.ServerConfig{
+			Cluster: &thermosc.ClusterConfig{
+				Self:         f.urls[i],
+				Peers:        peers,
+				SyncInterval: syncInterval,
+				StoreCap:     storeCap,
+			},
+		})
+		hs := &http.Server{Handler: srv}
+		f.srvs[i], f.https[i] = srv, hs
+		go func(hs *http.Server, ln net.Listener) { _ = hs.Serve(ln) }(hs, lns[i])
+	}
+	return f, nil
+}
+
+func (f *fleet) stop() {
+	for i := range f.srvs {
+		_ = f.https[i].Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		_ = f.srvs[i].Shutdown(ctx)
+		cancel()
+	}
+}
+
+func parseList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseFloats(s string) []float64 {
+	var out []float64
+	for _, p := range parseList(s) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			log.Fatalf("thermosc-load: bad float %q", p)
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+
+	"thermosc/internal/cluster"
+)
+
+func TestParseHelpers(t *testing.T) {
+	if got := parseList(" a, ,b ,"); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("parseList: %v", got)
+	}
+	if got := parseFloats("60, 70.5 ,80"); !reflect.DeepEqual(got, []float64{60, 70.5, 80}) {
+		t.Fatalf("parseFloats: %v", got)
+	}
+	if got := parseFloats(""); got != nil {
+		t.Fatalf("parseFloats empty: %v", got)
+	}
+}
+
+// The -cluster N in-process fleet must come up healthy, gossip, answer
+// requests on every replica, and shut down cleanly.
+func TestStartFleet(t *testing.T) {
+	f, err := startFleet(2, 50*time.Millisecond, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.stop()
+	if len(f.urls) != 2 {
+		t.Fatalf("fleet urls: %v", f.urls)
+	}
+	for _, u := range f.urls {
+		resp, err := http.Get(u + "/healthz")
+		if err != nil {
+			t.Fatalf("healthz %s: %v", u, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz %s: HTTP %d", u, resp.StatusCode)
+		}
+		cr, err := http.Get(u + "/v1/cluster")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr.Body.Close()
+		if cr.StatusCode != http.StatusOK {
+			t.Fatalf("cluster status %s: HTTP %d", u, cr.StatusCode)
+		}
+	}
+	// A tiny load run against the fleet goes through end to end.
+	rep, err := cluster.RunLoad(context.Background(), cluster.LoadConfig{
+		Targets:  f.urls,
+		Requests: 30,
+		RateHz:   500,
+		// Small platforms + wide deadlines keep this robust under -race.
+		MaxCores:    9,
+		TimeoutMinS: 60,
+		TimeoutMaxS: 120,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Served+rep.Shed != 30 || rep.Errors > 0 {
+		t.Fatalf("fleet load: %+v", rep)
+	}
+	if len(rep.PlanMismatches) != 0 {
+		t.Fatalf("fleet load mismatches: %v", rep.PlanMismatches)
+	}
+}

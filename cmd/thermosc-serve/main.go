@@ -24,6 +24,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -48,8 +49,41 @@ func main() {
 		brkThreshold  = flag.Float64("breaker-threshold", 0, "audit failure fraction that trips the breaker to fallback-only planning (0 = default 0.5)")
 		brkMinSamples = flag.Int("breaker-min-samples", 0, "verdicts required before the breaker may trip (0 = default 8)")
 		brkCooloff    = flag.Duration("breaker-cooloff", 0, "open-state hold before a half-open probe (0 = default 30s)")
+
+		// Fleet flags (see docs/CLUSTER.md). -peers turns on clustering.
+		self         = flag.String("self", "", "this replica's advertised base URL (default http://<bound addr>)")
+		peers        = flag.String("peers", "", "comma-separated peer base URLs; non-empty enables clustering")
+		ringVnodes   = flag.Int("ring-vnodes", 0, "virtual nodes per replica on the hash ring (0 = default 64)")
+		syncInterval = flag.Duration("sync-interval", 2*time.Second, "anti-entropy gossip period (0 disables the background loop)")
+		storeCap     = flag.Int("store-cap", 0, "replicated plan store capacity (0 = default 4096)")
+		warmRestore  = flag.String("warm-restore", "", "snapshot file to load into the plan store at startup")
+		warmExport   = flag.String("warm-export", "", "snapshot file to write from the plan store on shutdown")
 	)
 	flag.Parse()
+
+	// The listener binds before the server is built so -self can default
+	// to the actually-bound address (-addr 127.0.0.1:0 picks a port).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("thermosc-serve: listen %s: %v", *addr, err)
+	}
+
+	var clusterCfg *thermosc.ClusterConfig
+	if *peers != "" || *self != "" {
+		advertised := *self
+		if advertised == "" {
+			advertised = "http://" + ln.Addr().String()
+		}
+		clusterCfg = &thermosc.ClusterConfig{
+			Self:         advertised,
+			Peers:        splitList(*peers),
+			VirtualNodes: *ringVnodes,
+			SyncInterval: *syncInterval,
+			StoreCap:     *storeCap,
+		}
+	} else if *warmRestore != "" || *warmExport != "" {
+		log.Fatalf("thermosc-serve: -warm-restore/-warm-export need clustering (-peers or -self)")
+	}
 
 	srv := thermosc.NewServer(thermosc.ServerConfig{
 		PlanCacheSize:     *planCache,
@@ -66,20 +100,32 @@ func main() {
 		BreakerThreshold:  *brkThreshold,
 		BreakerMinSamples: *brkMinSamples,
 		BreakerCooloff:    *brkCooloff,
+		Cluster:           clusterCfg,
 	})
 	httpSrv := &http.Server{
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		log.Fatalf("thermosc-serve: listen %s: %v", *addr, err)
+	if *warmRestore != "" {
+		snap, err := os.ReadFile(*warmRestore)
+		if err != nil {
+			log.Fatalf("thermosc-serve: warm restore: %v", err)
+		}
+		n, err := srv.ClusterRestore(snap)
+		if err != nil {
+			log.Fatalf("thermosc-serve: warm restore %s: %v", *warmRestore, err)
+		}
+		log.Printf("thermosc-serve: warm restore: %d plans from %s", n, *warmRestore)
 	}
+
 	// The resolved address goes to stdout so scripts and the e2e harness
 	// can discover an ephemeral port (-addr 127.0.0.1:0).
 	fmt.Printf("listening %s\n", ln.Addr())
 	log.Printf("thermosc-serve: listening on %s", ln.Addr())
+	if clusterCfg != nil {
+		log.Printf("thermosc-serve: cluster self=%s peers=%v", clusterCfg.Self, clusterCfg.Peers)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -105,5 +151,29 @@ func main() {
 		log.Printf("thermosc-serve: solve drain: %v", err)
 		os.Exit(1)
 	}
+	if *warmExport != "" {
+		snap, err := srv.ClusterSnapshot()
+		if err != nil {
+			log.Printf("thermosc-serve: warm export: %v", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*warmExport, snap, 0o644); err != nil {
+			log.Printf("thermosc-serve: warm export %s: %v", *warmExport, err)
+			os.Exit(1)
+		}
+		log.Printf("thermosc-serve: warm export: wrote %s", *warmExport)
+	}
 	log.Printf("thermosc-serve: drained, bye")
+}
+
+// splitList parses a comma-separated flag value into trimmed non-empty
+// items.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

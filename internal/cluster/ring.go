@@ -1,0 +1,135 @@
+// Package cluster is the fleet layer of the planning service: a
+// consistent-hash ring that assigns every canonical request key a single
+// owning replica, a replicated plan store with a versioned warm-export
+// snapshot format, a gossip-style anti-entropy sync protocol, and an
+// open-loop load generator that drives a cluster to soak-test scale.
+//
+// Everything here is deliberately deterministic: the ring hashes with
+// SHA-256 (no process-seeded map iteration leaks into placement), store
+// snapshots are sorted by key, and the load generator is seed-pinned —
+// so cluster tests can assert exact invariants instead of probabilistic
+// ones.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is the per-node virtual point count used when a
+// ring is built with vnodes <= 0. 64 points per node keeps the key-share
+// spread of a small cluster within ~2x (see TestRingBalance) while the
+// ring stays tiny enough to rebuild on every membership change.
+const DefaultVirtualNodes = 64
+
+// Ring is an immutable consistent-hash ring over node identifiers
+// (replica base URLs in the serving layer). Each node contributes
+// `vnodes` virtual points at deterministic hash positions; a key is
+// owned by the node whose virtual point follows the key's hash
+// clockwise. Placement depends only on the node set and vnodes — never
+// on insertion order — so every replica computes the same owner for
+// every key.
+type Ring struct {
+	vnodes int
+	nodes  []string // sorted, deduplicated
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// hash64 is the ring's placement hash: the first 8 bytes of SHA-256,
+// big-endian. SHA-256 (rather than FNV) keeps virtual points uniformly
+// spread even for adversarially similar node names like
+// "http://10.0.0.1:8080" vs "http://10.0.0.2:8080".
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// NewRing builds a ring over the given nodes. Nodes are deduplicated
+// and sorted; empty node names are dropped. vnodes <= 0 selects
+// DefaultVirtualNodes.
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(nodes))
+	uniq := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		uniq = append(uniq, n)
+	}
+	sort.Strings(uniq)
+	r := &Ring{vnodes: vnodes, nodes: uniq}
+	r.points = make([]ringPoint, 0, len(uniq)*vnodes)
+	for _, n := range uniq {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: hash64(n + "#" + strconv.Itoa(i)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A 64-bit hash collision between virtual points is vanishingly
+		// rare but must not make placement order-dependent: break ties on
+		// the node name.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// Owner returns the node that owns key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	// First virtual point clockwise from the key's hash; wrap to the
+	// ring's first point past the top.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Nodes returns the ring's membership in sorted order (a copy).
+func (r *Ring) Nodes() []string {
+	return append([]string(nil), r.nodes...)
+}
+
+// Size returns the number of member nodes.
+func (r *Ring) Size() int { return len(r.nodes) }
+
+// Contains reports whether node is a ring member.
+func (r *Ring) Contains(node string) bool {
+	i := sort.SearchStrings(r.nodes, node)
+	return i < len(r.nodes) && r.nodes[i] == node
+}
+
+// WithNode returns a new ring with node added (the receiver is
+// unchanged). Adding an existing member returns an equivalent ring.
+func (r *Ring) WithNode(node string) *Ring {
+	return NewRing(append(r.Nodes(), node), r.vnodes)
+}
+
+// WithoutNode returns a new ring with node removed (the receiver is
+// unchanged).
+func (r *Ring) WithoutNode(node string) *Ring {
+	kept := make([]string, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		if n != node {
+			kept = append(kept, n)
+		}
+	}
+	return NewRing(kept, r.vnodes)
+}

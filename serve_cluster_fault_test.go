@@ -1,0 +1,193 @@
+package thermosc
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"thermosc/internal/cluster"
+)
+
+// The fault-tolerance suite: a static ring survives replica death by
+// re-routing (every key stays answerable), a restarted replica warms
+// back up from a snapshot, and a partitioned replica rejoins gossip and
+// converges.
+
+// Killing a replica must not take its keys down: forwarding fails over
+// to a local solve on whichever replica got the request, and the whole
+// fleet keeps answering with bounded latency.
+func TestClusterReplicaFailureReroute(t *testing.T) {
+	tc := startTestCluster(t, 3, 0, nil)
+	byOwner := bodiesByOwner(t, tc)
+	victim := 1
+	victimBody := byOwner[tc.urls[victim]]
+
+	// Healthy path first: replica 0 forwards to the victim.
+	if status, mr := postMaximize(t, tc.urls[0], victimBody); status != http.StatusOK || mr.Source != "forwarded" {
+		t.Fatalf("pre-kill forward: HTTP %d source %q", status, mr.Source)
+	}
+
+	tc.stopReplica(victim)
+
+	// A fresh body owned by the dead replica (the previous one is cached
+	// on replica 0 now). Probe until we find one.
+	ring := tc.srvs[0].cluster.ring
+	var coldBody string
+	for dt := 0; dt < 400; dt++ {
+		b := clusterBody(3, 3, 3, 61+float64(dt)*0.0625)
+		if ring.Owner(planKeyFor(t, b)) == tc.urls[victim] {
+			coldBody = b
+			break
+		}
+	}
+	if coldBody == "" {
+		t.Fatal("no probe body owned by the victim")
+	}
+	before := tc.srvs[0].cluster.forwardFails.Load()
+	status, mr := postMaximize(t, tc.urls[0], coldBody)
+	if status != http.StatusOK {
+		t.Fatalf("request for a dead replica's key: HTTP %d", status)
+	}
+	if mr.Source != "local" {
+		t.Fatalf("re-routed request source %q, want local (fallback solve)", mr.Source)
+	}
+	if after := tc.srvs[0].cluster.forwardFails.Load(); after <= before {
+		t.Fatalf("forward failure not counted: %d -> %d", before, after)
+	}
+
+	// The two survivors absorb a load burst with zero errors and a
+	// bounded tail: every request gets a real answer well inside its
+	// deadline even though a third of the ring is dark.
+	report, err := cluster.RunLoad(context.Background(), cluster.LoadConfig{
+		Targets:  []string{tc.urls[0], tc.urls[2]},
+		Requests: 300,
+		RateHz:   600,
+		Seed:     11,
+		// ≤9-core platforms + wide deadlines: solves stay fast under the
+		// race detector, so any error is a real routing failure.
+		MaxCores:    9,
+		TimeoutMinS: 60,
+		TimeoutMaxS: 120,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Errors > 0 {
+		t.Fatalf("%d errors with one replica down: %v", report.Errors, report.ByStatus)
+	}
+	if len(report.PlanMismatches) > 0 {
+		t.Fatalf("plan mismatches with one replica down: %v", report.PlanMismatches)
+	}
+	if report.LatencyP99S > 20 {
+		t.Fatalf("p99 %.3fs with one replica down exceeds the 20 s bound", report.LatencyP99S)
+	}
+	sumInvariant(t, tc)
+}
+
+// A restarted replica comes back cold; restoring a peer's warm-export
+// snapshot refills its store so it serves cached plans immediately.
+func TestClusterSnapshotRestoreAfterRestart(t *testing.T) {
+	tc := startTestCluster(t, 3, 0, nil)
+	byOwner := bodiesByOwner(t, tc)
+	for owner, body := range byOwner {
+		if status, _ := postMaximize(t, owner, body); status != http.StatusOK {
+			t.Fatalf("seeding solve on %s failed", owner)
+		}
+	}
+	tc.syncAll(t)
+
+	snap, err := tc.srvs[0].ClusterSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEntries := tc.srvs[0].cluster.store.Len()
+	if wantEntries < 3 {
+		t.Fatalf("snapshot covers only %d entries", wantEntries)
+	}
+	refPlans := make(map[string][]byte)
+	for owner, body := range byOwner {
+		_, mr := postMaximize(t, owner, body)
+		refPlans[body] = mr.Plan
+	}
+
+	victim := 2
+	tc.stopReplica(victim)
+	tc.restartReplica(t, victim, ServerConfig{}, 0)
+
+	if got := tc.srvs[victim].cluster.store.Len(); got != 0 {
+		t.Fatalf("restarted replica store has %d entries, want 0 (cold)", got)
+	}
+	resp, err := http.Post(tc.urls[victim]+"/v1/cluster/restore", "application/json", bytes.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restore: HTTP %d", resp.StatusCode)
+	}
+	if got := tc.srvs[victim].cluster.store.Len(); got != wantEntries {
+		t.Fatalf("restored store has %d entries, want %d", got, wantEntries)
+	}
+
+	// Every seeded key now serves from the restored store — cached, and
+	// byte-identical to the pre-restart plans.
+	for body, want := range refPlans {
+		status, mr := postMaximize(t, tc.urls[victim], body)
+		if status != http.StatusOK {
+			t.Fatalf("post-restore serve: HTTP %d", status)
+		}
+		if !mr.Cached {
+			t.Fatal("post-restore serve was a cold solve, not a store hit")
+		}
+		if !bytes.Equal(mr.Plan, want) {
+			t.Fatal("post-restore plan differs from the pre-restart plan")
+		}
+	}
+}
+
+// A partitioned replica rejects sync (503), the initiator counts the
+// failure, and once the partition heals the fleet converges.
+func TestClusterPartitionAndHeal(t *testing.T) {
+	tc := startTestCluster(t, 3, 0, nil)
+	byOwner := bodiesByOwner(t, tc)
+	body := byOwner[tc.urls[0]]
+	if status, _ := postMaximize(t, tc.urls[0], body); status != http.StatusOK {
+		t.Fatal("seeding solve failed")
+	}
+
+	// Partition replica 2 out of gossip.
+	tc.srvs[2].cluster.rejectSync.Store(true)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	failsBefore := tc.srvs[0].cluster.syncFails.Load()
+	if err := tc.srvs[0].SyncPeer(ctx, tc.urls[2]); err == nil {
+		t.Fatal("sync against a partitioned replica succeeded")
+	}
+	if got := tc.srvs[0].cluster.syncFails.Load(); got <= failsBefore {
+		t.Fatalf("sync failure not counted: %d -> %d", failsBefore, got)
+	}
+	if got := tc.srvs[2].cluster.store.Len(); got != 0 {
+		t.Fatalf("partitioned replica received %d entries", got)
+	}
+	// Replica 1 still converges with replica 0.
+	if err := tc.srvs[1].SyncPeer(ctx, tc.urls[0]); err != nil {
+		t.Fatalf("healthy pair sync failed: %v", err)
+	}
+	if got := tc.srvs[1].cluster.store.Len(); got == 0 {
+		t.Fatal("healthy peer did not replicate around the partition")
+	}
+
+	// Heal and converge.
+	tc.srvs[2].cluster.rejectSync.Store(false)
+	tc.syncAll(t)
+	if got := tc.srvs[2].cluster.store.Len(); got != tc.srvs[0].cluster.store.Len() {
+		t.Fatalf("healed replica has %d entries, origin %d", got, tc.srvs[0].cluster.store.Len())
+	}
+	// And the healed replica serves the replicated plan from its store.
+	status, mr := postMaximize(t, tc.urls[2], body)
+	if status != http.StatusOK || !mr.Cached || mr.Source != "peer" {
+		t.Fatalf("healed serve: HTTP %d cached=%v source=%q, want a peer store hit", status, mr.Cached, mr.Source)
+	}
+}

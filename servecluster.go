@@ -1,0 +1,637 @@
+package thermosc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"thermosc/internal/cluster"
+)
+
+// This file is the fleet layer of the planning service: consistent-hash
+// routing of canonical request keys across replicas, a replicated plan
+// store layered UNDER the process-local LRU, a forwarding proxy so any
+// replica answers any key, gossip-driven anti-entropy between peers,
+// and the cluster status/sync/snapshot endpoints. See docs/CLUSTER.md.
+//
+// Serving layers for a /v1/maximize key, in order:
+//
+//  1. local LRU        — process-hot cache (source "local")
+//  2. replicated store — gossip/snapshot-fed (source "local" for owned
+//     keys, "peer" for entries that arrived from another replica)
+//  3. forwarding proxy — key owned elsewhere: proxy the request to the
+//     owner (source "forwarded")
+//  4. local solve      — owned keys, and the re-route fallback when the
+//     owner is unreachable (source "local")
+//
+// Only COMPLETE plans enter the replicated store: a complete plan is a
+// deterministic function of its canonical key, so every replica stores
+// byte-identical plans and cross-replica identity is a hard invariant
+// the soak test asserts. Degraded plans are deadline-dependent and stay
+// in the local LRU of the process that produced them.
+
+// clusterHopHeader marks a request already forwarded once; the receiver
+// must answer it itself (owner-solve), never re-forward — a two-node
+// disagreement about ring membership must degrade to an extra solve,
+// not a proxy loop.
+const clusterHopHeader = "X-Thermosc-Cluster-Hop"
+
+// Serve-source labels for the cluster counters and the response's
+// `source` field.
+const (
+	serveSourceLocal     = "local"
+	serveSourcePeer      = "peer"
+	serveSourceForwarded = "forwarded"
+)
+
+// ClusterConfig joins a Server to a replica fleet. Zero value (or a nil
+// pointer in ServerConfig) means single-process serving, byte-identical
+// to previous releases.
+type ClusterConfig struct {
+	// Self is this replica's advertised base URL (scheme://host:port); it
+	// is this node's name on the ring. Required — a config with peers but
+	// no self is rejected.
+	Self string
+	// Peers are the other replicas' base URLs. The ring is the
+	// deduplicated union of Self and Peers, so every replica derives the
+	// same membership from its own flags.
+	Peers []string
+	// VirtualNodes is the per-node virtual point count on the ring
+	// (default cluster.DefaultVirtualNodes).
+	VirtualNodes int
+	// SyncInterval is the anti-entropy gossip period; each tick syncs
+	// with one peer round-robin. 0 disables the background loop (tests
+	// drive rounds explicitly; a 3-node fleet converges within two
+	// intervals of any write).
+	SyncInterval time.Duration
+	// StoreCap bounds the replicated plan store (default
+	// cluster.DefaultStoreCap entries, FIFO eviction).
+	StoreCap int
+	// ForwardTimeout caps one proxied request to the owner replica
+	// (default 30 s; the proxied request also inherits the client's own
+	// deadline via context).
+	ForwardTimeout time.Duration
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	c.Self = strings.TrimRight(c.Self, "/")
+	peers := make([]string, 0, len(c.Peers))
+	for _, p := range c.Peers {
+		p = strings.TrimRight(p, "/")
+		if p != "" && p != c.Self {
+			peers = append(peers, p)
+		}
+	}
+	c.Peers = peers
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = cluster.DefaultVirtualNodes
+	}
+	if c.StoreCap <= 0 {
+		c.StoreCap = cluster.DefaultStoreCap
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// serveCluster is the Server's fleet state.
+type serveCluster struct {
+	cfg    ClusterConfig
+	ring   *cluster.Ring
+	store  *cluster.MemStore
+	client *http.Client
+
+	// Serve-source counters. The per-node invariant, pinned by tests:
+	// servedLocal + servedPeer + servedForwarded == successful (200)
+	// /v1/maximize responses this process produced.
+	servedLocal     atomic.Uint64
+	servedPeer      atomic.Uint64
+	servedForwarded atomic.Uint64
+	forwardFails    atomic.Uint64
+
+	syncRounds   atomic.Uint64
+	syncFails    atomic.Uint64
+	entriesSent  atomic.Uint64
+	entriesRecvd atomic.Uint64
+
+	// rejectSync, when set, answers every inbound sync with 503 — the
+	// partition lever fault-tolerance tests pull. Exported behavior, not
+	// just a test hook: operators can partition a replica out of gossip
+	// while debugging it (POST /v1/cluster/sync is the only write path
+	// between replicas).
+	rejectSync atomic.Bool
+
+	mu       sync.Mutex
+	peerIdx  int
+	peerSeen map[string]peerSyncState
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+type peerSyncState struct {
+	at  time.Time
+	err string
+}
+
+// newServeCluster validates and builds the fleet state; a nil return
+// (with error) leaves the server single-process.
+func newServeCluster(cfg ClusterConfig) (*serveCluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("cluster: Self is required")
+	}
+	c := &serveCluster{
+		cfg:   cfg,
+		ring:  cluster.NewRing(append([]string{cfg.Self}, cfg.Peers...), cfg.VirtualNodes),
+		store: cluster.NewMemStore(cfg.StoreCap),
+		client: &http.Client{
+			// Forwarding and gossip reuse connections to a handful of
+			// peers; the transport's per-host idle pool must not throttle a
+			// soak-scale request stream into TIME_WAIT churn.
+			Transport: &http.Transport{MaxIdleConns: 256, MaxIdleConnsPerHost: 64, IdleConnTimeout: 30 * time.Second},
+		},
+		peerSeen: make(map[string]peerSyncState, len(cfg.Peers)),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	return c, nil
+}
+
+// owner returns the replica owning a canonical plan key.
+func (c *serveCluster) owner(planKey string) string { return c.ring.Owner(planKey) }
+
+func (c *serveCluster) owns(planKey string) bool { return c.owner(planKey) == c.cfg.Self }
+
+// startGossip launches the anti-entropy loop (no-op without peers or
+// interval).
+func (c *serveCluster) startGossip() {
+	if c.cfg.SyncInterval <= 0 || len(c.cfg.Peers) == 0 {
+		close(c.done)
+		return
+	}
+	go func() {
+		defer close(c.done)
+		t := time.NewTicker(c.cfg.SyncInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				ctx, cancel := context.WithTimeout(context.Background(), c.cfg.SyncInterval*4+time.Second)
+				_ = c.syncNow(ctx, c.nextPeer())
+				cancel()
+			}
+		}
+	}()
+}
+
+func (c *serveCluster) stopGossip() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.done
+}
+
+func (c *serveCluster) nextPeer() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.cfg.Peers[c.peerIdx%len(c.cfg.Peers)]
+	c.peerIdx++
+	return p
+}
+
+// syncNow runs one pull-push anti-entropy round against peer: send our
+// digest, store what the peer has that we lack, push what it asked for.
+func (c *serveCluster) syncNow(ctx context.Context, peer string) error {
+	c.syncRounds.Add(1)
+	err := c.syncRound(ctx, peer)
+	c.mu.Lock()
+	st := peerSyncState{at: time.Now()}
+	if err != nil {
+		st.err = err.Error()
+	}
+	c.peerSeen[peer] = st
+	c.mu.Unlock()
+	if err != nil {
+		c.syncFails.Add(1)
+	}
+	return err
+}
+
+func (c *serveCluster) syncRound(ctx context.Context, peer string) error {
+	resp, err := c.postSync(ctx, peer, cluster.SyncRequest{From: c.cfg.Self, Digest: c.store.Digest()})
+	if err != nil {
+		return err
+	}
+	for _, e := range resp.Entries {
+		if c.store.Put(e) {
+			c.entriesRecvd.Add(1)
+		}
+	}
+	if len(resp.Want) == 0 {
+		return nil
+	}
+	push := cluster.MissingEntries(c.store, resp.Want)
+	if len(push) == 0 {
+		return nil
+	}
+	if _, err := c.postSync(ctx, peer, cluster.SyncRequest{From: c.cfg.Self, Entries: push}); err != nil {
+		return err
+	}
+	c.entriesSent.Add(uint64(len(push)))
+	return nil
+}
+
+// maxSyncBodyBytes bounds one gossip message on the wire: the entry
+// payloads dominate, so the cap mirrors the store's worst case rather
+// than the 1 MiB request-body cap.
+const maxSyncBodyBytes = 64 << 20
+
+func (c *serveCluster) postSync(ctx context.Context, peer string, req cluster.SyncRequest) (cluster.SyncResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return cluster.SyncResponse{}, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, peer+"/v1/cluster/sync", bytes.NewReader(body))
+	if err != nil {
+		return cluster.SyncResponse{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.client.Do(hreq)
+	if err != nil {
+		return cluster.SyncResponse{}, err
+	}
+	defer hresp.Body.Close()
+	rb, err := io.ReadAll(io.LimitReader(hresp.Body, maxSyncBodyBytes))
+	if err != nil {
+		return cluster.SyncResponse{}, err
+	}
+	if hresp.StatusCode != http.StatusOK {
+		return cluster.SyncResponse{}, fmt.Errorf("cluster: peer %s sync: HTTP %d", peer, hresp.StatusCode)
+	}
+	var resp cluster.SyncResponse
+	if err := json.Unmarshal(rb, &resp); err != nil {
+		return cluster.SyncResponse{}, fmt.Errorf("cluster: peer %s sync reply: %w", peer, err)
+	}
+	return resp, nil
+}
+
+// served increments one serve-source counter (helper for the handler).
+func (c *serveCluster) served(source string) {
+	switch source {
+	case serveSourcePeer:
+		c.servedPeer.Add(1)
+	case serveSourceForwarded:
+		c.servedForwarded.Add(1)
+	default:
+		c.servedLocal.Add(1)
+	}
+}
+
+// statsSnapshot renders the cluster block of /v1/stats.
+func (c *serveCluster) statsSnapshot() *ClusterStats {
+	return &ClusterStats{
+		Self:            c.cfg.Self,
+		Nodes:           c.ring.Nodes(),
+		ServedLocal:     c.servedLocal.Load(),
+		ServedPeerFetch: c.servedPeer.Load(),
+		ServedForwarded: c.servedForwarded.Load(),
+		ForwardFailures: c.forwardFails.Load(),
+		SyncRounds:      c.syncRounds.Load(),
+		SyncFailures:    c.syncFails.Load(),
+		EntriesSent:     c.entriesSent.Load(),
+		EntriesReceived: c.entriesRecvd.Load(),
+		StoreSize:       c.store.Len(),
+		StoreCapacity:   c.store.Cap(),
+	}
+}
+
+// ---- Server integration ----------------------------------------------
+
+// sourceLabel is the response's `source` field value: set only in
+// cluster mode so single-process responses stay byte-stable against
+// earlier releases.
+func (s *Server) sourceLabel(source string) string {
+	if s.cluster == nil {
+		return ""
+	}
+	return source
+}
+
+// clusterServed counts one successful maximize serve against its
+// source (no-op single-process).
+func (s *Server) clusterServed(source string) {
+	if s.cluster != nil {
+		s.cluster.served(source)
+	}
+}
+
+// clusterStoreGet consults the replicated store (layer 2). The entry is
+// promoted into the local LRU so the next hit is layer 1.
+func (s *Server) clusterStoreGet(planKey string) (cachedPlan, string, bool) {
+	if s.cluster == nil {
+		return cachedPlan{}, "", false
+	}
+	ce, ok := s.cluster.store.Get(planKey)
+	if !ok {
+		return cachedPlan{}, "", false
+	}
+	ent := cachedPlan{bytes: ce.Plan, born: time.Unix(0, ce.BornUnixNano)}
+	s.plans.Put(planKey, ent)
+	src := serveSourceLocal
+	if !s.cluster.owns(planKey) {
+		// The entry can only have arrived via gossip or a snapshot
+		// restore — a peer fetch in effect.
+		src = serveSourcePeer
+	}
+	return ent, src, true
+}
+
+// clusterStorePut replicates a freshly solved COMPLETE plan (no-op
+// single-process or for degraded plans; see the file comment).
+func (s *Server) clusterStorePut(planKey string, ent cachedPlan) {
+	if s.cluster == nil || ent.degraded {
+		return
+	}
+	s.cluster.store.Put(cluster.Entry{Key: planKey, Plan: ent.bytes, BornUnixNano: ent.born.UnixNano()})
+}
+
+// forwardMaximize proxies a request whose key another replica owns.
+// It reports whether the request was fully answered; a transport
+// failure returns false and the caller re-routes to a local solve (the
+// ring's failure semantics: with the owner down, the remaining replicas
+// keep serving every key). The owner's HTTP errors (4xx/429/5xx) are
+// relayed verbatim — they are deterministic or backpressure answers,
+// not reachability failures.
+func (s *Server) forwardMaximize(w http.ResponseWriter, r *http.Request, body []byte, owner, planKey string, start time.Time, failed *bool) bool {
+	ctx, cancel := context.WithTimeout(r.Context(), s.cluster.cfg.ForwardTimeout)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+"/v1/maximize", bytes.NewReader(body))
+	if err != nil {
+		s.cluster.forwardFails.Add(1)
+		return false
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(clusterHopHeader, s.cluster.cfg.Self)
+	hresp, err := s.cluster.client.Do(hreq)
+	if err != nil {
+		s.cluster.forwardFails.Add(1)
+		return false
+	}
+	defer hresp.Body.Close()
+	rb, err := io.ReadAll(io.LimitReader(hresp.Body, maxSyncBodyBytes))
+	if err != nil {
+		s.cluster.forwardFails.Add(1)
+		return false
+	}
+	if hresp.StatusCode != http.StatusOK {
+		if ra := hresp.Header.Get("Retry-After"); ra != "" {
+			w.Header().Set("Retry-After", ra)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(hresp.StatusCode)
+		_, _ = w.Write(rb)
+		return true
+	}
+	var mr MaximizeResponse
+	if err := json.Unmarshal(rb, &mr); err != nil || len(mr.Plan) == 0 {
+		s.cluster.forwardFails.Add(1)
+		return false
+	}
+	if !mr.Degraded {
+		ent := cachedPlan{bytes: mr.Plan, born: time.Now()}
+		s.plans.Put(planKey, ent)
+		s.clusterStorePut(planKey, ent)
+	}
+	s.clusterServed(serveSourceForwarded)
+	*failed = false
+	writeJSON(w, http.StatusOK, MaximizeResponse{
+		Plan:           mr.Plan,
+		Cached:         mr.Cached,
+		Shared:         mr.Shared,
+		Degraded:       mr.Degraded,
+		DegradedReason: mr.DegradedReason,
+		Stale:          mr.Stale,
+		Key:            mr.Key,
+		Source:         serveSourceForwarded,
+		ElapsedS:       time.Since(start).Seconds(),
+	})
+	return true
+}
+
+// ---- HTTP endpoints ---------------------------------------------------
+
+// ClusterStatus is the JSON schema of GET /v1/cluster.
+type ClusterStatus struct {
+	Self         string       `json:"self"`
+	Nodes        []string     `json:"nodes"`
+	VirtualNodes int          `json:"virtual_nodes"`
+	Peers        []PeerStatus `json:"peers"`
+	Counters     ClusterStats `json:"counters"`
+	// Fleet aggregates the cluster counters across every reachable
+	// replica (set only with ?fleet=1).
+	Fleet *FleetStats `json:"fleet,omitempty"`
+}
+
+// PeerStatus reports the last anti-entropy contact with one peer.
+type PeerStatus struct {
+	URL string `json:"url"`
+	// LastSyncUnixS is the wall-clock time of the last attempted round
+	// (0 = never attempted).
+	LastSyncUnixS float64 `json:"last_sync_unix_s,omitempty"`
+	// LastError is the last round's failure ("" = the last round
+	// succeeded).
+	LastError string `json:"last_error,omitempty"`
+}
+
+// FleetStats is the cluster-aggregated view: per-node serve-source
+// counters summed across every replica that answered /v1/stats. Note
+// one client request answered by forwarding is counted twice fleet-wide
+// — once as "forwarded" at the proxy and once as "local" at the owner —
+// so ServedLocal+ServedPeerFetch equals client-visible serves and
+// ServedForwarded measures internal proxy traffic.
+type FleetStats struct {
+	Reachable       int            `json:"reachable"`
+	Unreachable     []string       `json:"unreachable,omitempty"`
+	ServedLocal     uint64         `json:"served_local"`
+	ServedPeerFetch uint64         `json:"served_peer_fetch"`
+	ServedForwarded uint64         `json:"served_forwarded"`
+	ForwardFailures uint64         `json:"forward_failures"`
+	SyncRounds      uint64         `json:"sync_rounds"`
+	SyncFailures    uint64         `json:"sync_failures"`
+	StoreSizes      map[string]int `json:"store_sizes"`
+}
+
+func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	c := s.cluster
+	if c == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "clustering is not enabled", Code: "bad_request"})
+		return
+	}
+	st := ClusterStatus{
+		Self:         c.cfg.Self,
+		Nodes:        c.ring.Nodes(),
+		VirtualNodes: c.cfg.VirtualNodes,
+		Counters:     *c.statsSnapshot(),
+	}
+	c.mu.Lock()
+	for _, p := range c.cfg.Peers {
+		ps := PeerStatus{URL: p}
+		if seen, ok := c.peerSeen[p]; ok {
+			ps.LastSyncUnixS = float64(seen.at.UnixNano()) / 1e9
+			ps.LastError = seen.err
+		}
+		st.Peers = append(st.Peers, ps)
+	}
+	c.mu.Unlock()
+	if r.URL.Query().Get("fleet") != "" {
+		st.Fleet = s.gatherFleet(r.Context())
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// gatherFleet polls every peer's /v1/stats and sums the cluster
+// counters with this node's own.
+func (s *Server) gatherFleet(ctx context.Context) *FleetStats {
+	c := s.cluster
+	fleet := &FleetStats{Reachable: 1, StoreSizes: map[string]int{c.cfg.Self: c.store.Len()}}
+	add := func(cs *ClusterStats) {
+		fleet.ServedLocal += cs.ServedLocal
+		fleet.ServedPeerFetch += cs.ServedPeerFetch
+		fleet.ServedForwarded += cs.ServedForwarded
+		fleet.ForwardFailures += cs.ForwardFailures
+		fleet.SyncRounds += cs.SyncRounds
+		fleet.SyncFailures += cs.SyncFailures
+	}
+	add(c.statsSnapshot())
+	for _, p := range c.cfg.Peers {
+		cs, size, err := c.fetchPeerStats(ctx, p)
+		if err != nil {
+			fleet.Unreachable = append(fleet.Unreachable, p)
+			continue
+		}
+		fleet.Reachable++
+		fleet.StoreSizes[p] = size
+		add(cs)
+	}
+	return fleet
+}
+
+func (c *serveCluster) fetchPeerStats(ctx context.Context, peer string) (*ClusterStats, int, error) {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/stats", nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	hresp, err := c.client.Do(hreq)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer hresp.Body.Close()
+	rb, err := io.ReadAll(io.LimitReader(hresp.Body, maxBodyBytes))
+	if err != nil || hresp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("cluster: peer %s stats: HTTP %d (%v)", peer, hresp.StatusCode, err)
+	}
+	var st ServerStats
+	if err := json.Unmarshal(rb, &st); err != nil || st.Cluster == nil {
+		return nil, 0, fmt.Errorf("cluster: peer %s stats: %v", peer, err)
+	}
+	return st.Cluster, st.Cluster.StoreSize, nil
+}
+
+func (s *Server) handleClusterSync(w http.ResponseWriter, r *http.Request) {
+	c := s.cluster
+	if c == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "clustering is not enabled", Code: "bad_request"})
+		return
+	}
+	if c.rejectSync.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "sync rejected: replica is partitioned", Code: "partitioned"})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSyncBodyBytes))
+	if err != nil {
+		writeError(w, badRequestf("reading sync body: %v", err))
+		return
+	}
+	req, err := cluster.DecodeSyncRequest(body)
+	if err != nil {
+		writeError(w, badRequestf("%v", err))
+		return
+	}
+	resp := cluster.HandleSync(c.store, req)
+	c.entriesRecvd.Add(uint64(resp.Applied))
+	c.entriesSent.Add(uint64(len(resp.Entries)))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleClusterSnapshot(w http.ResponseWriter, r *http.Request) {
+	b, err := s.ClusterSnapshot()
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error(), Code: "bad_request"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b)
+}
+
+func (s *Server) handleClusterRestore(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "clustering is not enabled", Code: "bad_request"})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSyncBodyBytes))
+	if err != nil {
+		writeError(w, badRequestf("reading snapshot body: %v", err))
+		return
+	}
+	n, err := s.ClusterRestore(body)
+	if err != nil {
+		writeError(w, badRequestf("%v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"restored": n, "store_size": s.cluster.store.Len()})
+}
+
+// ClusterSnapshot exports the replicated plan store in the warm-export
+// format (the body of GET /v1/cluster/snapshot; thermosc-serve's
+// -warm-export writes it to disk on shutdown). Errors when clustering
+// is disabled.
+func (s *Server) ClusterSnapshot() ([]byte, error) {
+	if s.cluster == nil {
+		return nil, fmt.Errorf("thermosc: clustering is not enabled")
+	}
+	return cluster.EncodeSnapshot(s.cluster.store)
+}
+
+// ClusterRestore loads a warm-export snapshot into the replicated plan
+// store (the body of POST /v1/cluster/restore; thermosc-serve's
+// -warm-restore loads one at startup). Returns how many entries were
+// newly added.
+func (s *Server) ClusterRestore(snapshot []byte) (int, error) {
+	if s.cluster == nil {
+		return 0, fmt.Errorf("thermosc: clustering is not enabled")
+	}
+	return cluster.Restore(s.cluster.store, snapshot)
+}
+
+// SyncPeer runs one anti-entropy round against the given peer now
+// (also what the background gossip loop does on its timer). Exposed for
+// operational tooling and tests; errors when clustering is disabled.
+func (s *Server) SyncPeer(ctx context.Context, peer string) error {
+	if s.cluster == nil {
+		return fmt.Errorf("thermosc: clustering is not enabled")
+	}
+	return s.cluster.syncNow(ctx, strings.TrimRight(peer, "/"))
+}

@@ -39,6 +39,10 @@ type Server struct {
 	flights   *flightGroup
 	admit     *admission
 	brk       *breaker
+	// cluster is the fleet layer (servecluster.go): consistent-hash
+	// routing, the replicated plan store, forwarding, and gossip. Nil in
+	// single-process mode.
+	cluster *serveCluster
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -118,6 +122,16 @@ type ServerConfig struct {
 	BreakerThreshold  float64
 	BreakerMinSamples int
 	BreakerCooloff    time.Duration
+
+	// Cluster, when non-nil, joins this server to a replica fleet:
+	// canonical request keys are placed on a consistent-hash ring, plans
+	// replicate through a shared store with gossip anti-entropy, and
+	// requests for keys owned elsewhere are proxied to their owner (see
+	// docs/CLUSTER.md). Nil means single-process serving, byte-identical
+	// to previous releases. An invalid cluster config (no Self) panics at
+	// construction — a daemon must fail fast on a bad fleet topology, not
+	// serve with silently-disabled replication.
+	Cluster *ClusterConfig
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -177,11 +191,23 @@ func NewServer(cfg ServerConfig) *Server {
 	s.admit = newAdmission(s.cfg.SolveConcurrency, s.cfg.SolveQueue)
 	s.brk = newBreaker(s.cfg.BreakerWindow, s.cfg.BreakerThreshold, s.cfg.BreakerMinSamples, s.cfg.BreakerCooloff)
 	s.cond = sync.NewCond(&s.mu)
+	if cfg.Cluster != nil {
+		c, err := newServeCluster(*cfg.Cluster)
+		if err != nil {
+			panic(fmt.Sprintf("thermosc.NewServer: %v", err))
+		}
+		s.cluster = c
+		c.startGossip()
+	}
 	s.mux.HandleFunc("POST /v1/maximize", s.handleMaximize)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleStats)
+	s.mux.HandleFunc("GET /v1/cluster", s.handleClusterStatus)
+	s.mux.HandleFunc("POST /v1/cluster/sync", s.handleClusterSync)
+	s.mux.HandleFunc("GET /v1/cluster/snapshot", s.handleClusterSnapshot)
+	s.mux.HandleFunc("POST /v1/cluster/restore", s.handleClusterRestore)
 	return s
 }
 
@@ -209,6 +235,9 @@ func (s *Server) Stats() ServerStats {
 	st := s.stats.snapshot(s.plans.Len(), s.cfg.PlanCacheSize)
 	st.Resilience.QueueDepth = s.admit.depth()
 	st.Resilience.BreakerState, st.Resilience.BreakerTrips = s.brk.status()
+	if s.cluster != nil {
+		st.Cluster = s.cluster.statsSnapshot()
+	}
 	return st
 }
 
@@ -221,6 +250,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
+	if s.cluster != nil {
+		s.cluster.stopGossip() // no new gossip while draining
+	}
 	done := make(chan struct{})
 	go func() {
 		s.mu.Lock()
@@ -368,30 +400,36 @@ func (s *Server) handleMaximize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Layer 1: the process-local LRU.
 	if ent, ok := s.plans.Get(planKey); ok {
-		stale := s.isStale(ent)
-		if stale {
-			s.stats.staleServed()
-			s.refreshAsync(planKey, platKey, req)
-		}
-		if ent.degraded {
-			s.stats.degradedServed()
-		}
-		s.stats.cacheHit()
 		failed = false
-		writeJSON(w, http.StatusOK, MaximizeResponse{
-			Plan:           ent.bytes,
-			Cached:         true,
-			Stale:          stale,
-			Degraded:       ent.degraded,
-			DegradedReason: ent.reason,
-			Key:            keyDigest(planKey),
-			ElapsedS:       time.Since(start).Seconds(),
-		})
+		s.serveCachedPlan(w, start, planKey, platKey, req, ent, serveSourceLocal)
+		return
+	}
+	// Layer 2: the replicated plan store (cluster mode). A hit for a key
+	// another replica owns means the bytes arrived via gossip or a
+	// snapshot restore — a peer fetch in effect.
+	if ent, src, ok := s.clusterStoreGet(planKey); ok {
+		failed = false
+		s.serveCachedPlan(w, start, planKey, platKey, req, ent, src)
 		return
 	}
 	s.stats.cacheMiss()
 
+	// Layer 3: the forwarding proxy — keys owned by another replica are
+	// answered by their owner so the fleet solves each key once. A
+	// request that already hopped once is always served here (never
+	// re-forwarded), and an unreachable owner falls through to the local
+	// solve: the ring re-routes instead of failing the request.
+	if s.cluster != nil && r.Header.Get(clusterHopHeader) == "" {
+		if owner := s.cluster.owner(planKey); owner != s.cluster.cfg.Self {
+			if s.forwardMaximize(w, r, body, owner, planKey, start, &failed) {
+				return
+			}
+		}
+	}
+
+	// Layer 4: solve locally.
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeoutFor(req.TimeoutS))
 	defer cancel()
 	ent, shared, err := s.flights.Do(ctx, planKey, func() (cachedPlan, error) {
@@ -408,12 +446,41 @@ func (s *Server) handleMaximize(w http.ResponseWriter, r *http.Request) {
 		s.stats.degradedServed()
 	}
 	failed = false
+	s.clusterServed(serveSourceLocal)
 	writeJSON(w, http.StatusOK, MaximizeResponse{
 		Plan:           ent.bytes,
 		Shared:         shared,
 		Degraded:       ent.degraded,
 		DegradedReason: ent.reason,
 		Key:            keyDigest(planKey),
+		Source:         s.sourceLabel(serveSourceLocal),
+		ElapsedS:       time.Since(start).Seconds(),
+	})
+}
+
+// serveCachedPlan answers a maximize request from a cache layer (the
+// local LRU or the replicated store), running the shared
+// stale-while-revalidate and accounting machinery. The caller has
+// already cleared its failed flag.
+func (s *Server) serveCachedPlan(w http.ResponseWriter, start time.Time, planKey, platKey string, req MaximizeRequest, ent cachedPlan, source string) {
+	stale := s.isStale(ent)
+	if stale {
+		s.stats.staleServed()
+		s.refreshAsync(planKey, platKey, req)
+	}
+	if ent.degraded {
+		s.stats.degradedServed()
+	}
+	s.stats.cacheHit()
+	s.clusterServed(source)
+	writeJSON(w, http.StatusOK, MaximizeResponse{
+		Plan:           ent.bytes,
+		Cached:         true,
+		Stale:          stale,
+		Degraded:       ent.degraded,
+		DegradedReason: ent.reason,
+		Key:            keyDigest(planKey),
+		Source:         s.sourceLabel(source),
 		ElapsedS:       time.Since(start).Seconds(),
 	})
 }
@@ -465,6 +532,7 @@ func (s *Server) solvePlan(ctx context.Context, planKey, platKey string, req Max
 	}
 	ent := cachedPlan{bytes: b, degraded: plan.Degraded, reason: plan.DegradedReason, born: time.Now()}
 	s.plans.Put(planKey, ent)
+	s.clusterStorePut(planKey, ent) // complete plans replicate fleet-wide
 	// Only complete plans enter the audit sampling: degraded plans were
 	// already oracle-checked synchronously by the fallback chain.
 	if !plan.Degraded && s.cfg.AuditEvery > 0 && s.solves.Add(1)%uint64(s.cfg.AuditEvery) == 0 {

@@ -81,6 +81,12 @@ type MaximizeResponse struct {
 	// degraded (or past PlanTTL) and a background refresh is replacing
 	// it; this response still carries the old, verified bytes.
 	Stale bool `json:"stale,omitempty"`
+	// Source reports which fleet layer answered: "local" (this replica's
+	// cache or solver), "peer" (replicated-store entry that arrived from
+	// another replica), or "forwarded" (proxied to the key's owner). Set
+	// only in cluster mode, so single-process responses stay byte-stable
+	// against earlier releases.
+	Source string `json:"source,omitempty"`
 }
 
 // SimulateRequest is the body of POST /v1/simulate: replay a plan on a

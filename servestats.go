@@ -121,6 +121,35 @@ type ServerStats struct {
 	Audit      AuditCounters            `json:"audit"`
 	Resilience ResilienceStats          `json:"resilience"`
 	Requests   map[string]EndpointStats `json:"requests"`
+	// Cluster reports the fleet layer's counters (nil single-process, so
+	// single-process stats stay schema-stable).
+	Cluster *ClusterStats `json:"cluster,omitempty"`
+}
+
+// ClusterStats is the per-node fleet block of /v1/stats. The request
+// histograms and resilience counters above are per-process; this block
+// classifies this node's successful maximize serves by source so the
+// fleet's behavior is reconstructible:
+//
+//	served_local + served_peer_fetch + served_forwarded
+//	    == this node's 200-status /v1/maximize responses
+//
+// (the sum invariant the regression tests pin). "local" is a local
+// cache hit or solve, "peer_fetch" a replicated-store hit for a key
+// another replica owns, "forwarded" a request proxied to its owner.
+type ClusterStats struct {
+	Self            string   `json:"self"`
+	Nodes           []string `json:"nodes"`
+	ServedLocal     uint64   `json:"served_local"`
+	ServedPeerFetch uint64   `json:"served_peer_fetch"`
+	ServedForwarded uint64   `json:"served_forwarded"`
+	ForwardFailures uint64   `json:"forward_failures"`
+	SyncRounds      uint64   `json:"sync_rounds"`
+	SyncFailures    uint64   `json:"sync_failures"`
+	EntriesSent     uint64   `json:"entries_sent"`
+	EntriesReceived uint64   `json:"entries_received"`
+	StoreSize       int      `json:"store_size"`
+	StoreCapacity   int      `json:"store_capacity"`
 }
 
 // ResilienceStats reports the overload/degradation machinery: how many
