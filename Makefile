@@ -78,26 +78,41 @@ fuzz-smoke:
 serve-smoke:
 	THERMOSC_SERVE_E2E=1 $(GO) test -run TestServeE2EGolden -count=1 -v .
 
-# Chaos storm against the planning daemon, race-enabled: concurrent
-# requests under tiny deadlines with seeded random solver panics. Zero
-# daemon crashes allowed; every 200 body must pass the verification
-# oracle. The final /v1/stats snapshot lands in serve_chaos_stats.json.
+# PlanStore backends the chaos and soak suites run once each against
+# (mem = replicated in-memory store, file = crash-safe append-only log).
+STORE_BACKENDS ?= mem file
+
+# Chaos storm against the planning daemon, race-enabled, once per plan
+# store backend: concurrent requests under tiny deadlines with seeded
+# random solver panics, through the request-coalescing batch scheduler.
+# Zero daemon crashes allowed; every 200 body must pass the verification
+# oracle. Each backend's final /v1/stats snapshot lands in
+# serve_chaos_stats_<backend>.json.
 CHAOS_REQUESTS ?= 400
 serve-chaos:
-	THERMOSC_CHAOS_REQUESTS=$(CHAOS_REQUESTS) \
-	THERMOSC_CHAOS_STATS=$(CURDIR)/serve_chaos_stats.json \
-	$(GO) test -race -run TestServeChaos -count=1 -v .
+	@for b in $(STORE_BACKENDS); do \
+		echo "== serve-chaos [store=$$b] =="; \
+		THERMOSC_CHAOS_STORE=$$b \
+		THERMOSC_CHAOS_REQUESTS=$(CHAOS_REQUESTS) \
+		THERMOSC_CHAOS_STATS=$(CURDIR)/serve_chaos_stats_$$b.json \
+		$(GO) test -race -run TestServeChaos -count=1 -v . || exit 1; \
+	done
 
-# Fleet soak, race-enabled: a seed-pinned zipf workload through a
-# 3-replica in-process cluster. Exact request accounting, zero transport
-# errors, byte-identical plans per canonical key across every replica,
-# and post-load anti-entropy convergence; the load report lands in
-# cluster_soak_report.json. CI raises CLUSTER_REQUESTS to 100000.
+# Fleet soak, race-enabled, once per plan store backend: a seed-pinned
+# zipf workload through a 3-replica in-process cluster. Exact request
+# accounting, zero transport errors, byte-identical plans per canonical
+# key across every replica, and post-load anti-entropy convergence; each
+# backend's load report lands in cluster_soak_report_<backend>.json. CI
+# raises CLUSTER_REQUESTS to 100000.
 CLUSTER_REQUESTS ?= 2500
 cluster-soak:
-	THERMOSC_CLUSTER_REQUESTS=$(CLUSTER_REQUESTS) \
-	THERMOSC_CLUSTER_REPORT=$(CURDIR)/cluster_soak_report.json \
-	$(GO) test -race -run TestClusterSoak -count=1 -v .
+	@for b in $(STORE_BACKENDS); do \
+		echo "== cluster-soak [store=$$b] =="; \
+		THERMOSC_CLUSTER_STORE=$$b \
+		THERMOSC_CLUSTER_REQUESTS=$(CLUSTER_REQUESTS) \
+		THERMOSC_CLUSTER_REPORT=$(CURDIR)/cluster_soak_report_$$b.json \
+		$(GO) test -race -run TestClusterSoak -count=1 -v . || exit 1; \
+	done
 
 # Closed-loop soak: 20 seed-pinned fault scenarios under the guarded AO
 # plan, each replayed twice. Exits nonzero on ANY thermal violation
@@ -150,4 +165,4 @@ ci: build lint test test-race fuzz-smoke serve-smoke serve-chaos \
 clean:
 	rm -f cover.out test_output.txt bench_output.txt BENCH_ao.ci.json \
 	      bench_compare.md rig_soak.json rig_soak_starved.json \
-	      serve_chaos_stats.json cluster_soak_report.json
+	      serve_chaos_stats_*.json cluster_soak_report_*.json

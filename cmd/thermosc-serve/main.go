@@ -49,6 +49,8 @@ func main() {
 		brkThreshold  = flag.Float64("breaker-threshold", 0, "audit failure fraction that trips the breaker to fallback-only planning (0 = default 0.5)")
 		brkMinSamples = flag.Int("breaker-min-samples", 0, "verdicts required before the breaker may trip (0 = default 8)")
 		brkCooloff    = flag.Duration("breaker-cooloff", 0, "open-state hold before a half-open probe (0 = default 30s)")
+		batchWindow   = flag.Duration("batch-window", 0, "coalesce concurrent same-platform solves inside this window (0 disables batching)")
+		batchMax      = flag.Int("batch-max", 0, "members that seal a batch group early (0 = default 16)")
 
 		// Fleet flags (see docs/CLUSTER.md). -peers turns on clustering.
 		self         = flag.String("self", "", "this replica's advertised base URL (default http://<bound addr>)")
@@ -56,6 +58,8 @@ func main() {
 		ringVnodes   = flag.Int("ring-vnodes", 0, "virtual nodes per replica on the hash ring (0 = default 64)")
 		syncInterval = flag.Duration("sync-interval", 2*time.Second, "anti-entropy gossip period (0 disables the background loop)")
 		storeCap     = flag.Int("store-cap", 0, "replicated plan store capacity (0 = default 4096)")
+		storeBackend = flag.String("store-backend", "", "plan store backend: mem or file (default mem)")
+		storePath    = flag.String("store-path", "", "append-only log path for -store-backend file")
 		warmRestore  = flag.String("warm-restore", "", "snapshot file to load into the plan store at startup")
 		warmExport   = flag.String("warm-export", "", "snapshot file to write from the plan store on shutdown")
 	)
@@ -80,9 +84,13 @@ func main() {
 			VirtualNodes: *ringVnodes,
 			SyncInterval: *syncInterval,
 			StoreCap:     *storeCap,
+			StoreBackend: *storeBackend,
+			StorePath:    *storePath,
 		}
 	} else if *warmRestore != "" || *warmExport != "" {
 		log.Fatalf("thermosc-serve: -warm-restore/-warm-export need clustering (-peers or -self)")
+	} else if *storeBackend != "" || *storePath != "" {
+		log.Fatalf("thermosc-serve: -store-backend/-store-path need clustering (-peers or -self)")
 	}
 
 	srv := thermosc.NewServer(thermosc.ServerConfig{
@@ -100,6 +108,8 @@ func main() {
 		BreakerThreshold:  *brkThreshold,
 		BreakerMinSamples: *brkMinSamples,
 		BreakerCooloff:    *brkCooloff,
+		BatchWindow:       *batchWindow,
+		BatchMaxSize:      *batchMax,
 		Cluster:           clusterCfg,
 	})
 	httpSrv := &http.Server{

@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// FileStore is the durable PlanStore: MemStore semantics (mutex-guarded
+// map, first-write-wins, FIFO eviction at cap) backed by an append-only
+// log, so a restarted replica recovers its replicated plans without a
+// peer snapshot.
+//
+// Log format — one JSON document per line:
+//
+//	{"format":"thermosc-planstore","version":1,"cap":4096}   (header)
+//	{"key":"…","plan":"<base64>","born_unix_nano":…}          (one per Put)
+//
+// Entry lines reuse the snapshot wire format (Entry), so the log is
+// greppable with the same tooling as warm exports. Each accepted Put is
+// a single write+fsync; eviction is memory-only (the log keeps the
+// evicted line — replaying the full Put sequence through the same FIFO
+// cap reconstructs the exact end state, eviction order included).
+//
+// Crash safety: recovery replays entry lines in order through the
+// in-memory Put path. A torn final line (the crash landed mid-write) is
+// truncated away with the preceding state intact; corruption anywhere
+// ELSE is a hard error — a mid-file bad line means the log was edited
+// or the disk lied, and serving from a silently-partial store would
+// break the fleet's byte-identity invariant.
+type FileStore struct {
+	mu     sync.Mutex
+	mem    *MemStore
+	f      *os.File
+	closed bool
+}
+
+// fileStoreFormat identifies the log header; fileStoreVersion gates the
+// line layout.
+const (
+	fileStoreFormat  = "thermosc-planstore"
+	fileStoreVersion = 1
+)
+
+type fileStoreHeader struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	Cap     int    `json:"cap"`
+}
+
+// NewFileStore opens (or creates) the append-only store at path with
+// the given capacity (cap <= 0 selects DefaultStoreCap). An existing
+// log is replayed; its recorded capacity is informational — the
+// caller's capacity wins, matching how MemStore treats restarts.
+func NewFileStore(path string, capacity int) (*FileStore, error) {
+	if capacity <= 0 {
+		capacity = DefaultStoreCap
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: opening plan store %s: %w", path, err)
+	}
+	st := &FileStore{mem: NewMemStore(capacity), f: f}
+	if err := st.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return st, nil
+}
+
+// recover replays the log into the in-memory store, truncating a torn
+// tail and writing the header into a fresh log.
+func (s *FileStore) recover() error {
+	info, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("cluster: plan store stat: %w", err)
+	}
+	if info.Size() == 0 {
+		return s.writeHeader()
+	}
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	// Scan line-wise, remembering where each complete line ends so a torn
+	// tail can be truncated to the last good byte.
+	r := bufio.NewReaderSize(s.f, 1<<20)
+	var off, goodEnd int64
+	lineNo := 0
+	for {
+		line, err := r.ReadBytes('\n')
+		off += int64(len(line))
+		complete := err == nil
+		switch {
+		case err != nil && err != io.EOF:
+			return fmt.Errorf("cluster: reading plan store log: %w", err)
+		case len(line) == 0: // clean EOF
+			return s.finishRecover(goodEnd)
+		}
+		lineNo++
+		if lineNo == 1 {
+			var hdr fileStoreHeader
+			if jerr := strictUnmarshal(line, &hdr); jerr != nil || hdr.Format != fileStoreFormat || hdr.Version != fileStoreVersion {
+				if !complete {
+					// Torn header: the crash hit the very first write. The
+					// log holds no entries; start over.
+					return s.reset()
+				}
+				return fmt.Errorf("cluster: plan store log has a bad header (format %q version %d): %v", hdr.Format, hdr.Version, jerr)
+			}
+		} else {
+			var e Entry
+			jerr := strictUnmarshal(line, &e)
+			if jerr == nil {
+				jerr = e.Validate()
+			}
+			if jerr != nil {
+				if !complete {
+					// Torn tail: drop the partial record, keep everything
+					// before it.
+					return s.finishRecover(goodEnd)
+				}
+				return fmt.Errorf("cluster: plan store log line %d is corrupt: %v", lineNo, jerr)
+			}
+			s.mem.Put(e) // replay = the live Put sequence (dups/evictions included)
+		}
+		if complete {
+			goodEnd = off
+		} else { // valid JSON but no trailing newline: a torn write that parsed
+			return s.finishRecover(goodEnd)
+		}
+	}
+}
+
+// finishRecover truncates the log to the last complete line and
+// positions the handle for appends.
+func (s *FileStore) finishRecover(goodEnd int64) error {
+	if goodEnd == 0 {
+		return s.reset()
+	}
+	if err := s.f.Truncate(goodEnd); err != nil {
+		return fmt.Errorf("cluster: truncating torn plan store tail: %w", err)
+	}
+	_, err := s.f.Seek(0, io.SeekEnd)
+	return err
+}
+
+// reset wipes the log and writes a fresh header (empty or torn-header
+// recovery).
+func (s *FileStore) reset() error {
+	if err := s.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	return s.writeHeader()
+}
+
+func (s *FileStore) writeHeader() error {
+	b, err := json.Marshal(fileStoreHeader{Format: fileStoreFormat, Version: fileStoreVersion, Cap: s.mem.Cap()})
+	if err != nil {
+		return err
+	}
+	if _, err := s.f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("cluster: writing plan store header: %w", err)
+	}
+	return s.f.Sync()
+}
+
+// strictUnmarshal decodes one log line rejecting unknown fields and
+// trailing garbage (mirrors the snapshot decoder's strictness).
+func strictUnmarshal(line []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data on log line")
+	}
+	return nil
+}
+
+// Get implements PlanStore.
+func (s *FileStore) Get(key string) (Entry, bool) { return s.mem.Get(key) }
+
+// Put implements PlanStore: an accepted entry is appended and fsynced
+// BEFORE it becomes visible, so a Put that returned true survives a
+// crash. A failed append drops the entry entirely (memory and disk stay
+// in agreement) — the caller sees false and gossip re-delivers later.
+func (s *FileStore) Put(e Entry) bool {
+	if e.Validate() != nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if _, ok := s.mem.Get(e.Key); ok {
+		return false // first write wins, no duplicate log line
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return false
+	}
+	if _, err := s.f.Write(append(b, '\n')); err != nil {
+		return false
+	}
+	if err := s.f.Sync(); err != nil {
+		return false
+	}
+	return s.mem.Put(e)
+}
+
+// Len implements PlanStore.
+func (s *FileStore) Len() int { return s.mem.Len() }
+
+// Entries implements PlanStore.
+func (s *FileStore) Entries() []Entry { return s.mem.Entries() }
+
+// Digest implements PlanStore.
+func (s *FileStore) Digest() map[string]string { return s.mem.Digest() }
+
+// Cap implements PlanStore.
+func (s *FileStore) Cap() int { return s.mem.Cap() }
+
+// Close fsyncs and closes the log. Further Puts return false; reads
+// keep serving from memory (a draining server may still answer).
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}

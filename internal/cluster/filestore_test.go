@@ -1,0 +1,399 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// storeBackends enumerates every PlanStore implementation; the
+// conformance tests below run once per backend so a new store cannot
+// drift from MemStore semantics silently.
+func storeBackends(t *testing.T) map[string]func(t *testing.T, capacity int) PlanStore {
+	return map[string]func(t *testing.T, capacity int) PlanStore{
+		"mem": func(t *testing.T, capacity int) PlanStore { return NewMemStore(capacity) },
+		"file": func(t *testing.T, capacity int) PlanStore {
+			st, err := NewFileStore(filepath.Join(t.TempDir(), "plans.log"), capacity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { st.Close() })
+			return st
+		},
+	}
+}
+
+func TestPlanStoreConformancePutGetValidation(t *testing.T) {
+	for name, mk := range storeBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			st := mk(t, 8)
+			e := entry(0)
+			if !st.Put(e) {
+				t.Fatal("valid entry rejected")
+			}
+			if st.Put(e) {
+				t.Fatal("duplicate key accepted (first-write-wins violated)")
+			}
+			got, ok := st.Get(e.Key)
+			if !ok || !bytes.Equal(got.Plan, e.Plan) || got.BornUnixNano != e.BornUnixNano {
+				t.Fatalf("get mismatch: %+v", got)
+			}
+			if st.Put(Entry{Key: e.Key, Plan: []byte("other")}) {
+				t.Fatal("conflicting Put accepted")
+			}
+			got, _ = st.Get(e.Key)
+			if !bytes.Equal(got.Plan, e.Plan) {
+				t.Fatal("conflicting Put replaced the incumbent")
+			}
+			bad := []Entry{
+				{Key: "", Plan: []byte("x")},
+				{Key: "k", Plan: nil},
+				{Key: strings.Repeat("k", MaxKeyBytes+1), Plan: []byte("x")},
+				{Key: "k", Plan: bytes.Repeat([]byte("x"), MaxPlanBytes+1)},
+			}
+			for i, e := range bad {
+				if st.Put(e) {
+					t.Fatalf("bad entry %d accepted", i)
+				}
+			}
+			if st.Len() != 1 || st.Cap() != 8 {
+				t.Fatalf("len %d cap %d, want 1/8", st.Len(), st.Cap())
+			}
+		})
+	}
+}
+
+func TestPlanStoreConformanceFIFOEviction(t *testing.T) {
+	for name, mk := range storeBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			st := mk(t, 3)
+			for i := 0; i < 5; i++ {
+				if !st.Put(entry(i)) {
+					t.Fatalf("put %d rejected", i)
+				}
+			}
+			if st.Len() != 3 {
+				t.Fatalf("len %d, want cap 3", st.Len())
+			}
+			for i := 0; i < 2; i++ {
+				if _, ok := st.Get(entry(i).Key); ok {
+					t.Fatalf("entry %d survived eviction", i)
+				}
+			}
+			for i := 2; i < 5; i++ {
+				if _, ok := st.Get(entry(i).Key); !ok {
+					t.Fatalf("entry %d evicted out of order", i)
+				}
+			}
+		})
+	}
+}
+
+func TestPlanStoreConformanceImmutableSortedDigest(t *testing.T) {
+	for name, mk := range storeBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			st := mk(t, 0)
+			plan := []byte(`{"v":1}`)
+			st.Put(Entry{Key: "b", Plan: plan})
+			st.Put(Entry{Key: "a", Plan: []byte(`{"v":2}`)})
+			plan[1] = 'X' // caller mutates its buffer after Put
+			got, _ := st.Get("b")
+			if !bytes.Equal(got.Plan, []byte(`{"v":1}`)) {
+				t.Fatal("store aliased the caller's plan buffer")
+			}
+			ents := st.Entries()
+			if len(ents) != 2 || ents[0].Key != "a" || ents[1].Key != "b" {
+				t.Fatalf("entries not key-sorted: %+v", ents)
+			}
+			d := st.Digest()
+			if len(d) != 2 || d["b"] != PlanHash([]byte(`{"v":1}`)) {
+				t.Fatalf("digest mismatch: %v", d)
+			}
+			if st.Cap() != DefaultStoreCap {
+				t.Fatalf("cap %d, want default %d", st.Cap(), DefaultStoreCap)
+			}
+		})
+	}
+}
+
+func TestPlanStoreConformanceSnapshotRoundTrip(t *testing.T) {
+	for name, mk := range storeBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			st := mk(t, 0)
+			for i := 0; i < 7; i++ {
+				st.Put(entry(i))
+			}
+			b, err := EncodeSnapshot(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st2 := mk(t, 0)
+			if n, err := Restore(st2, b); err != nil || n != 7 {
+				t.Fatalf("restore: n=%d err=%v", n, err)
+			}
+			if !Converged(st.Digest(), st2.Digest()) {
+				t.Fatal("restored store diverges from the original")
+			}
+			b2, err := EncodeSnapshot(st2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b, b2) {
+				t.Fatal("snapshot encoding is not canonical across stores")
+			}
+		})
+	}
+}
+
+// Cross-backend anti-entropy: a MemStore and a FileStore with partially
+// overlapping contents converge through the same HandleSync path the
+// gossip loop uses.
+func TestPlanStoreConformanceSyncAcrossBackends(t *testing.T) {
+	fs, err := NewFileStore(filepath.Join(t.TempDir(), "plans.log"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	ms := NewMemStore(0)
+	for i := 0; i < 6; i++ {
+		ms.Put(entry(i))
+	}
+	for i := 4; i < 10; i++ {
+		fs.Put(entry(i))
+	}
+	resp := HandleSync(fs, SyncRequest{From: "m", Digest: ms.Digest()})
+	for _, e := range resp.Entries {
+		ms.Put(e)
+	}
+	if push := HandleSync(fs, SyncRequest{From: "m", Entries: MissingEntries(ms, resp.Want)}); push.Applied != 4 {
+		t.Fatalf("push applied %d, want 4", push.Applied)
+	}
+	if !Converged(ms.Digest(), fs.Digest()) {
+		t.Fatal("mixed backends did not converge")
+	}
+}
+
+// --- FileStore-specific durability behavior ---
+
+// Reopening a log restores byte-identical entries.
+func TestFileStoreReopenRestores(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.log")
+	st, err := NewFileStore(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		if !st.Put(entry(i)) {
+			t.Fatalf("put %d rejected", i)
+		}
+	}
+	want := st.Digest()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := NewFileStore(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if !Converged(want, re.Digest()) {
+		t.Fatal("reopened store diverges")
+	}
+	got, ok := re.Get(entry(3).Key)
+	if !ok || !bytes.Equal(got.Plan, entry(3).Plan) || got.BornUnixNano != entry(3).BornUnixNano {
+		t.Fatalf("restored entry mismatch: %+v", got)
+	}
+	// The reopened store keeps accepting writes.
+	if !re.Put(entry(100)) {
+		t.Fatal("reopened store rejected a fresh put")
+	}
+}
+
+// Replay goes through the Put path, so a log longer than the cap
+// reconstructs the exact FIFO end state, eviction order included.
+func TestFileStoreReopenReplaysEviction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.log")
+	st, err := NewFileStore(path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		st.Put(entry(i))
+	}
+	want := st.Digest()
+	st.Close()
+	re, err := NewFileStore(path, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 3 || !Converged(want, re.Digest()) {
+		t.Fatalf("evicted replay diverges: len %d", re.Len())
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok := re.Get(entry(i).Key); ok {
+			t.Fatalf("evicted entry %d resurrected on replay", i)
+		}
+	}
+}
+
+// A torn final line (crash mid-append) is truncated away; everything
+// before it survives, and the next Put appends cleanly.
+func TestFileStoreTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.log")
+	st, err := NewFileStore(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Put(entry(0))
+	st.Put(entry(1))
+	st.Close()
+	// Simulate a crash mid-write: append half a record, no newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"torn","pl`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re, err := NewFileStore(path, 0)
+	if err != nil {
+		t.Fatalf("torn tail must recover, got %v", err)
+	}
+	defer re.Close()
+	if re.Len() != 2 {
+		t.Fatalf("len %d after torn-tail recovery, want 2", re.Len())
+	}
+	if _, ok := re.Get("torn"); ok {
+		t.Fatal("torn record leaked into the store")
+	}
+	if !re.Put(entry(2)) {
+		t.Fatal("post-recovery put rejected")
+	}
+	re.Close()
+	re2, err := NewFileStore(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if re2.Len() != 3 {
+		t.Fatalf("len %d after second reopen, want 3", re2.Len())
+	}
+}
+
+// Corruption BEFORE the tail is a hard error — never serve from a
+// silently-partial store.
+func TestFileStoreMidFileCorruptionFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.log")
+	st, err := NewFileStore(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Put(entry(0))
+	st.Put(entry(1))
+	st.Close()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(b, []byte("\n"))
+	if len(lines) < 3 {
+		t.Fatalf("log has %d lines, want >=3", len(lines))
+	}
+	lines[1] = []byte("{broken json}\n") // first entry line
+	if err := os.WriteFile(path, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFileStore(path, 0); err == nil {
+		t.Fatal("mid-file corruption accepted")
+	}
+}
+
+// A log whose header is wrong (different format or version) is a hard
+// error; a torn header (crash during the very first write) resets to an
+// empty store.
+func TestFileStoreHeaderHandling(t *testing.T) {
+	dir := t.TempDir()
+	badHeader := filepath.Join(dir, "bad.log")
+	if err := os.WriteFile(badHeader, []byte(`{"format":"other","version":1,"cap":4}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFileStore(badHeader, 0); err == nil {
+		t.Fatal("foreign header accepted")
+	}
+
+	torn := filepath.Join(dir, "torn.log")
+	if err := os.WriteFile(torn, []byte(`{"format":"thermosc-pl`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewFileStore(torn, 0)
+	if err != nil {
+		t.Fatalf("torn header must reset, got %v", err)
+	}
+	defer st.Close()
+	if st.Len() != 0 {
+		t.Fatalf("len %d after torn-header reset, want 0", st.Len())
+	}
+	if !st.Put(entry(0)) {
+		t.Fatal("put after reset rejected")
+	}
+}
+
+// Close is idempotent and stops writes; reads keep serving from memory.
+func TestFileStoreCloseSemantics(t *testing.T) {
+	st, err := NewFileStore(filepath.Join(t.TempDir(), "plans.log"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Put(entry(0))
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if st.Put(entry(1)) {
+		t.Fatal("put accepted after close")
+	}
+	if _, ok := st.Get(entry(0).Key); !ok {
+		t.Fatal("read failed after close")
+	}
+}
+
+// Concurrent writers against one FileStore stay race-clean and the log
+// replays to the same digest.
+func TestFileStoreConcurrentPuts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.log")
+	st, err := NewFileStore(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 25; i++ {
+				st.Put(Entry{Key: fmt.Sprintf("w%d-i%d", w, i), Plan: []byte("p")})
+				st.Get(fmt.Sprintf("w%d-i%d", (w+1)%4, i))
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	want := st.Digest()
+	st.Close()
+	re, err := NewFileStore(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if !Converged(want, re.Digest()) {
+		t.Fatal("concurrent log replay diverges")
+	}
+}

@@ -269,3 +269,93 @@ func TestRunLoadCancellation(t *testing.T) {
 		t.Fatal("cancelled run completed every request")
 	}
 }
+
+// Nearest-rank percentile, pinned property-style over n = 1..20: the
+// result must be the smallest sample value with at least a p-fraction
+// of the sample at or below it (rank ceil(p·n)), for boundary and
+// interior quantiles alike.
+func TestPercentileNearestRank(t *testing.T) {
+	quantiles := []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}
+	for n := 1; n <= 20; n++ {
+		sorted := make([]float64, n)
+		for i := range sorted {
+			sorted[i] = float64(i + 1) // value == rank, so answers are readable
+		}
+		for _, p := range quantiles {
+			got := percentile(sorted, p)
+			// Independent nearest-rank oracle: smallest v with
+			// count(x <= v) >= p*n.
+			want := sorted[n-1]
+			for _, v := range sorted {
+				count := 0
+				for _, x := range sorted {
+					if x <= v {
+						count++
+					}
+				}
+				if float64(count) >= p*float64(n) {
+					want = v
+					break
+				}
+			}
+			if got != want {
+				t.Fatalf("n=%d p=%v: got %v, want %v", n, p, got, want)
+			}
+		}
+	}
+	// Degenerate inputs stay in bounds.
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty sample: %v", got)
+	}
+	if got := percentile([]float64{7}, 0); got != 7 {
+		t.Fatalf("p=0 must clamp to the first value: %v", got)
+	}
+	if got := percentile([]float64{1, 2}, 2); got != 2 {
+		t.Fatalf("p>1 must clamp to the last value: %v", got)
+	}
+}
+
+// RelatedBurst groups the workload into same-platform bursts sharing
+// one arrival instant and one target, deterministically.
+func TestWorkloadRelatedBurst(t *testing.T) {
+	cfg := LoadConfig{
+		Targets:      []string{"http://a", "http://b"},
+		Requests:     240,
+		RateHz:       1e6,
+		Seed:         9,
+		RelatedBurst: 8,
+	}
+	w1, err := cfg.Workload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := cfg.Workload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w1) != 240 {
+		t.Fatalf("workload length %d", len(w1))
+	}
+	distinctBodies := 0
+	for b := 0; b < len(w1); b += 8 {
+		burst := w1[b : b+8]
+		seen := map[string]bool{}
+		for j, r := range burst {
+			if r.At != burst[0].At || r.Target != burst[0].Target || r.Platform != burst[0].Platform || r.Rank != burst[0].Rank {
+				t.Fatalf("burst %d member %d breaks burst invariants: %+v vs %+v", b/8, j, r, burst[0])
+			}
+			if w2[b+j].At != r.At || string(w2[b+j].Body) != string(r.Body) {
+				t.Fatalf("related workload not deterministic at %d", b+j)
+			}
+			seen[string(r.Body)] = true
+		}
+		if len(seen) > 1 {
+			distinctBodies++
+		}
+	}
+	// The variants must actually vary within bursts (default catalog has
+	// 6 tmax×method variants per platform, bursts of 8 draw uniformly).
+	if distinctBodies == 0 {
+		t.Fatal("no burst drew more than one variant — batching has nothing to coalesce")
+	}
+}

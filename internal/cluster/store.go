@@ -95,6 +95,8 @@ type PlanStore interface {
 	Entries() []Entry
 	// Digest returns the key → PlanHash map anti-entropy rounds compare.
 	Digest() map[string]string
+	// Cap returns the store's entry capacity (FIFO eviction bound).
+	Cap() int
 }
 
 // MemStore is the in-memory PlanStore: a mutex-guarded map with

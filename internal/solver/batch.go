@@ -1,0 +1,286 @@
+package solver
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the request-coalescing batch scheduler: a bounded-window
+// grouper for concurrent solve requests against the same platform. The
+// serving layer keys groups by the canonical PLATFORM key (same RC
+// model — shared Propagator eigenbasis and period-operator caches) and
+// members by the canonical PLAN key (platform + tmax + method), so a
+// burst of related requests is collapsed two ways:
+//
+//  1. duplicate members (same plan key) run ONE solve and share its
+//     result — the dominant win, since real bursts are zipf-skewed over
+//     a handful of thresholds;
+//  2. distinct members lease one shared sim.Engine per group: the group
+//     leader runs first and warms the steady-state / eigen-exponential
+//     caches every follower then hits.
+//
+// The batcher never changes what a solve computes — members run the
+// exact work closure the caller would have run unbatched, on the
+// caller's own goroutine, under the caller's own context — so batched
+// plans stay byte-identical to the unbatched path (the solvers are
+// bit-reproducible at any engine cache state).
+
+// BatchConfig tunes a Batcher; zero values select the defaults.
+type BatchConfig struct {
+	// Window is how long the first member of a group waits for company
+	// before the group seals and dispatches (default 2ms — small against
+	// a cold solve, large against request interarrival in a burst).
+	Window time.Duration
+	// MaxBatch seals a group early once it holds this many members
+	// (default 16), bounding the window latency a hot group adds.
+	MaxBatch int
+}
+
+func (c BatchConfig) withDefaults() BatchConfig {
+	if c.Window <= 0 {
+		c.Window = 2 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	return c
+}
+
+// batchExec is one distinct member key's execution slot: the first
+// member to claim a key runs the work; later members with the same key
+// wait on done and share the outcome.
+type batchExec struct {
+	done     chan struct{}
+	val      any
+	err      error
+	panicked bool
+}
+
+// batchGroup is one open or sealed batch: the members that joined one
+// window on one group key.
+type batchGroup struct {
+	sealed     chan struct{} // closed when the group stops accepting members
+	leaderDone chan struct{} // closed when the leader's work has finished (or panicked)
+	size       atomic.Int32
+	execs      map[string]*batchExec // member key → execution slot (written only pre-seal, under Batcher.mu)
+	timer      *time.Timer
+}
+
+// Batcher groups concurrent Do calls by group key inside a bounded
+// window and dispatches them leader-first: the first member runs alone
+// (warming whatever shared state the work touches), then the rest run
+// concurrently, with duplicate member keys collapsed onto one
+// execution. Safe for concurrent use.
+type Batcher struct {
+	cfg BatchConfig
+
+	mu     sync.Mutex
+	groups map[string]*batchGroup
+
+	groupsFormed atomic.Int64
+	members      atomic.Int64
+	coalesced    atomic.Int64
+	deduped      atomic.Int64
+	windowWaitNs atomic.Int64
+	windowMaxNs  atomic.Int64
+}
+
+// BatchCounters is a snapshot of a Batcher's lifetime accounting.
+type BatchCounters struct {
+	GroupsFormed int64 // groups opened (one per window per group key)
+	Members      int64 // Do calls that entered a group
+	Coalesced    int64 // members that joined an already-open group
+	Deduped      int64 // members served from another member's execution
+	// WindowWaitNs is the summed seal-wait latency members paid;
+	// WindowWaitMaxNs the worst single member's.
+	WindowWaitNs    int64
+	WindowWaitMaxNs int64
+}
+
+// BatchInfo describes how one Do call was dispatched.
+type BatchInfo struct {
+	// Leader marks the group's first member (it ran before the rest).
+	Leader bool
+	// Coalesced marks a member that joined an already-open group.
+	Coalesced bool
+	// Deduped marks a member whose result came from another member's
+	// execution of the same key.
+	Deduped bool
+	// GroupSize is the group's member count at dispatch time.
+	GroupSize int
+	// WindowWait is how long this member waited for the group to seal.
+	WindowWait time.Duration
+}
+
+// NewBatcher builds a batch scheduler with the given configuration.
+func NewBatcher(cfg BatchConfig) *Batcher {
+	return &Batcher{cfg: cfg.withDefaults(), groups: make(map[string]*batchGroup)}
+}
+
+// Stats returns a snapshot of the lifetime counters.
+func (b *Batcher) Stats() BatchCounters {
+	return BatchCounters{
+		GroupsFormed:    b.groupsFormed.Load(),
+		Members:         b.members.Load(),
+		Coalesced:       b.coalesced.Load(),
+		Deduped:         b.deduped.Load(),
+		WindowWaitNs:    b.windowWaitNs.Load(),
+		WindowWaitMaxNs: b.windowMaxNs.Load(),
+	}
+}
+
+// Do runs work as a member of the group named by groupKey, collapsing
+// concurrent members with equal memberKey onto one execution. The work
+// closure runs on the CALLING goroutine (panics propagate to the
+// caller, as unbatched), after the group seals — except that a member
+// whose ctx dies while waiting skips the remaining waits and runs (or
+// falls back to running) its own work immediately, so per-request
+// deadlines cancel individually and batching can only add at most one
+// Window of latency to a live request.
+//
+// Duplicate members share the executing member's result VALUE — callers
+// must treat it as immutable. A duplicate whose shared execution
+// panicked, or finished with a context error (the executor's deadline,
+// not the duplicate's), falls back to running its own work.
+func (b *Batcher) Do(ctx context.Context, groupKey, memberKey string, work func() (any, error)) (any, BatchInfo, error) {
+	g, exec, dup, info := b.join(groupKey, memberKey)
+	b.members.Add(1)
+	if info.Coalesced {
+		b.coalesced.Add(1)
+	}
+	joined := time.Now()
+	ctxDead := !b.await(ctx, g.sealed)
+	b.observeWait(time.Since(joined), &info)
+	info.GroupSize = int(g.size.Load())
+
+	if dup { // duplicate member key: wait for the executing member
+		select {
+		case <-exec.done:
+			if !exec.panicked && !isCtxErr(exec.err) {
+				b.deduped.Add(1)
+				info.Deduped = true
+				return exec.val, info, exec.err
+			}
+			// Poisoned execution (panic, or the executor's own deadline):
+			// compute independently — this member may still have budget.
+		case <-ctx.Done():
+			// This member's deadline died first; run the work itself so the
+			// anytime chain answers under ITS context, not someone else's.
+		}
+		val, err := work()
+		return val, info, err
+	}
+
+	if info.Leader {
+		// The leader runs first and alone: its solve warms the shared
+		// engine caches the followers then hit. leaderDone closes even if
+		// the work panics — followers must never hang on a dead leader.
+		defer close(g.leaderDone)
+	} else if !ctxDead {
+		b.await(ctx, g.leaderDone)
+	}
+	val, err := runExec(exec, work)
+	return val, info, err
+}
+
+// join places one member into an open group for groupKey, opening a new
+// group when none is accepting. It returns the member's execution slot,
+// whether the member duplicates an earlier key, and the dispatch info
+// so far.
+func (b *Batcher) join(groupKey, memberKey string) (*batchGroup, *batchExec, bool, BatchInfo) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	g, ok := b.groups[groupKey]
+	var info BatchInfo
+	if !ok {
+		g = &batchGroup{
+			sealed:     make(chan struct{}),
+			leaderDone: make(chan struct{}),
+			execs:      make(map[string]*batchExec, b.cfg.MaxBatch),
+		}
+		b.groups[groupKey] = g
+		b.groupsFormed.Add(1)
+		g.timer = time.AfterFunc(b.cfg.Window, func() { b.seal(groupKey, g) })
+		info.Leader = true
+	} else {
+		info.Coalesced = true
+	}
+	g.size.Add(1)
+	exec, dup := g.execs[memberKey]
+	if !dup {
+		exec = &batchExec{done: make(chan struct{})}
+		g.execs[memberKey] = exec
+	}
+	if int(g.size.Load()) >= b.cfg.MaxBatch {
+		b.sealLocked(groupKey, g)
+	}
+	return g, exec, dup, info
+}
+
+// seal closes a group to new members and removes it from the open set.
+func (b *Batcher) seal(groupKey string, g *batchGroup) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sealLocked(groupKey, g)
+}
+
+func (b *Batcher) sealLocked(groupKey string, g *batchGroup) {
+	select {
+	case <-g.sealed:
+		return // already sealed (timer vs. size race)
+	default:
+	}
+	if b.groups[groupKey] == g {
+		delete(b.groups, groupKey)
+	}
+	g.timer.Stop()
+	close(g.sealed)
+}
+
+// await waits for ch or the context, reporting false when the context
+// died first. A member with a dead context stops waiting — its work
+// runs immediately and answers under its own (expired) deadline.
+func (b *Batcher) await(ctx context.Context, ch <-chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+	}
+	select {
+	case <-ch:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (b *Batcher) observeWait(d time.Duration, info *BatchInfo) {
+	info.WindowWait = d
+	ns := d.Nanoseconds()
+	b.windowWaitNs.Add(ns)
+	for {
+		cur := b.windowMaxNs.Load()
+		if ns <= cur || b.windowMaxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// runExec runs work and publishes its outcome on the member key's
+// execution slot. Panic-safe: the slot closes (flagged) before the
+// panic propagates to the calling goroutine, so duplicate waiters fall
+// back to their own work instead of hanging.
+func runExec(e *batchExec, work func() (any, error)) (any, error) {
+	finished := false
+	defer func() {
+		if !finished {
+			e.panicked = true
+		}
+		close(e.done)
+	}()
+	e.val, e.err = work()
+	finished = true
+	return e.val, e.err
+}

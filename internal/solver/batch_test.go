@@ -1,0 +1,297 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A lone member dispatches after the window with no coalescing.
+func TestBatcherSingleMember(t *testing.T) {
+	b := NewBatcher(BatchConfig{Window: time.Millisecond, MaxBatch: 8})
+	v, info, err := b.Do(context.Background(), "plat", "k", func() (any, error) { return 42, nil })
+	if err != nil || v.(int) != 42 {
+		t.Fatalf("got %v, %v", v, err)
+	}
+	if !info.Leader || info.Coalesced || info.Deduped || info.GroupSize != 1 {
+		t.Fatalf("info %+v", info)
+	}
+	st := b.Stats()
+	if st.GroupsFormed != 1 || st.Members != 1 || st.Coalesced != 0 || st.Deduped != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.WindowWaitNs <= 0 || st.WindowWaitMaxNs <= 0 {
+		t.Fatalf("no window wait recorded: %+v", st)
+	}
+}
+
+// Concurrent members with distinct keys share one group; the leader's
+// work finishes before any follower's work starts.
+func TestBatcherLeaderRunsFirst(t *testing.T) {
+	b := NewBatcher(BatchConfig{Window: 50 * time.Millisecond, MaxBatch: 4})
+	var started, finished atomic.Int32
+	var violations atomic.Int64
+	var wg sync.WaitGroup
+	results := make([]BatchInfo, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, info, err := b.Do(context.Background(), "plat", fmt.Sprintf("k%d", i), func() (any, error) {
+				// The first member to run is the leader; nobody else may
+				// start until it has finished.
+				if started.Add(1) > 1 && finished.Load() == 0 {
+					violations.Add(1)
+				}
+				time.Sleep(time.Millisecond)
+				finished.Add(1)
+				return i, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = info
+		}(i)
+	}
+	wg.Wait()
+	if violations.Load() != 0 {
+		t.Fatalf("%d followers ran before the leader finished", violations.Load())
+	}
+	leaders := 0
+	for _, info := range results {
+		if info.Leader {
+			leaders++
+		}
+		if info.GroupSize != 4 {
+			t.Fatalf("group size %d, want 4 (%+v)", info.GroupSize, info)
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d leaders in one group", leaders)
+	}
+	st := b.Stats()
+	if st.GroupsFormed != 1 || st.Members != 4 || st.Coalesced != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// stricter leader-first ordering check: followers must observe the
+// leader's side effect.
+func TestBatcherLeaderOrdering(t *testing.T) {
+	b := NewBatcher(BatchConfig{Window: 50 * time.Millisecond, MaxBatch: 3})
+	var order []string
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	run := func(key string) {
+		defer wg.Done()
+		_, _, err := b.Do(context.Background(), "g", key, func() (any, error) {
+			mu.Lock()
+			order = append(order, key)
+			mu.Unlock()
+			time.Sleep(5 * time.Millisecond) // leader dwell: overlaps would interleave here
+			return key, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}
+	wg.Add(3)
+	leaderStarted := make(chan struct{})
+	go func() {
+		close(leaderStarted)
+		run("a") // first joiner = leader
+	}()
+	<-leaderStarted
+	time.Sleep(2 * time.Millisecond) // let "a" open the group
+	go run("b")
+	go run("c")
+	wg.Wait()
+	if len(order) != 3 || order[0] != "a" {
+		t.Fatalf("dispatch order %v, want leader 'a' first", order)
+	}
+}
+
+// Duplicate member keys collapse onto one execution and share its value.
+func TestBatcherDedup(t *testing.T) {
+	b := NewBatcher(BatchConfig{Window: 30 * time.Millisecond, MaxBatch: 8})
+	var execs atomic.Int64
+	var wg sync.WaitGroup
+	const n = 6
+	vals := make([]any, n)
+	infos := make([]BatchInfo, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, info, err := b.Do(context.Background(), "plat", "same", func() (any, error) {
+				execs.Add(1)
+				time.Sleep(time.Millisecond)
+				return "shared", nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			vals[i], infos[i] = v, info
+		}(i)
+	}
+	wg.Wait()
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("%d executions for one member key, want 1", got)
+	}
+	dedups := 0
+	for i := range vals {
+		if vals[i] != "shared" {
+			t.Fatalf("member %d got %v", i, vals[i])
+		}
+		if infos[i].Deduped {
+			dedups++
+		}
+	}
+	if dedups != n-1 {
+		t.Fatalf("%d deduped members, want %d", dedups, n-1)
+	}
+	if st := b.Stats(); st.Deduped != n-1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// MaxBatch seals a group early: a full group dispatches without waiting
+// out the window.
+func TestBatcherMaxBatchSealsEarly(t *testing.T) {
+	b := NewBatcher(BatchConfig{Window: 10 * time.Second, MaxBatch: 2})
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, _, err := b.Do(context.Background(), "g", fmt.Sprintf("k%d", i), func() (any, error) { return i, nil }); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("full group still waited %v (window 10s, max 2)", elapsed)
+	}
+}
+
+// Different group keys never share a window or a leader.
+func TestBatcherGroupsAreIndependent(t *testing.T) {
+	b := NewBatcher(BatchConfig{Window: 20 * time.Millisecond, MaxBatch: 8})
+	var wg sync.WaitGroup
+	leaders := make([]bool, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, info, err := b.Do(context.Background(), fmt.Sprintf("plat%d", i), "k", func() (any, error) { return i, nil })
+			if err != nil {
+				t.Error(err)
+			}
+			leaders[i] = info.Leader
+		}(i)
+	}
+	wg.Wait()
+	if !leaders[0] || !leaders[1] {
+		t.Fatalf("each group needs its own leader: %v", leaders)
+	}
+	if st := b.Stats(); st.GroupsFormed != 2 || st.Coalesced != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// A member whose context is already dead skips every wait and runs its
+// work immediately — no window latency on a doomed request.
+func TestBatcherDeadContextSkipsWaits(t *testing.T) {
+	b := NewBatcher(BatchConfig{Window: 10 * time.Second, MaxBatch: 8})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	v, _, err := b.Do(ctx, "g", "k", func() (any, error) { return "ran", ctx.Err() })
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("dead-ctx member waited %v", elapsed)
+	}
+	if v != "ran" || !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, %v", v, err)
+	}
+}
+
+// A duplicate whose executor finished with the EXECUTOR's context error
+// falls back to its own work instead of inheriting someone else's
+// deadline failure.
+func TestBatcherDedupContextErrorFallsBack(t *testing.T) {
+	b := NewBatcher(BatchConfig{Window: 20 * time.Millisecond, MaxBatch: 8})
+	runnerCtx, runnerCancel := context.WithCancel(context.Background())
+	runnerCancel() // the runner's request is already dead
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	started := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		close(started)
+		// Runner: returns its own ctx error.
+		_, _, _ = b.Do(runnerCtx, "g", "k", func() (any, error) { return nil, runnerCtx.Err() })
+	}()
+	<-started
+	time.Sleep(2 * time.Millisecond) // let the runner claim the key slot
+
+	v, info, err := b.Do(context.Background(), "g", "k", func() (any, error) { return "own", nil })
+	wg.Wait()
+	if info.Deduped {
+		t.Fatal("dup inherited a context-poisoned execution")
+	}
+	if v != "own" || err != nil {
+		t.Fatalf("fallback got %v, %v", v, err)
+	}
+}
+
+// A panicking member propagates its panic to its own caller, closes its
+// execution slot, and duplicate waiters fall back to their own work.
+func TestBatcherPanicPropagatesAndReleasesDups(t *testing.T) {
+	b := NewBatcher(BatchConfig{Window: 20 * time.Millisecond, MaxBatch: 8})
+	panicked := make(chan any, 1)
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() { panicked <- recover() }()
+		close(started)
+		_, _, _ = b.Do(context.Background(), "g", "k", func() (any, error) { panic("solver bug") })
+	}()
+	<-started
+	time.Sleep(2 * time.Millisecond)
+
+	v, info, err := b.Do(context.Background(), "g", "k", func() (any, error) { return "fallback", nil })
+	wg.Wait()
+	if rec := <-panicked; rec != "solver bug" {
+		t.Fatalf("leader recover: %v", rec)
+	}
+	if info.Deduped || v != "fallback" || err != nil {
+		t.Fatalf("dup after panic: %v %v %+v", v, err, info)
+	}
+}
+
+// Sequential groups on the same key: a sealed group never accepts late
+// members; they open a fresh group.
+func TestBatcherSequentialGroups(t *testing.T) {
+	b := NewBatcher(BatchConfig{Window: time.Millisecond, MaxBatch: 8})
+	for i := 0; i < 3; i++ {
+		_, info, err := b.Do(context.Background(), "g", "k", func() (any, error) { return i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !info.Leader {
+			t.Fatalf("round %d joined a stale group", i)
+		}
+	}
+	if st := b.Stats(); st.GroupsFormed != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -31,7 +32,9 @@ import (
 // The storm is seed-pinned. THERMOSC_CHAOS_REQUESTS scales the request
 // count (CI runs a bigger storm than the default `go test`);
 // THERMOSC_CHAOS_STATS names a file to dump the final /v1/stats
-// snapshot into (uploaded as a CI artifact).
+// snapshot into (uploaded as a CI artifact); THERMOSC_CHAOS_STORE
+// selects the plan-store backend the storm writes through (mem, or
+// file for the crash-safe append-only log — CI runs both).
 func TestServeChaos(t *testing.T) {
 	requests := 48
 	if v := os.Getenv("THERMOSC_CHAOS_REQUESTS"); v != "" {
@@ -44,7 +47,7 @@ func TestServeChaos(t *testing.T) {
 	const clients = 8
 	const panicRate = 0.2
 
-	srv := NewServer(ServerConfig{
+	cfg := ServerConfig{
 		PlanCacheSize:    16, // small enough to churn evictions
 		DefaultTimeout:   150 * time.Millisecond,
 		MaxTimeout:       time.Second,
@@ -52,7 +55,26 @@ func TestServeChaos(t *testing.T) {
 		SolveConcurrency: 2,
 		SolveQueue:       4,
 		BreakerCooloff:   100 * time.Millisecond,
-	})
+		// Batching stays on under fire: injected panics, sheds, and tiny
+		// deadlines must compose with group dispatch without unverifying a
+		// single served plan.
+		BatchWindow: 2 * time.Millisecond,
+	}
+	// THERMOSC_CHAOS_STORE=file runs the storm over a single-node cluster
+	// whose plan store is the append-only file backend, so every complete
+	// plan rides the fsync'd Put path under fault injection.
+	switch backend := os.Getenv("THERMOSC_CHAOS_STORE"); backend {
+	case "", "mem":
+	case "file":
+		cfg.Cluster = &ClusterConfig{
+			Self:         "http://chaos-local",
+			StoreBackend: "file",
+			StorePath:    filepath.Join(t.TempDir(), "chaos-planstore.log"),
+		}
+	default:
+		t.Fatalf("bad THERMOSC_CHAOS_STORE %q (want mem or file)", backend)
+	}
+	srv := NewServer(cfg)
 	var hookMu sync.Mutex
 	var faultsArmed atomic.Bool
 	faultsArmed.Store(true)

@@ -3,7 +3,10 @@ package thermosc
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"fmt"
 	"net/http"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -189,5 +192,131 @@ func TestClusterPartitionAndHeal(t *testing.T) {
 	status, mr := postMaximize(t, tc.urls[2], body)
 	if status != http.StatusOK || !mr.Cached || mr.Source != "peer" {
 		t.Fatalf("healed serve: HTTP %d cached=%v source=%q, want a peer store hit", status, mr.Cached, mr.Source)
+	}
+}
+
+// A persistently dead peer must not starve gossip: one tick fails over
+// to the next peer in rotation, so the healthy pair still converges
+// every tick, and the dead peer's failures are counted per peer.
+func TestClusterGossipFailoverOnDeadPeer(t *testing.T) {
+	tc := startTestCluster(t, 3, 0, nil)
+	byOwner := bodiesByOwner(t, tc)
+	if status, _ := postMaximize(t, tc.urls[0], byOwner[tc.urls[0]]); status != http.StatusOK {
+		t.Fatal("seeding solve failed")
+	}
+	dead := 1
+	tc.stopReplica(dead)
+
+	c := tc.srvs[0].cluster
+	// Point the rotation cursor at the dead peer: the starvation bug was
+	// exactly this state, where every tick burned on the dead peer.
+	c.mu.Lock()
+	for c.cfg.Peers[c.peerIdx%len(c.cfg.Peers)] != tc.urls[dead] {
+		c.peerIdx++
+	}
+	c.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for tick := 0; tick < 3; tick++ {
+		c.syncTick(ctx)
+	}
+	// Every tick reached the healthy peer despite the dead one leading
+	// the rotation each time.
+	if got := tc.srvs[2].cluster.store.Len(); got == 0 {
+		t.Fatal("healthy peer never synced: dead peer starved the rotation")
+	}
+	if c.syncFails.Load() < 3 {
+		t.Fatalf("dead-peer attempts not counted: %d sync failures, want >=3", c.syncFails.Load())
+	}
+	c.mu.Lock()
+	deadFails := c.peerSeen[tc.urls[dead]].fails
+	healthyFails := c.peerSeen[tc.urls[2]].fails
+	c.mu.Unlock()
+	if deadFails < 3 || healthyFails != 0 {
+		t.Fatalf("per-peer failures: dead=%d (want >=3), healthy=%d (want 0)", deadFails, healthyFails)
+	}
+
+	// The per-peer counter surfaces in GET /v1/cluster.
+	resp, err := http.Get(tc.urls[0] + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st ClusterStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range st.Peers {
+		if p.URL == tc.urls[dead] {
+			found = true
+			if p.SyncFailures < 3 || p.LastError == "" {
+				t.Fatalf("dead peer status %+v lacks failures", p)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("dead peer missing from /v1/cluster peers")
+	}
+}
+
+// The file-backed store survives kill-and-restart: a restarted replica
+// recovers its replicated plans from its own log — no peer snapshot —
+// and serves them byte-identical to the pre-kill plans.
+func TestClusterFileStoreKillRestart(t *testing.T) {
+	dir := t.TempDir()
+	mutate := func(i int, cfg *ServerConfig) {
+		cfg.Cluster = &ClusterConfig{
+			StoreBackend: "file",
+			StorePath:    filepath.Join(dir, fmt.Sprintf("replica%d.log", i)),
+		}
+	}
+	tc := startTestCluster(t, 3, 0, mutate)
+	byOwner := bodiesByOwner(t, tc)
+	refPlans := make(map[string][]byte)
+	for owner, body := range byOwner {
+		status, mr := postMaximize(t, owner, body)
+		if status != http.StatusOK {
+			t.Fatalf("seeding solve on %s failed", owner)
+		}
+		refPlans[body] = mr.Plan
+	}
+	tc.syncAll(t)
+
+	victim := 2
+	wantLen := tc.srvs[victim].cluster.store.Len()
+	if wantLen < 3 {
+		t.Fatalf("victim replicated only %d entries before the kill", wantLen)
+	}
+	wantDigest := tc.srvs[victim].cluster.store.Digest()
+	tc.stopReplica(victim)
+
+	cfg := ServerConfig{}
+	mutate(victim, &cfg)
+	tc.restartReplica(t, victim, cfg, 0)
+
+	got := tc.srvs[victim].cluster.store
+	if got.Len() != wantLen {
+		t.Fatalf("restarted store has %d entries, want %d", got.Len(), wantLen)
+	}
+	if !cluster.Converged(wantDigest, got.Digest()) {
+		t.Fatal("restarted store diverges from the pre-kill state")
+	}
+	// Every seeded key serves from the recovered store — cached, and
+	// byte-identical to the pre-kill plan. (The snapshot-restore path in
+	// TestClusterSnapshotRestoreAfterRestart needed a peer for this;
+	// here the replica recovers alone.)
+	for body, want := range refPlans {
+		status, mr := postMaximize(t, tc.urls[victim], body)
+		if status != http.StatusOK {
+			t.Fatalf("post-restart serve: HTTP %d", status)
+		}
+		if !mr.Cached {
+			t.Fatal("post-restart serve was a cold solve, not a store hit")
+		}
+		if !bytes.Equal(mr.Plan, want) {
+			t.Fatal("post-restart plan differs from the pre-kill plan")
+		}
 	}
 }

@@ -1,0 +1,120 @@
+package thermosc
+
+import (
+	"context"
+	"time"
+
+	"thermosc/internal/solver"
+)
+
+// This file wires the solver-level batch scheduler (internal/solver's
+// Batcher) into the serve path. Batching groups concurrent cold solves
+// by canonical PLATFORM key — requests that share an RC model share the
+// Propagator eigenbasis and period-operator caches (Theorem 5
+// composition), so the group leases one sim.Engine: the group leader
+// solves first, warming the steady-state and eigen-exponential caches,
+// and every follower (different tmax/method on the same model) then
+// hits them. Members with equal PLAN keys collapse onto one solve.
+//
+// Batching sits strictly INSIDE the resilience onion, in solvePlan's
+// full-solve branch:
+//
+//	singleflight → admission → breaker → [batcher] → MaximizeResilient
+//
+// so a shed request never joins a batch (it was refused admission
+// first), a breaker-open request never joins (it takes the safe-floor
+// branch), and degraded/anytime semantics are untouched — members run
+// the exact solve the unbatched path would run, under their own
+// context, so plans stay byte-identical (the solvers are
+// bit-reproducible at any engine cache state).
+
+// BatchStats is the batch block of /v1/stats and /metrics (nil when
+// batching is disabled, keeping the schema byte-stable).
+type BatchStats struct {
+	// GroupsFormed counts batch windows opened; Members the solves that
+	// entered one; Coalesced the members that joined an already-open
+	// group; Deduped the members served from another member's solve.
+	GroupsFormed int64 `json:"groups_formed"`
+	Members      int64 `json:"members"`
+	Coalesced    int64 `json:"coalesced"`
+	Deduped      int64 `json:"deduped"`
+	// WindowWaitMeanMs / WindowWaitMaxMs describe the seal-wait latency
+	// batching added to member solves.
+	WindowWaitMeanMs float64 `json:"window_wait_mean_ms"`
+	WindowWaitMaxMs  float64 `json:"window_wait_max_ms"`
+	// EngineSteadyHitRatio / EngineExpHitRatio aggregate the shared
+	// engines' Propagator cache hit ratios across the platform cache —
+	// the quantity batching exists to raise.
+	EngineSteadyHitRatio float64 `json:"engine_steady_hit_ratio"`
+	EngineExpHitRatio    float64 `json:"engine_exp_hit_ratio"`
+}
+
+// newBatcher builds the server's batcher (nil = batching disabled).
+func newBatcher(cfg ServerConfig) *solver.Batcher {
+	if cfg.BatchWindow <= 0 {
+		return nil
+	}
+	return solver.NewBatcher(solver.BatchConfig{Window: cfg.BatchWindow, MaxBatch: cfg.BatchMaxSize})
+}
+
+// solveFull runs the full (non-floor) solve for one admitted request,
+// through the batcher when enabled. The work closure executes on this
+// goroutine under this request's ctx either way; the batcher only
+// schedules WHEN it runs relative to same-platform members.
+func (s *Server) solveFull(ctx context.Context, planKey, platKey string, plat *Platform, req MaximizeRequest) (*Plan, error) {
+	if s.batch == nil {
+		return plat.MaximizeResilient(ctx, req.Method, req.TmaxC, s.cfg.Workers)
+	}
+	v, info, err := s.batch.Do(ctx, platKey, planKey, func() (any, error) {
+		return plat.MaximizeResilient(ctx, req.Method, req.TmaxC, s.cfg.Workers)
+	})
+	if err != nil || v == nil {
+		return nil, err
+	}
+	plan := v.(*Plan)
+	if info.Deduped {
+		// A deduped member shares the executing member's *Plan; solvePlan
+		// mutates plan.Elapsed, so hand each member its own header copy
+		// (the slice spine underneath is immutable once solved).
+		cp := *plan
+		plan = &cp
+	}
+	return plan, nil
+}
+
+// batchStatsSnapshot renders the batch block of /v1/stats.
+func (s *Server) batchStatsSnapshot() *BatchStats {
+	if s.batch == nil {
+		return nil
+	}
+	c := s.batch.Stats()
+	bs := &BatchStats{
+		GroupsFormed:    c.GroupsFormed,
+		Members:         c.Members,
+		Coalesced:       c.Coalesced,
+		Deduped:         c.Deduped,
+		WindowWaitMaxMs: float64(c.WindowWaitMaxNs) / float64(time.Millisecond),
+	}
+	if c.Members > 0 {
+		bs.WindowWaitMeanMs = float64(c.WindowWaitNs) / float64(c.Members) / float64(time.Millisecond)
+	}
+	var steadyHits, steadyMisses, expHits, expMisses int64
+	s.platforms.Each(func(p *Platform) {
+		eng := p.builtEngine()
+		if eng == nil {
+			return // never solved: no engine to report
+		}
+		ps := eng.Propagator().Stats()
+		steadyHits += ps.SteadyHits
+		steadyMisses += ps.SteadyMisses
+		expHits += ps.ExpHits
+		expMisses += ps.ExpMisses
+	})
+	if t := steadyHits + steadyMisses; t > 0 {
+		bs.EngineSteadyHitRatio = float64(steadyHits) / float64(t)
+	}
+	if t := expHits + expMisses; t > 0 {
+		bs.EngineExpHitRatio = float64(expHits) / float64(t)
+	}
+	return bs
+}

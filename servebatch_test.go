@@ -1,0 +1,322 @@
+package thermosc
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"thermosc/internal/floorplan"
+)
+
+// newBatchedTestServer builds a server with batching enabled (and a
+// window long enough for test goroutines to actually coalesce).
+func newBatchedTestServer(t *testing.T, cfg ServerConfig) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.BatchWindow == 0 {
+		cfg.BatchWindow = 20 * time.Millisecond
+	}
+	srv := NewServer(cfg)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// catalogMaximizeBodies builds /v1/maximize bodies over the floorplan
+// catalog (filtered to small platforms so the differential sweep stays
+// fast) at two thresholds each.
+func catalogMaximizeBodies(t *testing.T, maxCores int) []string {
+	t.Helper()
+	var bodies []string
+	for _, g := range floorplan.Catalog() {
+		if g.NumCores() > maxCores {
+			continue
+		}
+		plat := map[string]any{"rows": g.Rows, "cols": g.Cols, "paper_levels": 3}
+		if g.CoreEdge > 0 {
+			plat["core_edge_m"] = g.CoreEdge
+		}
+		if g.Layers > 1 {
+			plat["stack_layers"] = g.Layers
+		}
+		if len(g.Scales) > 0 {
+			plat["core_scales"] = g.Scales
+		}
+		for _, tmax := range []float64{62, 75} {
+			b, err := json.Marshal(map[string]any{
+				"platform": plat, "tmax_c": tmax, "method": "AO", "timeout_s": 120,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bodies = append(bodies, string(b))
+		}
+	}
+	if len(bodies) < 6 {
+		t.Fatalf("catalog sweep built only %d bodies", len(bodies))
+	}
+	return bodies
+}
+
+// The tentpole invariant: batched plans are byte-identical to unbatched
+// plans across the floorplan catalog. The batched server takes the
+// whole sweep CONCURRENTLY (so groups actually form); the unbatched
+// server solves the same bodies one at a time.
+func TestBatchedPlansByteIdenticalAcrossCatalog(t *testing.T) {
+	bodies := catalogMaximizeBodies(t, 18)
+	_, unbatched := newTestServer(t)
+	// SolveConcurrency must exceed 1 (the GOMAXPROCS default on a
+	// single-core box) or admission serializes requests ahead of the
+	// batcher and no group ever holds two members.
+	batchedSrv, batched := newBatchedTestServer(t, ServerConfig{SolveConcurrency: 8})
+
+	want := make(map[string][]byte, len(bodies))
+	for _, body := range bodies {
+		status, b := postJSON(t, unbatched.URL+"/v1/maximize", body)
+		if status != 200 {
+			t.Fatalf("unbatched solve: status %d: %s", status, b)
+		}
+		mr := decodeMaximize(t, b)
+		if mr.Degraded {
+			t.Fatalf("unbatched reference degraded (%s) — raise the sweep timeout", mr.DegradedReason)
+		}
+		want[body] = mr.Plan
+	}
+
+	var wg sync.WaitGroup
+	got := make([][]byte, len(bodies))
+	for i, body := range bodies {
+		wg.Add(1)
+		go func(i int, body string) {
+			defer wg.Done()
+			status, b := postJSON(t, batched.URL+"/v1/maximize", body)
+			if status != 200 {
+				t.Errorf("batched solve: status %d: %s", status, b)
+				return
+			}
+			got[i] = decodeMaximize(t, b).Plan
+		}(i, body)
+	}
+	wg.Wait()
+	for i, body := range bodies {
+		if !bytes.Equal(got[i], want[body]) {
+			t.Fatalf("body %d: batched plan differs from unbatched:\n%s\nvs\n%s", i, got[i], want[body])
+		}
+	}
+	st := batchedSrv.Stats()
+	if st.Batch == nil || st.Batch.Members == 0 || st.Batch.GroupsFormed == 0 {
+		t.Fatalf("catalog sweep never exercised the batcher: %+v", st.Batch)
+	}
+}
+
+// A same-platform storm coalesces into shared groups and returns plans
+// byte-identical to the singleflight (unbatched) path; a mixed-platform
+// storm forms independent groups. Run with -race.
+func TestBatchSamePlatformStormCoalesces(t *testing.T) {
+	_, unbatched := newTestServer(t)
+	batchedSrv, batched := newBatchedTestServer(t, ServerConfig{
+		BatchWindow: 30 * time.Millisecond, BatchMaxSize: 32, SolveConcurrency: 16,
+	})
+
+	tmaxes := []float64{58, 60, 62, 64}
+	ref := make(map[string][]byte)
+	for _, tm := range tmaxes {
+		body := clusterBody(2, 2, 3, tm)
+		status, b := postJSON(t, unbatched.URL+"/v1/maximize", body)
+		if status != 200 {
+			t.Fatalf("reference solve: status %d: %s", status, b)
+		}
+		ref[body] = decodeMaximize(t, b).Plan
+	}
+
+	// 16 concurrent members over 4 distinct plan keys on ONE platform:
+	// identical keys collapse in the singleflight; the 4 distinct cold
+	// solves coalesce into batch groups on the shared platform key.
+	var wg sync.WaitGroup
+	var bad atomic.Int64
+	for rep := 0; rep < 4; rep++ {
+		for _, tm := range tmaxes {
+			wg.Add(1)
+			go func(tm float64) {
+				defer wg.Done()
+				body := clusterBody(2, 2, 3, tm)
+				status, b := postJSON(t, batched.URL+"/v1/maximize", body)
+				if status != 200 {
+					t.Errorf("storm solve: status %d: %s", status, b)
+					bad.Add(1)
+					return
+				}
+				if !bytes.Equal(decodeMaximize(t, b).Plan, ref[body]) {
+					t.Errorf("storm plan for tmax %g differs from the singleflight path", tm)
+					bad.Add(1)
+				}
+			}(tm)
+		}
+	}
+	wg.Wait()
+	if bad.Load() > 0 {
+		t.FailNow()
+	}
+	st := batchedSrv.Stats().Batch
+	if st == nil {
+		t.Fatal("batched server reports no batch stats")
+	}
+	if st.Members == 0 || st.GroupsFormed == 0 {
+		t.Fatalf("storm never batched: %+v", st)
+	}
+	if st.Coalesced == 0 {
+		t.Fatalf("same-platform storm formed only singleton groups: %+v", st)
+	}
+	// The shared engine's caches were hit by followers (the whole point).
+	if st.EngineSteadyHitRatio <= 0 || st.EngineSteadyHitRatio > 1 {
+		t.Fatalf("engine steady hit ratio %v after a same-platform storm", st.EngineSteadyHitRatio)
+	}
+
+	// Mixed-platform storm: distinct platforms never share a group.
+	groupsBefore := st.GroupsFormed
+	var wg2 sync.WaitGroup
+	for _, rows := range []int{2, 3} {
+		wg2.Add(1)
+		go func(rows int) {
+			defer wg2.Done()
+			if status, b := postJSON(t, batched.URL+"/v1/maximize", clusterBody(rows, 1, 3, 59)); status != 200 {
+				t.Errorf("mixed storm: status %d: %s", status, b)
+			}
+		}(rows)
+	}
+	wg2.Wait()
+	if st2 := batchedSrv.Stats().Batch; st2.GroupsFormed < groupsBefore+2 {
+		t.Fatalf("mixed platforms shared a batch group: %d -> %d", groupsBefore, st2.GroupsFormed)
+	}
+}
+
+// Per-request deadlines cancel individually inside a batch: a member
+// whose deadline is already gone answers immediately (degraded, under
+// its own context) without waiting out the window, while healthy
+// members of the same group still get complete plans.
+func TestBatchMemberDeadlinesCancelIndividually(t *testing.T) {
+	_, batched := newBatchedTestServer(t, ServerConfig{
+		BatchWindow: 400 * time.Millisecond, BatchMaxSize: 32, SolveConcurrency: 4,
+	})
+
+	var wg sync.WaitGroup
+	healthy := clusterBody(2, 1, 3, 60)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		status, b := postJSON(t, batched.URL+"/v1/maximize", healthy)
+		if status != 200 {
+			t.Errorf("healthy member: status %d: %s", status, b)
+			return
+		}
+		if mr := decodeMaximize(t, b); mr.Degraded {
+			t.Errorf("healthy member degraded: %s", mr.DegradedReason)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the healthy member open the group
+
+	// Same platform, different threshold, nanosecond deadline: joins the
+	// open group but must not wait ~380ms for it to seal.
+	doomed := strings.Replace(clusterBody(2, 1, 3, 61), `"method":"AO"`, `"method":"AO","timeout_s":1e-9`, 1)
+	start := time.Now()
+	status, b := postJSON(t, batched.URL+"/v1/maximize", doomed)
+	elapsed := time.Since(start)
+	if status != 200 {
+		t.Fatalf("doomed member: status %d: %s", status, b)
+	}
+	if mr := decodeMaximize(t, b); !mr.Degraded {
+		t.Fatalf("doomed member returned a complete plan under a 1ns deadline: %s", b)
+	}
+	if elapsed > 300*time.Millisecond {
+		t.Fatalf("doomed member waited %v — the batch window held a dead request", elapsed)
+	}
+	wg.Wait()
+}
+
+// A shed request never joins a batch: admission control refuses it
+// before solveFull runs, so the batch counters don't move.
+func TestBatchShedRequestsNeverJoin(t *testing.T) {
+	release := make(chan struct{})
+	srv, ts := newBatchedTestServer(t, ServerConfig{SolveConcurrency: 1, SolveQueue: 1})
+	srv.solveHook = func(Method) { <-release }
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // occupies the only solve slot, parked in the hook
+		defer wg.Done()
+		postJSON(t, ts.URL+"/v1/maximize", clusterBody(2, 1, 3, 60))
+	}()
+	for srv.admit.depth() == 0 { // wait for a second request to queue
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			postJSON(t, ts.URL+"/v1/maximize", clusterBody(2, 1, 3, 61))
+		}()
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Queue full: this one must shed — and must never touch the batcher.
+	status, b := postJSON(t, ts.URL+"/v1/maximize", clusterBody(2, 1, 3, 62))
+	if status != 429 {
+		t.Fatalf("saturated server answered %d: %s", status, b)
+	}
+	if st := srv.Stats().Batch; st.Members != 0 {
+		t.Fatalf("a shed request joined a batch: %+v", st)
+	}
+	close(release)
+	wg.Wait()
+}
+
+// A breaker-open request takes the safe-floor branch and never joins a
+// batch; batching and the breaker compose.
+func TestBatchBreakerOpenBypasses(t *testing.T) {
+	srv, ts := newBatchedTestServer(t, ServerConfig{
+		AuditEvery: 1, BreakerWindow: 2, BreakerMinSamples: 2, BreakerCooloff: time.Hour,
+	})
+	srv.brk.record(false)
+	srv.brk.record(false)
+	if st := srv.Stats(); st.Resilience.BreakerState != breakerOpen {
+		t.Fatalf("breaker did not trip: %+v", st.Resilience)
+	}
+	status, b := postJSON(t, ts.URL+"/v1/maximize", clusterBody(2, 1, 3, 60))
+	if status != 200 {
+		t.Fatalf("breaker-open solve: status %d: %s", status, b)
+	}
+	if mr := decodeMaximize(t, b); !mr.Degraded || mr.DegradedReason != "breaker-open" {
+		t.Fatalf("breaker-open solve not routed to the floor: %s", b)
+	}
+	if st := srv.Stats().Batch; st.Members != 0 {
+		t.Fatalf("a breaker-open request joined a batch: %+v", st)
+	}
+}
+
+// Stats schema: no batch block when batching is disabled; a populated
+// one when enabled.
+func TestBatchStatsPresence(t *testing.T) {
+	srvOff, tsOff := newTestServer(t)
+	postJSON(t, tsOff.URL+"/v1/maximize", maximizeBody("LNS"))
+	if st := srvOff.Stats(); st.Batch != nil {
+		t.Fatalf("batching disabled but stats carry a batch block: %+v", st.Batch)
+	}
+	b, err := json.Marshal(srvOff.Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(b, []byte(`"batch"`)) {
+		t.Fatalf("disabled batch leaks into the stats JSON: %s", b)
+	}
+
+	srvOn, tsOn := newBatchedTestServer(t, ServerConfig{})
+	postJSON(t, tsOn.URL+"/v1/maximize", maximizeBody("AO"))
+	st := srvOn.Stats().Batch
+	if st == nil || st.Members != 1 || st.GroupsFormed != 1 {
+		t.Fatalf("batch stats after one solve: %+v", st)
+	}
+	if st.WindowWaitMaxMs <= 0 {
+		t.Fatalf("no window wait recorded: %+v", st)
+	}
+}

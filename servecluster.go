@@ -74,6 +74,13 @@ type ClusterConfig struct {
 	// StoreCap bounds the replicated plan store (default
 	// cluster.DefaultStoreCap entries, FIFO eviction).
 	StoreCap int
+	// StoreBackend selects the replicated plan store implementation:
+	// "mem" (default) or "file" (append-only durable log; see
+	// cluster.FileStore). docs/CLUSTER.md has the trade-off matrix.
+	StoreBackend string
+	// StorePath is the log path for the "file" backend (required with
+	// it, rejected otherwise).
+	StorePath string
 	// ForwardTimeout caps one proxied request to the owner replica
 	// (default 30 s; the proxied request also inherits the client's own
 	// deadline via context).
@@ -96,6 +103,9 @@ func (c ClusterConfig) withDefaults() ClusterConfig {
 	if c.StoreCap <= 0 {
 		c.StoreCap = cluster.DefaultStoreCap
 	}
+	if c.StoreBackend == "" {
+		c.StoreBackend = "mem"
+	}
 	if c.ForwardTimeout <= 0 {
 		c.ForwardTimeout = 30 * time.Second
 	}
@@ -106,7 +116,7 @@ func (c ClusterConfig) withDefaults() ClusterConfig {
 type serveCluster struct {
 	cfg    ClusterConfig
 	ring   *cluster.Ring
-	store  *cluster.MemStore
+	store  cluster.PlanStore
 	client *http.Client
 
 	// Serve-source counters. The per-node invariant, pinned by tests:
@@ -139,8 +149,27 @@ type serveCluster struct {
 }
 
 type peerSyncState struct {
-	at  time.Time
-	err string
+	at    time.Time
+	err   string
+	fails uint64
+}
+
+// newClusterStore builds the configured PlanStore backend.
+func newClusterStore(cfg ClusterConfig) (cluster.PlanStore, error) {
+	switch cfg.StoreBackend {
+	case "mem":
+		if cfg.StorePath != "" {
+			return nil, fmt.Errorf("cluster: store path %q given but backend is %q", cfg.StorePath, cfg.StoreBackend)
+		}
+		return cluster.NewMemStore(cfg.StoreCap), nil
+	case "file":
+		if cfg.StorePath == "" {
+			return nil, fmt.Errorf("cluster: the file store backend requires a store path")
+		}
+		return cluster.NewFileStore(cfg.StorePath, cfg.StoreCap)
+	default:
+		return nil, fmt.Errorf("cluster: unknown store backend %q (want mem or file)", cfg.StoreBackend)
+	}
 }
 
 // newServeCluster validates and builds the fleet state; a nil return
@@ -150,10 +179,14 @@ func newServeCluster(cfg ClusterConfig) (*serveCluster, error) {
 	if cfg.Self == "" {
 		return nil, fmt.Errorf("cluster: Self is required")
 	}
+	store, err := newClusterStore(cfg)
+	if err != nil {
+		return nil, err
+	}
 	c := &serveCluster{
 		cfg:   cfg,
 		ring:  cluster.NewRing(append([]string{cfg.Self}, cfg.Peers...), cfg.VirtualNodes),
-		store: cluster.NewMemStore(cfg.StoreCap),
+		store: store,
 		client: &http.Client{
 			// Forwarding and gossip reuse connections to a handful of
 			// peers; the transport's per-host idle pool must not throttle a
@@ -189,16 +222,44 @@ func (c *serveCluster) startGossip() {
 				return
 			case <-t.C:
 				ctx, cancel := context.WithTimeout(context.Background(), c.cfg.SyncInterval*4+time.Second)
-				_ = c.syncNow(ctx, c.nextPeer())
+				c.syncTick(ctx)
 				cancel()
 			}
 		}
 	}()
 }
 
+// syncTick runs one gossip tick: try peers in round-robin order until a
+// round succeeds, visiting each peer at most once. The cursor advances
+// past failing peers, so a persistently dead peer costs each tick one
+// failed attempt but can never starve the healthy peers behind it in
+// rotation (the starvation bug this replaces: one failing peer consumed
+// every tick it rotated onto, halving effective sync frequency — and a
+// single-peer view of a flapping fleet could stall entirely).
+func (c *serveCluster) syncTick(ctx context.Context) {
+	for range c.cfg.Peers {
+		if c.syncNow(ctx, c.nextPeer()) == nil {
+			return
+		}
+		if ctx.Err() != nil {
+			return // tick budget exhausted; later peers get the next tick
+		}
+	}
+}
+
 func (c *serveCluster) stopGossip() {
 	c.stopOnce.Do(func() { close(c.stop) })
 	<-c.done
+}
+
+// closeStore releases the plan store's resources (the file backend's
+// log handle). Call after the gossip loop has stopped and in-flight
+// requests have drained; reads keep working afterwards.
+func (c *serveCluster) closeStore() error {
+	if fs, ok := c.store.(*cluster.FileStore); ok {
+		return fs.Close()
+	}
+	return nil
 }
 
 func (c *serveCluster) nextPeer() string {
@@ -215,9 +276,10 @@ func (c *serveCluster) syncNow(ctx context.Context, peer string) error {
 	c.syncRounds.Add(1)
 	err := c.syncRound(ctx, peer)
 	c.mu.Lock()
-	st := peerSyncState{at: time.Now()}
+	st := peerSyncState{at: time.Now(), fails: c.peerSeen[peer].fails}
 	if err != nil {
 		st.err = err.Error()
+		st.fails++
 	}
 	c.peerSeen[peer] = st
 	c.mu.Unlock()
@@ -451,6 +513,8 @@ type PeerStatus struct {
 	// LastError is the last round's failure ("" = the last round
 	// succeeded).
 	LastError string `json:"last_error,omitempty"`
+	// SyncFailures counts this peer's failed rounds since startup.
+	SyncFailures uint64 `json:"sync_failures,omitempty"`
 }
 
 // FleetStats is the cluster-aggregated view: per-node serve-source
@@ -489,6 +553,7 @@ func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
 		if seen, ok := c.peerSeen[p]; ok {
 			ps.LastSyncUnixS = float64(seen.at.UnixNano()) / 1e9
 			ps.LastError = seen.err
+			ps.SyncFailures = seen.fails
 		}
 		st.Peers = append(st.Peers, ps)
 	}

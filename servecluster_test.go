@@ -8,6 +8,8 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 )
@@ -60,11 +62,41 @@ func (tc *testCluster) startReplica(t *testing.T, i int, ln net.Listener, cfg Se
 			peers = append(peers, u)
 		}
 	}
-	cfg.Cluster = &ClusterConfig{Self: tc.urls[i], Peers: peers, SyncInterval: syncInterval}
+	cc := &ClusterConfig{Self: tc.urls[i], Peers: peers, SyncInterval: syncInterval}
+	if cfg.Cluster != nil {
+		// mutate may pre-set store-backend knobs; topology stays ours.
+		cc.StoreBackend = cfg.Cluster.StoreBackend
+		cc.StorePath = cfg.Cluster.StorePath
+		cc.StoreCap = cfg.Cluster.StoreCap
+	}
+	cfg.Cluster = cc
 	srv := NewServer(cfg)
 	hs := &http.Server{Handler: srv}
 	tc.srvs[i], tc.https[i] = srv, hs
 	go func() { _ = hs.Serve(ln) }()
+}
+
+// storeBackendMutate honors THERMOSC_CLUSTER_STORE so the soak suite
+// runs once per PlanStore backend: "file" points every replica's store
+// at an append-only log under a per-test temp dir; empty or "mem"
+// keeps the in-memory default.
+func storeBackendMutate(t *testing.T) func(i int, cfg *ServerConfig) {
+	t.Helper()
+	switch backend := os.Getenv("THERMOSC_CLUSTER_STORE"); backend {
+	case "", "mem":
+		return nil
+	case "file":
+		dir := t.TempDir()
+		return func(i int, cfg *ServerConfig) {
+			cfg.Cluster = &ClusterConfig{
+				StoreBackend: "file",
+				StorePath:    filepath.Join(dir, fmt.Sprintf("replica%d.log", i)),
+			}
+		}
+	default:
+		t.Fatalf("bad THERMOSC_CLUSTER_STORE %q (want mem or file)", backend)
+		return nil
+	}
 }
 
 // stopReplica kills replica i: the listener closes and its gossip loop

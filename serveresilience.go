@@ -3,6 +3,7 @@ package thermosc
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -68,13 +69,17 @@ func (a *admission) estWaitS() float64 {
 }
 
 // retryAfter is the Retry-After hint attached to sheds: the estimated
-// wait, floored at one second.
+// wait rounded UP to a whole second, floored at one. Retry-After is an
+// integer-seconds header — truncating a sub-second estimate would tell
+// well-behaved clients "retry after 0", i.e. hammer a saturated server
+// immediately — and ceiling at the source keeps the header, the JSON
+// retry_after_s, and the error text in agreement.
 func (a *admission) retryAfter() time.Duration {
-	est := a.estWaitS()
-	if est < 1 {
-		est = 1
+	secs := math.Ceil(a.estWaitS())
+	if secs < 1 {
+		secs = 1
 	}
-	return time.Duration(est * float64(time.Second))
+	return time.Duration(secs) * time.Second
 }
 
 // acquire blocks until a solve slot is free, the context expires, or

@@ -310,3 +310,36 @@ func TestServeInfeasibleRefusal(t *testing.T) {
 		t.Fatalf("refusal code %q: %s", er.Code, b)
 	}
 }
+
+// Regression for the Retry-After rounding bug: retryAfter must be a
+// WHOLE second, rounded up — a fractional estimate (say 2.3s) must
+// become 3s everywhere (header, JSON, error text), and a sub-second
+// estimate must become 1s, never 0.
+func TestAdmissionRetryAfterRoundsUpWholeSeconds(t *testing.T) {
+	cases := []struct {
+		avgS    float64 // EWMA seed (one release of this duration)
+		waiting int64
+		want    time.Duration
+	}{
+		{avgS: 0.05, waiting: 1, want: time.Second}, // sub-second estimate → 1s, not 0
+		{avgS: 0, waiting: 0, want: time.Second},    // no history → the 1s floor
+		{avgS: 2.3, waiting: 1, want: 3 * time.Second},
+		{avgS: 2.0, waiting: 2, want: 4 * time.Second},
+	}
+	for i, tc := range cases {
+		a := newAdmission(1, 4)
+		if tc.avgS > 0 {
+			a.sem <- struct{}{}
+			a.release(time.Duration(tc.avgS * float64(time.Second)))
+		}
+		a.waiting.Store(tc.waiting)
+		got := a.retryAfter()
+		if got != tc.want {
+			t.Fatalf("case %d (avg %.2fs, %d waiting): retryAfter %v, want %v",
+				i, tc.avgS, tc.waiting, got, tc.want)
+		}
+		if got%time.Second != 0 {
+			t.Fatalf("case %d: retryAfter %v is not a whole second", i, got)
+		}
+	}
+}
