@@ -8,8 +8,8 @@ FUZZTIME ?= 30s
 COVER_MIN ?= 83
 
 .PHONY: all build vet lint test test-race bench bench-json experiments \
-        fuzz fuzz-smoke serve-smoke serve-chaos cluster-soak rig-soak \
-        rig-soak-starved verify-diff cover cover-check ci clean
+        fuzz fuzz-smoke serve-smoke serve-chaos cluster-soak cluster-churn \
+        rig-soak rig-soak-starved verify-diff cover cover-check ci clean
 
 all: build vet test
 
@@ -114,6 +114,24 @@ cluster-soak:
 		$(GO) test -race -run TestClusterSoak -count=1 -v . || exit 1; \
 	done
 
+# Churn chaos battery, race-enabled, once per plan store backend: the
+# self-healing suite (failure detection, health-aware re-routing, hinted
+# handoff, drain) plus a seed-pinned kill/restart schedule and a rolling
+# restart of every node under live load. Exact accounting, no 5xx to
+# clients, bounded errors confined to kill windows, and post-heal
+# byte-identical convergence; each backend's phase-split load report and
+# per-peer health timeline land in cluster_churn_{report,timeline}_<b>.json.
+CHURN_REQUESTS ?= 2000
+cluster-churn:
+	@for b in $(STORE_BACKENDS); do \
+		echo "== cluster-churn [store=$$b] =="; \
+		THERMOSC_CLUSTER_STORE=$$b \
+		THERMOSC_CHURN_REQUESTS=$(CHURN_REQUESTS) \
+		THERMOSC_CHURN_REPORT=$(CURDIR)/cluster_churn_report_$$b.json \
+		THERMOSC_CHURN_TIMELINE=$(CURDIR)/cluster_churn_timeline_$$b.json \
+		$(GO) test -race -run 'TestClusterChurnSoak|TestClusterRollingRestartUnderLoad|TestClusterDetectorReroutesAroundDeadPeer|TestClusterHintedHandoffReplay|TestClusterHintOverflowBounded|TestClusterDrainAndRejoin|TestClusterAsymmetricPartition|TestClusterFlappingPeer|TestClusterFleetStatusBoundedByHungPeers' -count=1 -v . || exit 1; \
+	done
+
 # Closed-loop soak: 20 seed-pinned fault scenarios under the guarded AO
 # plan, each replayed twice. Exits nonzero on ANY thermal violation
 # (true peak above Tmax + guard band) or nondeterministic trace; the JSON
@@ -160,9 +178,11 @@ cover-check: cover
 
 # Everything CI runs, in one target, for local pre-push verification.
 ci: build lint test test-race fuzz-smoke serve-smoke serve-chaos \
-    cluster-soak rig-soak rig-soak-starved verify-diff cover-check bench-json
+    cluster-soak cluster-churn rig-soak rig-soak-starved verify-diff \
+    cover-check bench-json
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt BENCH_ao.ci.json \
 	      bench_compare.md rig_soak.json rig_soak_starved.json \
-	      serve_chaos_stats_*.json cluster_soak_report_*.json
+	      serve_chaos_stats_*.json cluster_soak_report_*.json \
+	      cluster_churn_report_*.json cluster_churn_timeline_*.json

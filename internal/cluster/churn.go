@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Seed-pinned churn schedules: the rolling-restart script that both the
+// `thermosc-load -churn` flag and the Go churn soak replay. Like the
+// load schedule, a churn schedule is a pure function of its inputs —
+// a failing run names a seed and replays exactly.
+
+// Churn event kinds.
+const (
+	ChurnKill    = "kill"
+	ChurnRestart = "restart"
+)
+
+// ChurnEvent is one scripted fleet mutation: at offset At from the run
+// start, kill or restart replica index Replica.
+type ChurnEvent struct {
+	At      time.Duration `json:"at_ns"`
+	Kind    string        `json:"kind"`
+	Replica int           `json:"replica"`
+}
+
+// ChurnSchedule builds a seed-pinned kill/restart script over a run of
+// duration runDur against a fleet of `replicas` nodes: `cycles`
+// kill-then-restart pairs, each confined to its own equal slice of the
+// run (killed at 1/3 of the slice, restarted at 2/3), victims drawn
+// from a seeded RNG with no immediate repeats. At most one replica is
+// ever down at a time — the script models a rolling restart, not a
+// correlated outage. Returns nil if the inputs can't fit a cycle.
+func ChurnSchedule(seed int64, replicas, cycles int, runDur time.Duration) []ChurnEvent {
+	if replicas < 1 || cycles < 1 || runDur <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seg := runDur / time.Duration(cycles)
+	events := make([]ChurnEvent, 0, 2*cycles)
+	prev := -1
+	for i := 0; i < cycles; i++ {
+		victim := rng.Intn(replicas)
+		if victim == prev && replicas > 1 {
+			victim = (victim + 1) % replicas
+		}
+		prev = victim
+		base := seg * time.Duration(i)
+		events = append(events,
+			ChurnEvent{At: base + seg/3, Kind: ChurnKill, Replica: victim},
+			ChurnEvent{At: base + 2*seg/3, Kind: ChurnRestart, Replica: victim},
+		)
+	}
+	return events
+}
+
+// RollingRestartSchedule scripts one kill+restart of EVERY replica in
+// seeded order — the "rolling restart of every node" battery. Same
+// slicing as ChurnSchedule with cycles = replicas, but the victim
+// sequence is a seeded permutation, so each node goes down exactly
+// once.
+func RollingRestartSchedule(seed int64, replicas int, runDur time.Duration) []ChurnEvent {
+	if replicas < 1 || runDur <= 0 {
+		return nil
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(replicas)
+	seg := runDur / time.Duration(replicas)
+	events := make([]ChurnEvent, 0, 2*replicas)
+	for i, victim := range perm {
+		base := seg * time.Duration(i)
+		events = append(events,
+			ChurnEvent{At: base + seg/3, Kind: ChurnKill, Replica: victim},
+			ChurnEvent{At: base + 2*seg/3, Kind: ChurnRestart, Replica: victim},
+		)
+	}
+	return events
+}
+
+// PhasesFor converts a churn script into load-report phases: a "steady"
+// phase from t=0, then one phase per event boundary, named after the
+// event that opens it (e.g. "kill-1", "restart-1"). Feeding these to
+// LoadConfig.Phases splits the report's error/latency accounting at
+// exactly the instants the fleet changed shape.
+func PhasesFor(events []ChurnEvent) []LoadPhase {
+	phases := []LoadPhase{{Name: "steady", Start: 0}}
+	sorted := append([]ChurnEvent(nil), events...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].At < sorted[j].At })
+	for _, ev := range sorted {
+		phases = append(phases, LoadPhase{
+			Name:  fmt.Sprintf("%s-%d", ev.Kind, ev.Replica),
+			Start: ev.At,
+		})
+	}
+	return phases
+}

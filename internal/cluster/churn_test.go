@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// ChurnSchedule is a pure function of its inputs, keeps every
+// kill/restart pair ordered inside its own slice of the run, and never
+// has two replicas down at once.
+func TestChurnScheduleDeterministicAndRolling(t *testing.T) {
+	const run = 12 * time.Second
+	a := ChurnSchedule(7, 3, 4, run)
+	b := ChurnSchedule(7, 3, 4, run)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if len(a) != 8 {
+		t.Fatalf("schedule has %d events, want 2×4", len(a))
+	}
+	if c := ChurnSchedule(8, 3, 4, run); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules (suspicious)")
+	}
+
+	down := -1 // replica currently down, or -1
+	last := time.Duration(-1)
+	for i, ev := range a {
+		if ev.At <= last {
+			t.Fatalf("event %d at %v not after %v", i, ev.At, last)
+		}
+		last = ev.At
+		if ev.At < 0 || ev.At > run {
+			t.Fatalf("event %d at %v outside the run", i, ev.At)
+		}
+		if ev.Replica < 0 || ev.Replica >= 3 {
+			t.Fatalf("event %d names replica %d of 3", i, ev.Replica)
+		}
+		switch ev.Kind {
+		case ChurnKill:
+			if down != -1 {
+				t.Fatalf("event %d kills %d while %d is still down — correlated outage", i, ev.Replica, down)
+			}
+			down = ev.Replica
+		case ChurnRestart:
+			if down != ev.Replica {
+				t.Fatalf("event %d restarts %d but %d is down", i, ev.Replica, down)
+			}
+			down = -1
+		default:
+			t.Fatalf("event %d kind %q", i, ev.Kind)
+		}
+	}
+	if down != -1 {
+		t.Fatalf("schedule ends with replica %d still down", down)
+	}
+
+	// Consecutive cycles never hit the same victim twice in a row.
+	prev := -1
+	for _, ev := range a {
+		if ev.Kind != ChurnKill {
+			continue
+		}
+		if ev.Replica == prev {
+			t.Fatalf("victim %d repeated back to back", ev.Replica)
+		}
+		prev = ev.Replica
+	}
+
+	// Degenerate inputs yield no schedule rather than a panic.
+	if ChurnSchedule(1, 0, 2, run) != nil || ChurnSchedule(1, 3, 0, run) != nil || ChurnSchedule(1, 3, 2, 0) != nil {
+		t.Fatal("degenerate inputs produced a schedule")
+	}
+}
+
+// RollingRestartSchedule restarts EVERY replica exactly once, in a
+// seed-pinned order, with the same at-most-one-down invariant.
+func TestRollingRestartScheduleCoversEveryReplica(t *testing.T) {
+	const replicas = 5
+	a := RollingRestartSchedule(3, replicas, 10*time.Second)
+	if !reflect.DeepEqual(a, RollingRestartSchedule(3, replicas, 10*time.Second)) {
+		t.Fatal("not deterministic")
+	}
+	killed := make(map[int]int)
+	down := -1
+	for i, ev := range a {
+		switch ev.Kind {
+		case ChurnKill:
+			if down != -1 {
+				t.Fatalf("event %d overlaps outages", i)
+			}
+			down = ev.Replica
+			killed[ev.Replica]++
+		case ChurnRestart:
+			if down != ev.Replica {
+				t.Fatalf("event %d restart/kill mismatch", i)
+			}
+			down = -1
+		}
+	}
+	if len(killed) != replicas {
+		t.Fatalf("only %d of %d replicas cycled: %v", len(killed), replicas, killed)
+	}
+	for r, n := range killed {
+		if n != 1 {
+			t.Fatalf("replica %d cycled %d times, want exactly once", r, n)
+		}
+	}
+}
+
+// PhasesFor opens with "steady" at t=0 and then one phase per event, in
+// time order, named after the event.
+func TestPhasesForChurnEvents(t *testing.T) {
+	events := []ChurnEvent{
+		{At: 3 * time.Second, Kind: ChurnRestart, Replica: 1},
+		{At: 1 * time.Second, Kind: ChurnKill, Replica: 1},
+	}
+	phases := PhasesFor(events)
+	want := []LoadPhase{
+		{Name: "steady", Start: 0},
+		{Name: "kill-1", Start: 1 * time.Second},
+		{Name: "restart-1", Start: 3 * time.Second},
+	}
+	if !reflect.DeepEqual(phases, want) {
+		t.Fatalf("phases %v, want %v", phases, want)
+	}
+	if got := PhasesFor(nil); !reflect.DeepEqual(got, []LoadPhase{{Name: "steady", Start: 0}}) {
+		t.Fatalf("empty schedule phases: %v", got)
+	}
+}
+
+// The phase split must partition the run's accounting exactly: each
+// request lands in the phase covering its PLANNED send time, and the
+// per-phase sums equal the run totals.
+func TestRunLoadPhaseSplit(t *testing.T) {
+	var n atomic.Int64
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%5 == 0 {
+			w.WriteHeader(http.StatusUnprocessableEntity)
+			fmt.Fprint(w, `{"error":"infeasible","code":"infeasible"}`)
+			return
+		}
+		fmt.Fprint(w, `{"plan":{"p":1},"cached":true,"shared":false,"key":"k","elapsed_s":0.001}`)
+	}))
+	defer stub.Close()
+
+	cfg := LoadConfig{
+		Targets:  []string{stub.URL},
+		Requests: 200,
+		RateHz:   2000,
+		Seed:     5,
+	}
+	// Split the ~100 ms run down the middle, plus a late never-reached
+	// phase and a deliberately unsorted input order.
+	sched := cfg.Schedule()
+	mid := sched[len(sched)/2]
+	cfg.Phases = []LoadPhase{
+		{Name: "late", Start: sched[len(sched)-1] + time.Hour},
+		{Name: "second", Start: mid},
+		{Name: "first", Start: 0},
+	}
+	rep, err := RunLoad(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Phases) != 3 {
+		t.Fatalf("got %d phases: %+v", len(rep.Phases), rep.Phases)
+	}
+	names := []string{rep.Phases[0].Name, rep.Phases[1].Name, rep.Phases[2].Name}
+	if !reflect.DeepEqual(names, []string{"first", "second", "late"}) {
+		t.Fatalf("phase order %v", names)
+	}
+	var reqSum, servedSum, infSum, shedSum, errSum int
+	for _, ph := range rep.Phases {
+		reqSum += ph.Requests
+		servedSum += ph.Served
+		infSum += ph.Infeasible
+		shedSum += ph.Shed
+		errSum += ph.Errors
+	}
+	if reqSum != rep.Requests || servedSum != rep.Served || infSum != rep.Infeasible || shedSum != rep.Shed || errSum != rep.Errors {
+		t.Fatalf("phase sums (%d/%d/%d/%d/%d) disagree with totals (%d/%d/%d/%d/%d)",
+			reqSum, servedSum, infSum, shedSum, errSum,
+			rep.Requests, rep.Served, rep.Infeasible, rep.Shed, rep.Errors)
+	}
+	// The split lands on the schedule midpoint: the first phase holds the
+	// requests planned before mid, exactly.
+	wantFirst := sort.Search(len(sched), func(i int) bool { return sched[i] >= mid })
+	if rep.Phases[0].Requests != wantFirst {
+		t.Fatalf("first phase holds %d requests, want %d (planned before the midpoint)", rep.Phases[0].Requests, wantFirst)
+	}
+	if rep.Phases[2].Requests != 0 {
+		t.Fatalf("never-reached phase accumulated %d requests", rep.Phases[2].Requests)
+	}
+	// Per-phase latency percentiles exist where requests landed.
+	if rep.Phases[0].LatencyP50S <= 0 || rep.Phases[0].LatencyMaxS < rep.Phases[0].LatencyP99S {
+		t.Fatalf("first phase latency block malformed: %+v", rep.Phases[0])
+	}
+	// And an implicit "pre" phase appears when the first configured phase
+	// starts late.
+	cfg2 := cfg
+	cfg2.Phases = []LoadPhase{{Name: "tail", Start: mid}}
+	rep2, err := RunLoad(context.Background(), cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Phases) != 2 || rep2.Phases[0].Name != "pre" || rep2.Phases[0].Requests != wantFirst {
+		t.Fatalf("implicit pre phase: %+v", rep2.Phases)
+	}
+}

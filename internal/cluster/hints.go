@@ -1,0 +1,159 @@
+package cluster
+
+import "sync"
+
+// Hinted handoff: when a replication write targets a peer the detector
+// currently considers down, the write's KEY is queued here instead of
+// vanishing; when the peer is re-admitted the queued keys are resolved
+// back to entries through the local PlanStore and pushed in one
+// push-only sync round. Queuing keys rather than plan bytes keeps the
+// queue's memory footprint tiny and bounded — the bytes already live in
+// the local store (which may itself be the crash-safe file backend, so
+// hints survive exactly as long as the data they point at). A key whose
+// entry was evicted before replay is simply skipped: anti-entropy is
+// the backstop for that tail.
+//
+// Each per-peer queue is a FIFO of at most cap keys with O(1) dedup;
+// overflow drops the OLDEST hint (the newest write is the one most
+// worth replaying fast, and the dropped key still converges via
+// gossip). Drops are counted so the soak can assert the bound was never
+// silently hit.
+
+// DefaultHintCap is the default per-peer bound on queued hint keys.
+const DefaultHintCap = 1024
+
+// HintStats are lifetime counters for one HintQueue.
+type HintStats struct {
+	// Queued counts hints accepted (dedup'd re-adds not included).
+	Queued uint64 `json:"queued"`
+	// Dropped counts oldest-first overflow evictions.
+	Dropped uint64 `json:"dropped"`
+	// Replayed counts keys handed out via Take and not requeued.
+	Replayed uint64 `json:"replayed"`
+	// Backlog is the current total queued keys across all peers.
+	Backlog int `json:"backlog"`
+}
+
+type peerHints struct {
+	keys []string
+	seen map[string]struct{}
+}
+
+// HintQueue is a thread-safe, per-peer bounded queue of plan keys
+// awaiting replay.
+type HintQueue struct {
+	cap int
+
+	mu       sync.Mutex
+	peers    map[string]*peerHints
+	queued   uint64
+	dropped  uint64
+	replayed uint64
+}
+
+// NewHintQueue builds a queue with the given per-peer cap (<=0 selects
+// DefaultHintCap).
+func NewHintQueue(capPerPeer int) *HintQueue {
+	if capPerPeer <= 0 {
+		capPerPeer = DefaultHintCap
+	}
+	return &HintQueue{cap: capPerPeer, peers: make(map[string]*peerHints)}
+}
+
+// Cap returns the per-peer bound.
+func (q *HintQueue) Cap() int { return q.cap }
+
+// Add queues key for peer. Re-adding a queued key is a no-op; at cap,
+// the oldest hint is dropped to admit the new one.
+func (q *HintQueue) Add(peer, key string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	ph, ok := q.peers[peer]
+	if !ok {
+		ph = &peerHints{seen: make(map[string]struct{})}
+		q.peers[peer] = ph
+	}
+	if _, dup := ph.seen[key]; dup {
+		return
+	}
+	if len(ph.keys) >= q.cap {
+		oldest := ph.keys[0]
+		ph.keys = ph.keys[1:]
+		delete(ph.seen, oldest)
+		q.dropped++
+	}
+	ph.keys = append(ph.keys, key)
+	ph.seen[key] = struct{}{}
+	q.queued++
+}
+
+// Take drains and returns all queued keys for peer, oldest first. The
+// caller replays them; keys that fail to reach the peer should be
+// handed back via Requeue so they are not counted as replayed.
+func (q *HintQueue) Take(peer string) []string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	ph, ok := q.peers[peer]
+	if !ok || len(ph.keys) == 0 {
+		return nil
+	}
+	keys := ph.keys
+	delete(q.peers, peer)
+	q.replayed += uint64(len(keys))
+	return keys
+}
+
+// Requeue returns keys taken via Take that could not be delivered
+// (oldest first), undoing their replayed accounting. Requeued keys do
+// not re-count as Queued; cap overflow still drops oldest-first.
+func (q *HintQueue) Requeue(peer string, keys []string) {
+	if len(keys) == 0 {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.replayed >= uint64(len(keys)) {
+		q.replayed -= uint64(len(keys))
+	} else {
+		q.replayed = 0
+	}
+	ph, ok := q.peers[peer]
+	if !ok {
+		ph = &peerHints{seen: make(map[string]struct{})}
+		q.peers[peer] = ph
+	}
+	for _, k := range keys {
+		if _, dup := ph.seen[k]; dup {
+			continue
+		}
+		if len(ph.keys) >= q.cap {
+			oldest := ph.keys[0]
+			ph.keys = ph.keys[1:]
+			delete(ph.seen, oldest)
+			q.dropped++
+		}
+		ph.keys = append(ph.keys, k)
+		ph.seen[k] = struct{}{}
+	}
+}
+
+// Pending returns how many keys are queued for peer.
+func (q *HintQueue) Pending(peer string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if ph, ok := q.peers[peer]; ok {
+		return len(ph.keys)
+	}
+	return 0
+}
+
+// Stats returns lifetime counters plus the current backlog.
+func (q *HintQueue) Stats() HintStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	s := HintStats{Queued: q.queued, Dropped: q.dropped, Replayed: q.replayed}
+	for _, ph := range q.peers {
+		s.Backlog += len(ph.keys)
+	}
+	return s
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// FIFO order, dedup, and the Take/Stats accounting identity.
+func TestHintQueueBasics(t *testing.T) {
+	q := NewHintQueue(0)
+	if q.Cap() != DefaultHintCap {
+		t.Fatalf("default cap %d, want %d", q.Cap(), DefaultHintCap)
+	}
+	q.Add("peer", "k1")
+	q.Add("peer", "k2")
+	q.Add("peer", "k1") // dup: no-op
+	q.Add("other", "k1")
+	if got := q.Pending("peer"); got != 2 {
+		t.Fatalf("pending %d, want 2 (dedup failed)", got)
+	}
+	st := q.Stats()
+	if st.Queued != 3 || st.Dropped != 0 || st.Replayed != 0 || st.Backlog != 3 {
+		t.Fatalf("stats %+v, want 3 queued / 3 backlog", st)
+	}
+	keys := q.Take("peer")
+	if !reflect.DeepEqual(keys, []string{"k1", "k2"}) {
+		t.Fatalf("take order %v, want FIFO [k1 k2]", keys)
+	}
+	if q.Pending("peer") != 0 || q.Pending("other") != 1 {
+		t.Fatalf("pending after take: peer=%d other=%d", q.Pending("peer"), q.Pending("other"))
+	}
+	st = q.Stats()
+	if st.Replayed != 2 || st.Backlog != 1 {
+		t.Fatalf("post-take stats %+v", st)
+	}
+	if q.Take("peer") != nil || q.Take("nobody") != nil {
+		t.Fatal("empty takes returned keys")
+	}
+	// A key taken once can be queued again (the peer died again).
+	q.Add("peer", "k1")
+	if q.Pending("peer") != 1 {
+		t.Fatal("re-add after take rejected")
+	}
+}
+
+// At the cap the queue drops the OLDEST hint and counts the drop; the
+// newest writes always survive.
+func TestHintQueueOverflowDropsOldest(t *testing.T) {
+	q := NewHintQueue(3)
+	for i := 0; i < 5; i++ {
+		q.Add("p", fmt.Sprintf("k%d", i))
+	}
+	if got := q.Take("p"); !reflect.DeepEqual(got, []string{"k2", "k3", "k4"}) {
+		t.Fatalf("survivors %v, want the 3 newest", got)
+	}
+	st := q.Stats()
+	if st.Dropped != 2 || st.Queued != 5 {
+		t.Fatalf("stats %+v, want 5 queued / 2 dropped", st)
+	}
+	// The bound is per peer: another peer has the full cap.
+	q.Add("q", "x")
+	if q.Stats().Dropped != 2 {
+		t.Fatal("per-peer cap leaked across peers")
+	}
+}
+
+// Requeue undoes the replayed accounting and restores the keys without
+// re-counting them as queued — a failed replay must leave the lifetime
+// counters exactly where a never-attempted replay would.
+func TestHintQueueRequeueAccounting(t *testing.T) {
+	q := NewHintQueue(10)
+	q.Add("p", "a")
+	q.Add("p", "b")
+	keys := q.Take("p")
+	if st := q.Stats(); st.Replayed != 2 {
+		t.Fatalf("replayed %d after take", st.Replayed)
+	}
+	q.Requeue("p", keys)
+	st := q.Stats()
+	if st.Replayed != 0 || st.Queued != 2 || st.Backlog != 2 {
+		t.Fatalf("post-requeue stats %+v, want replayed back to 0, queued still 2", st)
+	}
+	if got := q.Take("p"); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("requeued order %v", got)
+	}
+	// Requeue of nothing is a no-op; over-undo clamps at zero.
+	q.Requeue("p", nil)
+	q.Requeue("p", []string{"z1", "z2", "z3"})
+	if st := q.Stats(); st.Replayed != 0 {
+		t.Fatalf("replayed underflowed: %+v", st)
+	}
+}
+
+// Requeue still honors the cap (a recovered-then-dead-again peer can
+// have accumulated fresh hints while the replay batch was in flight).
+func TestHintQueueRequeueRespectsCap(t *testing.T) {
+	q := NewHintQueue(2)
+	q.Add("p", "a")
+	q.Add("p", "b")
+	taken := q.Take("p")
+	q.Add("p", "c") // fresh hint arrives mid-replay
+	q.Requeue("p", taken)
+	if got := q.Pending("p"); got != 2 {
+		t.Fatalf("pending %d, want cap 2", got)
+	}
+	if q.Stats().Dropped != 1 {
+		t.Fatalf("overflow during requeue not counted: %+v", q.Stats())
+	}
+}
+
+// Concurrent producers/consumers must not race (run under -race).
+func TestHintQueueConcurrent(t *testing.T) {
+	q := NewHintQueue(64)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			peer := fmt.Sprintf("p%d", g%2)
+			for i := 0; i < 200; i++ {
+				q.Add(peer, fmt.Sprintf("g%d-k%d", g, i))
+				if i%17 == 0 {
+					q.Requeue(peer, q.Take(peer))
+				}
+				q.Pending(peer)
+				q.Stats()
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}

@@ -82,6 +82,13 @@ type LoadConfig struct {
 	// it must not exhaust file descriptors; when the bound is hit the
 	// dispatcher blocks and the delay shows up as schedule lag.
 	Concurrency int `json:"concurrency"`
+	// Phases, when non-empty, splits the report's accounting by PLANNED
+	// send time: a request belongs to the last phase whose Start is at
+	// or before its scheduled At. Used with PhasesFor(churn schedule) to
+	// attribute errors and latency to the fleet state that produced
+	// them. A phase starting after 0 leaves earlier requests in an
+	// implicit "pre" phase.
+	Phases []LoadPhase `json:"phases,omitempty"`
 
 	// Client serves the requests (default: a pooled client sized for
 	// Concurrency). Tests inject their own.
@@ -129,6 +136,13 @@ func (c LoadConfig) withDefaults() LoadConfig {
 		c.Concurrency = 256
 	}
 	return c
+}
+
+// LoadPhase names a half-open window [Start, next phase's Start) of the
+// run for split reporting.
+type LoadPhase struct {
+	Name  string        `json:"name"`
+	Start time.Duration `json:"start_ns"`
 }
 
 // LoadRequest is one generated request: when to send it, where, and
@@ -372,6 +386,27 @@ type LoadReport struct {
 	// dispatcher shows up here, not in latency).
 	MaxScheduleLagS float64 `json:"max_schedule_lag_s"`
 	ElapsedS        float64 `json:"elapsed_s"`
+
+	// Phases is the per-phase split of the same accounting when
+	// LoadConfig.Phases was set (phase sums equal the run totals).
+	Phases []PhaseReport `json:"phases,omitempty"`
+}
+
+// PhaseReport is one phase's slice of the accounting: requests are
+// attributed by PLANNED send time, so a churn run shows exactly which
+// fleet state each error belongs to.
+type PhaseReport struct {
+	Name       string  `json:"name"`
+	StartS     float64 `json:"start_s"`
+	Requests   int     `json:"requests"`
+	Served     int     `json:"served"`
+	Infeasible int     `json:"infeasible"`
+	Shed       int     `json:"shed"`
+	Errors     int     `json:"errors"`
+
+	LatencyP50S float64 `json:"latency_p50_s"`
+	LatencyP99S float64 `json:"latency_p99_s"`
+	LatencyMaxS float64 `json:"latency_max_s"`
 }
 
 // loadResponse is the subset of the serve response the generator
@@ -445,7 +480,7 @@ dispatch:
 		}(i)
 	}
 	wg.Wait()
-	report := aggregate(reqs, outcomes)
+	report := aggregate(reqs, outcomes, cfg.Phases)
 	report.ElapsedS = time.Since(start).Seconds()
 	return report, nil
 }
@@ -492,24 +527,42 @@ func fire(ctx context.Context, client *http.Client, lr LoadRequest, start time.T
 	return out
 }
 
-func aggregate(reqs []LoadRequest, outcomes []loadOutcome) *LoadReport {
+func aggregate(reqs []LoadRequest, outcomes []loadOutcome, phases []LoadPhase) *LoadReport {
 	r := &LoadReport{
 		Requests: len(reqs),
 		ByStatus: make(map[string]int),
 		ByTarget: make(map[string]int),
 		BySource: make(map[string]int),
 	}
+	split := newPhaseSplit(phases)
 	planHash := make(map[string]string)
 	mismatched := make(map[string]bool)
 	var lat []float64
 	for i := range outcomes {
 		o := &outcomes[i]
+		ph := split.phaseFor(reqs[i].At)
 		r.ByTarget[o.target]++
 		if o.latency > 0 {
 			lat = append(lat, o.latency.Seconds())
+			if ph != nil {
+				ph.lat = append(ph.lat, o.latency.Seconds())
+			}
 		}
 		if lag := o.lag.Seconds(); lag > r.MaxScheduleLagS {
 			r.MaxScheduleLagS = lag
+		}
+		if ph != nil {
+			ph.rep.Requests++
+			switch {
+			case o.status == http.StatusOK && o.complete:
+				ph.rep.Served++
+			case o.status == http.StatusUnprocessableEntity:
+				ph.rep.Infeasible++
+			case o.status == http.StatusTooManyRequests:
+				ph.rep.Shed++
+			default:
+				ph.rep.Errors++
+			}
 		}
 		switch {
 		case o.status == http.StatusOK && o.complete:
@@ -568,7 +621,68 @@ func aggregate(reqs []LoadRequest, outcomes []loadOutcome) *LoadReport {
 	if len(r.BySource) == 0 {
 		r.BySource = nil
 	}
+	r.Phases = split.reports()
 	return r
+}
+
+// phaseSplit attributes requests to phases by planned send time. An
+// implicit "pre" phase at Start 0 catches requests scheduled before the
+// first configured phase; phases are matched by binary search over the
+// sorted starts.
+type phaseSplit struct {
+	starts  []time.Duration
+	buckets []*phaseBucket
+}
+
+type phaseBucket struct {
+	rep PhaseReport
+	lat []float64
+}
+
+func newPhaseSplit(phases []LoadPhase) *phaseSplit {
+	if len(phases) == 0 {
+		return &phaseSplit{}
+	}
+	sorted := append([]LoadPhase(nil), phases...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	if sorted[0].Start > 0 {
+		sorted = append([]LoadPhase{{Name: "pre", Start: 0}}, sorted...)
+	}
+	s := &phaseSplit{}
+	for _, p := range sorted {
+		s.starts = append(s.starts, p.Start)
+		s.buckets = append(s.buckets, &phaseBucket{rep: PhaseReport{Name: p.Name, StartS: p.Start.Seconds()}})
+	}
+	return s
+}
+
+func (s *phaseSplit) phaseFor(at time.Duration) *phaseBucket {
+	if len(s.buckets) == 0 {
+		return nil
+	}
+	// Last phase with Start <= at.
+	i := sort.Search(len(s.starts), func(i int) bool { return s.starts[i] > at }) - 1
+	if i < 0 {
+		i = 0
+	}
+	return s.buckets[i]
+}
+
+func (s *phaseSplit) reports() []PhaseReport {
+	if len(s.buckets) == 0 {
+		return nil
+	}
+	out := make([]PhaseReport, len(s.buckets))
+	for i, b := range s.buckets {
+		if len(b.lat) > 0 {
+			sort.Float64s(b.lat)
+			b.rep.LatencyP50S = percentile(b.lat, 0.50)
+			b.rep.LatencyP99S = percentile(b.lat, 0.99)
+			b.rep.LatencyMaxS = b.lat[len(b.lat)-1]
+		}
+		out[i] = b.rep
+	}
+	return out
 }
 
 // percentile reads the p-quantile from a sorted sample with the

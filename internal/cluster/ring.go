@@ -102,6 +102,36 @@ func (r *Ring) Owner(key string) string {
 	return r.points[i].node
 }
 
+// OwnerSkipping returns the node that owns key in the LIVE VIEW of the
+// ring: the first node clockwise of the key's hash for which down
+// returns false. It returns "" on an empty ring or when every member is
+// down.
+//
+// Skipping a down node's virtual points while scanning is exactly
+// equivalent to rebuilding the ring without that node: removal deletes
+// the node's points and leaves the remaining (hash, node)-sorted order
+// intact, so the first surviving point clockwise is the same either
+// way. TestRingOwnerSkippingEqualsRemoval pins this equivalence — it is
+// what keeps health-aware routing deterministic and loop-free without
+// any replica agreeing on membership.
+func (r *Ring) OwnerSkipping(key string, down func(node string) bool) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if start == len(r.points) {
+		start = 0
+	}
+	for off := 0; off < len(r.points); off++ {
+		p := r.points[(start+off)%len(r.points)]
+		if down == nil || !down(p.node) {
+			return p.node
+		}
+	}
+	return ""
+}
+
 // Nodes returns the ring's membership in sorted order (a copy).
 func (r *Ring) Nodes() []string {
 	return append([]string(nil), r.nodes...)

@@ -114,6 +114,61 @@ func TestRingChurnMovesOnlyExpectedKeys(t *testing.T) {
 	}
 }
 
+// The live-view routing equivalence the self-healing layer rests on:
+// OwnerSkipping with k down nodes must equal the owner on a ring with
+// those k nodes REMOVED (WithoutNode applied k times), for every key.
+// Point removal preserves the (hash, node)-sorted order of the
+// surviving virtual points, so the equality is exact, not approximate.
+func TestRingOwnerSkippingEqualsRemoval(t *testing.T) {
+	keys := testKeys(500)
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(seed)%4 // fleets of 2..5 nodes
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("http://10.1.%d.%d:8080", seed, i)
+		}
+		r := NewRing(nodes, 64)
+		// Every subset of down nodes, including none and all.
+		for mask := 0; mask < 1<<n; mask++ {
+			down := make(map[string]bool)
+			reduced := r
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					down[nodes[i]] = true
+					reduced = reduced.WithoutNode(nodes[i])
+				}
+			}
+			isDown := func(node string) bool { return down[node] }
+			// Cheap shuffle of which keys we test per mask to keep the
+			// subset sweep fast but seed-varied.
+			for _, ki := range rng.Perm(len(keys))[:50] {
+				k := keys[ki]
+				got := r.OwnerSkipping(k, isDown)
+				want := reduced.Owner(k)
+				if got != want {
+					t.Fatalf("seed %d mask %b key %q: OwnerSkipping=%q, removal ring owner=%q",
+						seed, mask, k, got, want)
+				}
+			}
+		}
+	}
+	// Degenerate predicates: nil skips nothing, everything-down yields "".
+	r := NewRing(ringNodes, 64)
+	for _, k := range keys[:20] {
+		if r.OwnerSkipping(k, nil) != r.Owner(k) {
+			t.Fatalf("nil predicate diverges from Owner for %q", k)
+		}
+		if got := r.OwnerSkipping(k, func(string) bool { return true }); got != "" {
+			t.Fatalf("all-down ring returned owner %q", got)
+		}
+	}
+	empty := NewRing(nil, 0)
+	if got := empty.OwnerSkipping("k", nil); got != "" {
+		t.Fatalf("empty ring OwnerSkipping = %q", got)
+	}
+}
+
 func TestRingEdgeCases(t *testing.T) {
 	empty := NewRing(nil, 0)
 	if got := empty.Owner("anything"); got != "" {

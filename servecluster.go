@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
 	"strings"
 	"sync"
@@ -85,6 +87,24 @@ type ClusterConfig struct {
 	// (default 30 s; the proxied request also inherits the client's own
 	// deadline via context).
 	ForwardTimeout time.Duration
+
+	// ProbeInterval is the failure detector's dedicated /healthz probe
+	// period. 0 (the default) disables the probe loop — the detector
+	// still runs, fed by gossip and forward outcomes, so explicit-sync
+	// tests see exactly the observations they inject. thermosc-serve
+	// defaults the flag to 1s.
+	ProbeInterval time.Duration
+	// ProbeSeed pins the per-tick probe ordering (default 1).
+	ProbeSeed int64
+	// SuspectAfter / DeadAfter / RecoverAfter tune the detector's
+	// state machine thresholds (defaults cluster.DefaultSuspectAfter /
+	// DefaultDeadAfter / DefaultRecoverAfter).
+	SuspectAfter int
+	DeadAfter    int
+	RecoverAfter int
+	// HintCap bounds the per-peer hinted-handoff queue (default
+	// cluster.DefaultHintCap keys; overflow drops oldest).
+	HintCap int
 }
 
 func (c ClusterConfig) withDefaults() ClusterConfig {
@@ -109,6 +129,12 @@ func (c ClusterConfig) withDefaults() ClusterConfig {
 	if c.ForwardTimeout <= 0 {
 		c.ForwardTimeout = 30 * time.Second
 	}
+	if c.ProbeSeed == 0 {
+		c.ProbeSeed = 1
+	}
+	if c.HintCap <= 0 {
+		c.HintCap = cluster.DefaultHintCap
+	}
 	return c
 }
 
@@ -118,6 +144,14 @@ type serveCluster struct {
 	ring   *cluster.Ring
 	store  cluster.PlanStore
 	client *http.Client
+	// health is the failure detector (health.go): every peer contact —
+	// dedicated probe, gossip round, forward transport failure — feeds
+	// it, and healthyOwner consults it to route around down peers.
+	health *cluster.Detector
+	// hints is the hinted-handoff queue: keys of complete plans whose
+	// ring owner was down at write time, replayed when the detector
+	// re-admits the owner.
+	hints *cluster.HintQueue
 
 	// Serve-source counters. The per-node invariant, pinned by tests:
 	// servedLocal + servedPeer + servedForwarded == successful (200)
@@ -132,6 +166,17 @@ type serveCluster struct {
 	entriesSent  atomic.Uint64
 	entriesRecvd atomic.Uint64
 
+	probesSent atomic.Uint64
+	probeFails atomic.Uint64
+	probeTicks atomic.Uint64
+
+	// draining, when set, takes this replica out of the healthy ring
+	// view (its own keys route to successors), reports "draining" on
+	// /healthz so balancers and peer probes stop sending traffic, and
+	// was preceded by a push of owned entries to their new owners. See
+	// handleClusterDrain.
+	draining atomic.Bool
+
 	// rejectSync, when set, answers every inbound sync with 503 — the
 	// partition lever fault-tolerance tests pull. Exported behavior, not
 	// just a test hook: operators can partition a replica out of gossip
@@ -145,7 +190,7 @@ type serveCluster struct {
 
 	stopOnce sync.Once
 	stop     chan struct{}
-	done     chan struct{}
+	loops    sync.WaitGroup
 }
 
 type peerSyncState struct {
@@ -190,12 +235,29 @@ func newServeCluster(cfg ClusterConfig) (*serveCluster, error) {
 		client: &http.Client{
 			// Forwarding and gossip reuse connections to a handful of
 			// peers; the transport's per-host idle pool must not throttle a
-			// soak-scale request stream into TIME_WAIT churn.
-			Transport: &http.Transport{MaxIdleConns: 256, MaxIdleConnsPerHost: 64, IdleConnTimeout: 30 * time.Second},
+			// soak-scale request stream into TIME_WAIT churn. The dial and
+			// TLS-handshake timeouts bound how long a connection ATTEMPT to
+			// a dead peer can hold a goroutine — without them, a
+			// blackholed peer accumulates dialing connections for the full
+			// forward timeout each. No ResponseHeaderTimeout: a forwarded
+			// cold solve legitimately takes seconds, and ForwardTimeout
+			// already caps the whole exchange.
+			Transport: &http.Transport{
+				DialContext:         (&net.Dialer{Timeout: 2 * time.Second, KeepAlive: 15 * time.Second}).DialContext,
+				TLSHandshakeTimeout: 2 * time.Second,
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 64,
+				IdleConnTimeout:     30 * time.Second,
+			},
 		},
+		health: cluster.NewDetector(cfg.Peers, cluster.DetectorConfig{
+			SuspectAfter: cfg.SuspectAfter,
+			DeadAfter:    cfg.DeadAfter,
+			RecoverAfter: cfg.RecoverAfter,
+		}),
+		hints:    cluster.NewHintQueue(cfg.HintCap),
 		peerSeen: make(map[string]peerSyncState, len(cfg.Peers)),
 		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
 	}
 	return c, nil
 }
@@ -205,28 +267,107 @@ func (c *serveCluster) owner(planKey string) string { return c.ring.Owner(planKe
 
 func (c *serveCluster) owns(planKey string) bool { return c.owner(planKey) == c.cfg.Self }
 
-// startGossip launches the anti-entropy loop (no-op without peers or
-// interval).
-func (c *serveCluster) startGossip() {
-	if c.cfg.SyncInterval <= 0 || len(c.cfg.Peers) == 0 {
-		close(c.done)
+// downForRouting is the live-view predicate: a node is routed around
+// when the detector holds it suspect/dead, or when it is this replica
+// itself and draining (its keys belong to successors now).
+func (c *serveCluster) downForRouting(node string) bool {
+	if node == c.cfg.Self {
+		return c.draining.Load()
+	}
+	return c.health.Down(node)
+}
+
+// healthyOwner returns the replica that should answer planKey in the
+// LIVE view of the ring: the static owner unless the detector holds it
+// down, in which case ownership falls clockwise to the next healthy
+// successor — deterministically identical to removing the down nodes
+// from the ring (see Ring.OwnerSkipping). With every node down the key
+// is served locally: degrading to an extra solve is always safe.
+func (c *serveCluster) healthyOwner(planKey string) string {
+	o := c.ring.OwnerSkipping(planKey, c.downForRouting)
+	if o == "" {
+		return c.cfg.Self
+	}
+	return o
+}
+
+// observeHealth feeds one peer contact outcome into the failure
+// detector; a transition back to alive triggers the hinted-handoff
+// replay for that peer. Only probe/gossip paths report successes, so
+// the (potentially slow) replay never runs inside a request handler.
+func (c *serveCluster) observeHealth(peer string, ok bool, latency time.Duration) {
+	state, transitioned := c.health.Observe(peer, ok, latency)
+	if transitioned && state == cluster.StateAlive {
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ForwardTimeout)
+		defer cancel()
+		c.replayHints(ctx, peer)
+	}
+}
+
+// replayHints pushes the queued missed writes to a re-admitted peer as
+// push-only sync rounds. Keys whose entries were evicted are skipped
+// (anti-entropy is the backstop); on a failed push the batch is
+// requeued for the next recovery.
+func (c *serveCluster) replayHints(ctx context.Context, peer string) {
+	keys := c.hints.Take(peer)
+	if len(keys) == 0 {
 		return
 	}
-	go func() {
-		defer close(c.done)
-		t := time.NewTicker(c.cfg.SyncInterval)
-		defer t.Stop()
-		for {
-			select {
-			case <-c.stop:
-				return
-			case <-t.C:
-				ctx, cancel := context.WithTimeout(context.Background(), c.cfg.SyncInterval*4+time.Second)
-				c.syncTick(ctx)
-				cancel()
-			}
+	entries := cluster.MissingEntries(c.store, keys)
+	for len(entries) > 0 {
+		batch := entries
+		if len(batch) > cluster.MaxSyncEntries {
+			batch = batch[:cluster.MaxSyncEntries]
 		}
-	}()
+		if _, err := c.postSync(ctx, peer, cluster.SyncRequest{From: c.cfg.Self, Entries: batch}); err != nil {
+			c.hints.Requeue(peer, keys)
+			return
+		}
+		c.entriesSent.Add(uint64(len(batch)))
+		entries = entries[len(batch):]
+	}
+}
+
+// startLoops launches the background anti-entropy and health-probe
+// loops (each a no-op without peers or with its interval unset).
+func (c *serveCluster) startLoops() {
+	if len(c.cfg.Peers) == 0 {
+		return
+	}
+	if c.cfg.SyncInterval > 0 {
+		c.loops.Add(1)
+		go func() {
+			defer c.loops.Done()
+			t := time.NewTicker(c.cfg.SyncInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-c.stop:
+					return
+				case <-t.C:
+					ctx, cancel := context.WithTimeout(context.Background(), c.cfg.SyncInterval*4+time.Second)
+					c.syncTick(ctx)
+					cancel()
+				}
+			}
+		}()
+	}
+	if c.cfg.ProbeInterval > 0 {
+		c.loops.Add(1)
+		go func() {
+			defer c.loops.Done()
+			t := time.NewTicker(c.cfg.ProbeInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-c.stop:
+					return
+				case <-t.C:
+					c.probeTick(context.Background())
+				}
+			}
+		}()
+	}
 }
 
 // syncTick runs one gossip tick: try peers in round-robin order until a
@@ -247,9 +388,48 @@ func (c *serveCluster) syncTick(ctx context.Context) {
 	}
 }
 
-func (c *serveCluster) stopGossip() {
+// probeTick probes every peer's /healthz once, in a seed-pinned
+// per-tick permutation (rand order prevents lockstep probe bursts
+// across a fleet started together; the seed keeps a failing run
+// replayable).
+func (c *serveCluster) probeTick(ctx context.Context) {
+	tick := c.probeTicks.Add(1)
+	order := rand.New(rand.NewSource(c.cfg.ProbeSeed + int64(tick))).Perm(len(c.cfg.Peers))
+	for _, i := range order {
+		c.probeOne(ctx, c.cfg.Peers[i])
+	}
+}
+
+// probeOne checks one peer's /healthz and feeds the detector. Any
+// non-200 — including a draining peer's 503 — counts as a failure, so
+// routing moves off a replica as soon as it signals unreadiness, not
+// only when its socket dies.
+func (c *serveCluster) probeOne(ctx context.Context, peer string) {
+	timeout := c.cfg.ProbeInterval
+	if timeout <= 0 || timeout > 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	c.probesSent.Add(1)
+	start := time.Now()
+	ok := false
+	if hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/healthz", nil); err == nil {
+		if hresp, err := c.client.Do(hreq); err == nil {
+			_, _ = io.Copy(io.Discard, io.LimitReader(hresp.Body, 4<<10))
+			hresp.Body.Close()
+			ok = hresp.StatusCode == http.StatusOK
+		}
+	}
+	if !ok {
+		c.probeFails.Add(1)
+	}
+	c.observeHealth(peer, ok, time.Since(start))
+}
+
+func (c *serveCluster) stopLoops() {
 	c.stopOnce.Do(func() { close(c.stop) })
-	<-c.done
+	c.loops.Wait()
 }
 
 // closeStore releases the plan store's resources (the file backend's
@@ -272,9 +452,13 @@ func (c *serveCluster) nextPeer() string {
 
 // syncNow runs one pull-push anti-entropy round against peer: send our
 // digest, store what the peer has that we lack, push what it asked for.
+// The round's outcome doubles as a failure-detector observation — every
+// gossip tick is a free health probe.
 func (c *serveCluster) syncNow(ctx context.Context, peer string) error {
 	c.syncRounds.Add(1)
+	roundStart := time.Now()
 	err := c.syncRound(ctx, peer)
+	c.observeHealth(peer, err == nil, time.Since(roundStart))
 	c.mu.Lock()
 	st := peerSyncState{at: time.Now(), fails: c.peerSeen[peer].fails}
 	if err != nil {
@@ -361,6 +545,8 @@ func (c *serveCluster) served(source string) {
 
 // statsSnapshot renders the cluster block of /v1/stats.
 func (c *serveCluster) statsSnapshot() *ClusterStats {
+	alive, suspect, dead := c.health.Counts()
+	hs := c.hints.Stats()
 	return &ClusterStats{
 		Self:            c.cfg.Self,
 		Nodes:           c.ring.Nodes(),
@@ -374,6 +560,16 @@ func (c *serveCluster) statsSnapshot() *ClusterStats {
 		EntriesReceived: c.entriesRecvd.Load(),
 		StoreSize:       c.store.Len(),
 		StoreCapacity:   c.store.Cap(),
+		PeersAlive:      alive,
+		PeersSuspect:    suspect,
+		PeersDead:       dead,
+		ProbesSent:      c.probesSent.Load(),
+		ProbeFailures:   c.probeFails.Load(),
+		HintsQueued:     hs.Queued,
+		HintsDropped:    hs.Dropped,
+		HintsReplayed:   hs.Replayed,
+		HintBacklog:     hs.Backlog,
+		Draining:        c.draining.Load(),
 	}
 }
 
@@ -419,12 +615,19 @@ func (s *Server) clusterStoreGet(planKey string) (cachedPlan, string, bool) {
 }
 
 // clusterStorePut replicates a freshly solved COMPLETE plan (no-op
-// single-process or for degraded plans; see the file comment).
+// single-process or for degraded plans; see the file comment). If the
+// key's ring owner is currently down, the write would otherwise reach
+// it only via eventual anti-entropy — so the key is queued as a hint
+// and replayed the moment the detector re-admits the owner.
 func (s *Server) clusterStorePut(planKey string, ent cachedPlan) {
 	if s.cluster == nil || ent.degraded {
 		return
 	}
-	s.cluster.store.Put(cluster.Entry{Key: planKey, Plan: ent.bytes, BornUnixNano: ent.born.UnixNano()})
+	c := s.cluster
+	c.store.Put(cluster.Entry{Key: planKey, Plan: ent.bytes, BornUnixNano: ent.born.UnixNano()})
+	if owner := c.owner(planKey); owner != c.cfg.Self && c.health.Down(owner) {
+		c.hints.Add(owner, planKey)
+	}
 }
 
 // forwardMaximize proxies a request whose key another replica owns.
@@ -446,13 +649,20 @@ func (s *Server) forwardMaximize(w http.ResponseWriter, r *http.Request, body []
 	hreq.Header.Set(clusterHopHeader, s.cluster.cfg.Self)
 	hresp, err := s.cluster.client.Do(hreq)
 	if err != nil {
+		// A transport failure is also a detector observation: the next
+		// request for this owner's keys re-routes via healthyOwner once
+		// the failure streak crosses the suspect threshold, instead of
+		// rediscovering the dead peer on every forward. HTTP errors below
+		// are NOT observations — they are real answers from a live peer.
 		s.cluster.forwardFails.Add(1)
+		s.cluster.observeHealth(owner, false, 0)
 		return false
 	}
 	defer hresp.Body.Close()
 	rb, err := io.ReadAll(io.LimitReader(hresp.Body, maxSyncBodyBytes))
 	if err != nil {
 		s.cluster.forwardFails.Add(1)
+		s.cluster.observeHealth(owner, false, 0)
 		return false
 	}
 	if hresp.StatusCode != http.StatusOK {
@@ -497,14 +707,20 @@ type ClusterStatus struct {
 	Self         string       `json:"self"`
 	Nodes        []string     `json:"nodes"`
 	VirtualNodes int          `json:"virtual_nodes"`
+	Draining     bool         `json:"draining,omitempty"`
 	Peers        []PeerStatus `json:"peers"`
 	Counters     ClusterStats `json:"counters"`
 	// Fleet aggregates the cluster counters across every reachable
 	// replica (set only with ?fleet=1).
 	Fleet *FleetStats `json:"fleet,omitempty"`
+	// Timeline is the failure detector's bounded health-transition log
+	// (set only with ?timeline=1) — the artifact the churn CI job
+	// uploads.
+	Timeline []cluster.HealthTransition `json:"timeline,omitempty"`
 }
 
-// PeerStatus reports the last anti-entropy contact with one peer.
+// PeerStatus reports the last anti-entropy contact with one peer plus
+// its failure-detector view.
 type PeerStatus struct {
 	URL string `json:"url"`
 	// LastSyncUnixS is the wall-clock time of the last attempted round
@@ -515,6 +731,24 @@ type PeerStatus struct {
 	LastError string `json:"last_error,omitempty"`
 	// SyncFailures counts this peer's failed rounds since startup.
 	SyncFailures uint64 `json:"sync_failures,omitempty"`
+
+	// Health is the detector's state for this peer: alive / suspect /
+	// dead. Recovering marks a dead peer inside its re-admission
+	// probation window.
+	Health     string `json:"health"`
+	Recovering bool   `json:"recovering,omitempty"`
+	// ConsecutiveFailures is the current failed-contact streak feeding
+	// the state machine; HealthTransitions counts state changes since
+	// startup.
+	ConsecutiveFailures int    `json:"consecutive_failures,omitempty"`
+	HealthTransitions   uint64 `json:"health_transitions"`
+	// LastProbeUnixS / LastProbeLatencyS describe the most recent
+	// health observation of any kind (probe, gossip, forward failure).
+	LastProbeUnixS    float64 `json:"last_probe_unix_s,omitempty"`
+	LastProbeLatencyS float64 `json:"last_probe_latency_s,omitempty"`
+	// HintsPending counts queued hinted-handoff keys awaiting this
+	// peer's recovery.
+	HintsPending int `json:"hints_pending,omitempty"`
 }
 
 // FleetStats is the cluster-aggregated view: per-node serve-source
@@ -545,6 +779,7 @@ func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
 		Self:         c.cfg.Self,
 		Nodes:        c.ring.Nodes(),
 		VirtualNodes: c.cfg.VirtualNodes,
+		Draining:     c.draining.Load(),
 		Counters:     *c.statsSnapshot(),
 	}
 	c.mu.Lock()
@@ -558,14 +793,30 @@ func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
 		st.Peers = append(st.Peers, ps)
 	}
 	c.mu.Unlock()
+	for i := range st.Peers {
+		ph := c.health.Health(st.Peers[i].URL)
+		st.Peers[i].Health = ph.State
+		st.Peers[i].Recovering = ph.Recovering
+		st.Peers[i].ConsecutiveFailures = ph.ConsecFails
+		st.Peers[i].HealthTransitions = ph.Transitions
+		st.Peers[i].LastProbeUnixS = ph.LastProbeUnixS
+		st.Peers[i].LastProbeLatencyS = ph.LastProbeLatencyS
+		st.Peers[i].HintsPending = c.hints.Pending(st.Peers[i].URL)
+	}
 	if r.URL.Query().Get("fleet") != "" {
 		st.Fleet = s.gatherFleet(r.Context())
+	}
+	if r.URL.Query().Get("timeline") != "" {
+		st.Timeline = c.health.Timeline()
 	}
 	writeJSON(w, http.StatusOK, st)
 }
 
-// gatherFleet polls every peer's /v1/stats and sums the cluster
-// counters with this node's own.
+// gatherFleet polls every peer's /v1/stats CONCURRENTLY — each poll
+// under its own fetchPeerStats deadline — and sums the cluster counters
+// with this node's own. The fan-out bounds the whole status call by the
+// slowest single peer rather than the sum: one hung replica used to
+// stall ?fleet=1 for peers × timeout.
 func (s *Server) gatherFleet(ctx context.Context) *FleetStats {
 	c := s.cluster
 	fleet := &FleetStats{Reachable: 1, StoreSizes: map[string]int{c.cfg.Self: c.store.Len()}}
@@ -578,21 +829,40 @@ func (s *Server) gatherFleet(ctx context.Context) *FleetStats {
 		fleet.SyncFailures += cs.SyncFailures
 	}
 	add(c.statsSnapshot())
-	for _, p := range c.cfg.Peers {
-		cs, size, err := c.fetchPeerStats(ctx, p)
-		if err != nil {
+	type peerResult struct {
+		cs   *ClusterStats
+		size int
+		err  error
+	}
+	results := make([]peerResult, len(c.cfg.Peers))
+	var wg sync.WaitGroup
+	for i, p := range c.cfg.Peers {
+		wg.Add(1)
+		go func(i int, peer string) {
+			defer wg.Done()
+			cs, size, err := c.fetchPeerStats(ctx, peer)
+			results[i] = peerResult{cs: cs, size: size, err: err}
+		}(i, p)
+	}
+	wg.Wait()
+	for i, p := range c.cfg.Peers {
+		if results[i].err != nil {
 			fleet.Unreachable = append(fleet.Unreachable, p)
 			continue
 		}
 		fleet.Reachable++
-		fleet.StoreSizes[p] = size
-		add(cs)
+		fleet.StoreSizes[p] = results[i].size
+		add(results[i].cs)
 	}
 	return fleet
 }
 
+// fleetStatsTimeout bounds one peer's ?fleet=1 stats poll; with the
+// concurrent fan-out it also bounds the whole aggregation.
+const fleetStatsTimeout = 3 * time.Second
+
 func (c *serveCluster) fetchPeerStats(ctx context.Context, peer string) (*ClusterStats, int, error) {
-	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	ctx, cancel := context.WithTimeout(ctx, fleetStatsTimeout)
 	defer cancel()
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/stats", nil)
 	if err != nil {
@@ -638,6 +908,72 @@ func (s *Server) handleClusterSync(w http.ResponseWriter, r *http.Request) {
 	c.entriesRecvd.Add(uint64(resp.Applied))
 	c.entriesSent.Add(uint64(len(resp.Entries)))
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleClusterDrain is POST /v1/cluster/drain: flip this replica into
+// the draining state (?off=1 rejoins). Draining (1) reports 503 on
+// /healthz so balancers and peer probes take the replica out of
+// rotation, (2) removes it from its own healthy ring view so its owned
+// keys route to their successors, and (3) pushes its owned store
+// entries to those successors so a rolling restart loses nothing.
+// In-flight and straggler requests are still answered — refusing them
+// would turn a graceful drain into client-visible errors.
+func (s *Server) handleClusterDrain(w http.ResponseWriter, r *http.Request) {
+	c := s.cluster
+	if c == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "clustering is not enabled", Code: "bad_request"})
+		return
+	}
+	if r.URL.Query().Get("off") != "" {
+		c.draining.Store(false)
+		writeJSON(w, http.StatusOK, map[string]any{"draining": false})
+		return
+	}
+	c.draining.Store(true)
+	ctx, cancel := context.WithTimeout(r.Context(), c.cfg.ForwardTimeout)
+	defer cancel()
+	pushed, targets, failures := c.drainPush(ctx)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"draining":      true,
+		"pushed":        pushed,
+		"targets":       targets,
+		"push_failures": failures,
+	})
+}
+
+// drainPush hands this replica's owned entries to their live-view
+// successors (draining already removed self from the view) as push-only
+// sync rounds, one batch per target. Targets that fail stay covered by
+// hinted handoff and anti-entropy.
+func (c *serveCluster) drainPush(ctx context.Context) (pushed, targets, failures int) {
+	byTarget := make(map[string][]cluster.Entry)
+	for _, e := range c.store.Entries() {
+		if c.owner(e.Key) != c.cfg.Self {
+			continue
+		}
+		t := c.healthyOwner(e.Key)
+		if t == c.cfg.Self {
+			continue // no healthy successor; the entry stays local
+		}
+		byTarget[t] = append(byTarget[t], e)
+	}
+	for t, entries := range byTarget {
+		targets++
+		for len(entries) > 0 {
+			batch := entries
+			if len(batch) > cluster.MaxSyncEntries {
+				batch = batch[:cluster.MaxSyncEntries]
+			}
+			if _, err := c.postSync(ctx, t, cluster.SyncRequest{From: c.cfg.Self, Entries: batch}); err != nil {
+				failures++
+				break
+			}
+			c.entriesSent.Add(uint64(len(batch)))
+			pushed += len(batch)
+			entries = entries[len(batch):]
+		}
+	}
+	return pushed, targets, failures
 }
 
 func (s *Server) handleClusterSnapshot(w http.ResponseWriter, r *http.Request) {
@@ -689,6 +1025,17 @@ func (s *Server) ClusterRestore(snapshot []byte) (int, error) {
 		return 0, fmt.Errorf("thermosc: clustering is not enabled")
 	}
 	return cluster.Restore(s.cluster.store, snapshot)
+}
+
+// CloseIdlePeerConnections drops the cluster HTTP client's pooled idle
+// connections. Operational hook for in-process fleets (thermosc-load
+// -cluster churn mode): after a replica restarts on the same address,
+// stale pooled connections to its previous incarnation would each cost
+// one failed request before the pool heals. No-op single-process.
+func (s *Server) CloseIdlePeerConnections() {
+	if s.cluster != nil {
+		s.cluster.client.CloseIdleConnections()
+	}
 }
 
 // SyncPeer runs one anti-entropy round against the given peer now

@@ -62,13 +62,13 @@ func (tc *testCluster) startReplica(t *testing.T, i int, ln net.Listener, cfg Se
 			peers = append(peers, u)
 		}
 	}
-	cc := &ClusterConfig{Self: tc.urls[i], Peers: peers, SyncInterval: syncInterval}
+	cc := &ClusterConfig{}
 	if cfg.Cluster != nil {
-		// mutate may pre-set store-backend knobs; topology stays ours.
-		cc.StoreBackend = cfg.Cluster.StoreBackend
-		cc.StorePath = cfg.Cluster.StorePath
-		cc.StoreCap = cfg.Cluster.StoreCap
+		// mutate may pre-set store-backend and health knobs; topology
+		// stays ours.
+		*cc = *cfg.Cluster
 	}
+	cc.Self, cc.Peers, cc.SyncInterval = tc.urls[i], peers, syncInterval
 	cfg.Cluster = cc
 	srv := NewServer(cfg)
 	hs := &http.Server{Handler: srv}

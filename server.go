@@ -215,7 +215,7 @@ func NewServer(cfg ServerConfig) *Server {
 			panic(fmt.Sprintf("thermosc.NewServer: %v", err))
 		}
 		s.cluster = c
-		c.startGossip()
+		c.startLoops()
 	}
 	s.mux.HandleFunc("POST /v1/maximize", s.handleMaximize)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
@@ -226,6 +226,7 @@ func NewServer(cfg ServerConfig) *Server {
 	s.mux.HandleFunc("POST /v1/cluster/sync", s.handleClusterSync)
 	s.mux.HandleFunc("GET /v1/cluster/snapshot", s.handleClusterSnapshot)
 	s.mux.HandleFunc("POST /v1/cluster/restore", s.handleClusterRestore)
+	s.mux.HandleFunc("POST /v1/cluster/drain", s.handleClusterDrain)
 	return s
 }
 
@@ -253,6 +254,7 @@ func (s *Server) Stats() ServerStats {
 	st := s.stats.snapshot(s.plans.Len(), s.cfg.PlanCacheSize)
 	st.Resilience.QueueDepth = s.admit.depth()
 	st.Resilience.BreakerState, st.Resilience.BreakerTrips = s.brk.status()
+	st.Resilience.Draining = s.drainState()
 	if s.cluster != nil {
 		st.Cluster = s.cluster.statsSnapshot()
 	}
@@ -270,7 +272,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.closed = true
 	s.mu.Unlock()
 	if s.cluster != nil {
-		s.cluster.stopGossip() // no new gossip while draining
+		s.cluster.stopLoops() // no new gossip or probes while draining
 	}
 	done := make(chan struct{})
 	go func() {
@@ -439,12 +441,16 @@ func (s *Server) handleMaximize(w http.ResponseWriter, r *http.Request) {
 	s.stats.cacheMiss()
 
 	// Layer 3: the forwarding proxy — keys owned by another replica are
-	// answered by their owner so the fleet solves each key once. A
-	// request that already hopped once is always served here (never
-	// re-forwarded), and an unreachable owner falls through to the local
-	// solve: the ring re-routes instead of failing the request.
+	// answered by their owner so the fleet solves each key once. The
+	// owner comes from the HEALTHY ring view: suspect/dead owners are
+	// skipped up front (their keys fall to the next healthy successor)
+	// instead of being rediscovered via a timed-out forward on every
+	// request. A request that already hopped once is always served here
+	// (never re-forwarded), and an unreachable owner still falls through
+	// to the local solve: the ring re-routes instead of failing the
+	// request.
 	if s.cluster != nil && r.Header.Get(clusterHopHeader) == "" {
-		if owner := s.cluster.owner(planKey); owner != s.cluster.cfg.Self {
+		if owner := s.cluster.healthyOwner(planKey); owner != s.cluster.cfg.Self {
 			if s.forwardMaximize(w, r, body, owner, planKey, start, &failed) {
 				return
 			}
@@ -691,9 +697,10 @@ func (s *Server) waitAudits() { s.auditWG.Wait() }
 func (s *Server) waitRefreshes() { s.refreshWG.Wait() }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	draining := s.closed
-	s.mu.Unlock()
+	// Shutdown drain and cluster drain both report here: peer failure
+	// detectors read /healthz, so flipping it is what makes the rest of
+	// the fleet route around this replica.
+	draining := s.drainState()
 	status := http.StatusOK
 	state := "ok"
 	if draining {

@@ -16,6 +16,23 @@ import (
 // semaphore with an EWMA wait estimate, and a fixed-window failure-rate
 // breaker — because they sit on the request path of every cold solve.
 
+// drainState reports whether this server is signalling "stop sending
+// me new work": either Shutdown has begun, or the cluster drain
+// endpoint (POST /v1/cluster/drain) took the replica out of rotation
+// for a rolling restart. Both surface identically — 503 "draining" on
+// /healthz (which load balancers and peer failure detectors read) and
+// Draining in the /v1/stats resilience block — so operators and peers
+// never need to distinguish why a replica is on its way out.
+func (s *Server) drainState() bool {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return true
+	}
+	return s.cluster != nil && s.cluster.draining.Load()
+}
+
 // shedError is a typed admission refusal: the request was not solved
 // because the service is saturated (queue full, or the estimated wait
 // already exceeds the request's own deadline). It maps to 429 with a

@@ -153,6 +153,25 @@ type ClusterStats struct {
 	EntriesReceived uint64   `json:"entries_received"`
 	StoreSize       int      `json:"store_size"`
 	StoreCapacity   int      `json:"store_capacity"`
+
+	// Failure-detector view: how many peers this node currently holds
+	// in each state, and the probe-loop counters feeding it.
+	PeersAlive    int    `json:"peers_alive"`
+	PeersSuspect  int    `json:"peers_suspect"`
+	PeersDead     int    `json:"peers_dead"`
+	ProbesSent    uint64 `json:"probes_sent"`
+	ProbeFailures uint64 `json:"probe_failures"`
+
+	// Hinted handoff: lifetime queued/dropped/replayed hint keys plus
+	// the current backlog across all down peers.
+	HintsQueued   uint64 `json:"hints_queued"`
+	HintsDropped  uint64 `json:"hints_dropped"`
+	HintsReplayed uint64 `json:"hints_replayed"`
+	HintBacklog   int    `json:"hint_backlog"`
+
+	// Draining mirrors POST /v1/cluster/drain (also visible on
+	// /healthz).
+	Draining bool `json:"draining"`
 }
 
 // ResilienceStats reports the overload/degradation machinery: how many
@@ -169,6 +188,10 @@ type ResilienceStats struct {
 	QueueDepth      int64  `json:"queue_depth"`
 	BreakerState    string `json:"breaker_state,omitempty"`
 	BreakerTrips    uint64 `json:"breaker_trips"`
+	// Draining reports shutdown or cluster drain in progress (see
+	// Server.drainState; omitted while false so steady-state stats keep
+	// their previous shape).
+	Draining bool `json:"draining,omitempty"`
 }
 
 // AuditCounters reports the sampled post-solve verification verdicts
